@@ -1,0 +1,102 @@
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/circuits"
+	"repro/internal/ecc"
+	"repro/internal/eccsched"
+	"repro/internal/reliability"
+	"repro/internal/synth"
+)
+
+// Ablation benchmarks for the design choices DESIGN.md calls out: block
+// size m, processing-crossbar count k, and the refresh composition.
+
+// BenchmarkAblationBlockSize sweeps the block side m (the paper's
+// reliability/overhead trade-off, Section III) through the reliability
+// model.
+func BenchmarkAblationBlockSize(b *testing.B) {
+	for _, m := range []int{5, 15, 51} {
+		m := m
+		b.Run(fmt.Sprintf("m=%d", m), func(b *testing.B) {
+			model := reliability.PaperModel()
+			model.Geometry = ecc.Params{N: 1020, M: m}
+			for i := 0; i < b.N; i++ {
+				if model.ProposedMTTF(1e-3) <= model.BaselineMTTF(1e-3) {
+					b.Fatal("ECC lost")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationPCCount schedules the PC-hungriest benchmark (dec)
+// with k = 1..8 processing crossbars, measuring the latency the greedy
+// scheduler settles at.
+func BenchmarkAblationPCCount(b *testing.B) {
+	bm, _ := circuits.ByName("dec")
+	nor := bm.Build().LowerToNOR()
+	mp, err := synth.Map(nor, 1020)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, k := range []int{1, 2, 4, 8} {
+		k := k
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			model := eccsched.DefaultModel(15, k)
+			var last int
+			for i := 0; i < b.N; i++ {
+				r := eccsched.Schedule(mp, model)
+				last = r.Proposed
+			}
+			b.ReportMetric(float64(last), "cycles")
+		})
+	}
+}
+
+// BenchmarkAblationRefresh times the four-way mechanism comparison of
+// cmd/refresh.
+func BenchmarkAblationRefresh(b *testing.B) {
+	r := reliability.DefaultRefreshModel()
+	for i := 0; i < b.N; i++ {
+		pts := r.Compare(1e-5, 1e3, 9)
+		if pts[0].MTTF[reliability.ECCPlusRefresh] < pts[0].MTTF[reliability.ECCOnly] {
+			b.Fatal("composition lost")
+		}
+	}
+}
+
+// BenchmarkAblationRowSize maps the 128-bit adder into shrinking rows,
+// measuring SIMPLER's re-initialization overhead growth.
+func BenchmarkAblationRowSize(b *testing.B) {
+	nor := circuits.BuildAdder().LowerToNOR()
+	min := synth.MinRowSize(nor, nor.NumInputs()+1, 1020)
+	for _, rows := range []int{min, (min + 1020) / 2, 1020} {
+		rows := rows
+		b.Run(fmt.Sprintf("row=%d", rows), func(b *testing.B) {
+			var inits int
+			for i := 0; i < b.N; i++ {
+				m, err := synth.Map(nor, rows)
+				if err != nil {
+					b.Fatal(err)
+				}
+				inits = m.InitCycles
+			}
+			b.ReportMetric(float64(inits), "init-cycles")
+		})
+	}
+}
+
+// BenchmarkAblationNORLowering times the lowering pass on the largest
+// generator (voter).
+func BenchmarkAblationNORLowering(b *testing.B) {
+	nl := circuits.BuildVoter()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !nl.LowerToNOR().IsNORForm() {
+			b.Fatal("lowering failed")
+		}
+	}
+}

@@ -1,0 +1,275 @@
+// Package repro's benchmark harness: one testing.B benchmark per table
+// and figure of the paper, plus micro-benchmarks for the mechanisms those
+// results rest on. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The per-experiment mapping is documented in DESIGN.md and the measured
+// outputs are recorded in EXPERIMENTS.md.
+package repro
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/area"
+	"repro/internal/bitmat"
+	"repro/internal/circuits"
+	"repro/internal/cmem"
+	"repro/internal/ecc"
+	"repro/internal/eccsched"
+	"repro/internal/machine"
+	"repro/internal/netlist"
+	"repro/internal/reliability"
+	"repro/internal/shifter"
+	"repro/internal/synth"
+	"repro/internal/xbar"
+)
+
+// --- E1: Figure 6 — MTTF sensitivity analysis --------------------------------
+
+// BenchmarkFig6MTTF regenerates the full Figure 6 sweep (both curves,
+// 10⁻⁵…10³ FIT/bit) each iteration.
+func BenchmarkFig6MTTF(b *testing.B) {
+	model := reliability.PaperModel()
+	for i := 0; i < b.N; i++ {
+		pts := model.Fig6Sweep(4)
+		if pts[0].Improvement < 1 {
+			b.Fatal("model broke")
+		}
+	}
+}
+
+// BenchmarkFig6MonteCarlo times the Monte Carlo validation backing the
+// analytic curves.
+func BenchmarkFig6MonteCarlo(b *testing.B) {
+	geom := ecc.Params{N: 45, M: 15}
+	for i := 0; i < b.N; i++ {
+		reliability.MonteCarloCrossbarFailure(geom, 1e-3, true, 200, int64(i))
+	}
+}
+
+// --- E2: Table I — latency per benchmark --------------------------------------
+
+// BenchmarkTable1Latency regenerates each Table I row: full flow from
+// circuit generation through NOR lowering, SIMPLER mapping and the
+// ECC-extended greedy schedule.
+func BenchmarkTable1Latency(b *testing.B) {
+	cfg := eccsched.DefaultTable1Config()
+	for _, bm := range circuits.All() {
+		bm := bm
+		b.Run(bm.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r, err := eccsched.RunBenchmark(bm, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if r.Proposed <= r.Baseline {
+					b.Fatal("no overhead measured")
+				}
+			}
+		})
+	}
+}
+
+// --- E3: Table II — area ------------------------------------------------------
+
+// BenchmarkTable2Area regenerates the device-count table.
+func BenchmarkTable2Area(b *testing.B) {
+	cfg := area.PaperConfig()
+	for i := 0; i < b.N; i++ {
+		t := cfg.Table()
+		if t[len(t)-1].Memristors == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// --- E4/E6: mechanism micro-benchmarks ---------------------------------------
+
+// BenchmarkMAGICNORRowParallel measures one full-width row-parallel NOR
+// on a paper-sized crossbar (1020 gates in one cycle).
+func BenchmarkMAGICNORRowParallel(b *testing.B) {
+	x := xbar.New(1020, 1020)
+	rng := rand.New(rand.NewSource(1))
+	x.Mat().Randomize(rng)
+	rows := x.AllRows()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.InitColumnsInRows([]int{3}, rows)
+		x.NORRows(1, 2, 3, rows)
+	}
+}
+
+// BenchmarkXOR3Pipeline measures the 8-NOR MAGIC XOR3 across a full
+// 1020-wide processing-crossbar strip.
+func BenchmarkXOR3Pipeline(b *testing.B) {
+	x := xbar.New(xbar.XOR3WorkRows, 1020)
+	rng := rand.New(rand.NewSource(2))
+	x.Mat().Randomize(rng)
+	cols := x.AllCols()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.XOR3Cols(0, cols)
+	}
+}
+
+// BenchmarkCriticalUpdate measures the complete critical-operation
+// protocol on a paper-sized CMEM: route old/new data through the
+// shifters, XOR3 both diagonal families, write back.
+func BenchmarkCriticalUpdate(b *testing.B) {
+	cfg := cmem.PaperConfig()
+	c := cmem.New(cfg)
+	mem := xbar.New(cfg.N, cfg.N)
+	rng := rand.New(rand.NewSource(3))
+	mem.Mat().Randomize(rng)
+	c.LoadFrom(mem.Mat())
+	oldCol := mem.Mat().Col(7)
+	newCol := oldCol.Clone()
+	newCol.Flip(100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.UpdateCritical(0, cmem.CriticalUpdate{
+			Orientation: shifter.RowParallel, Index: 7, Old: oldCol, New: newCol,
+		})
+		oldCol, newCol = newCol, oldCol
+	}
+}
+
+// BenchmarkCheckLine measures one block-line ECC check (copy m lines,
+// XOR3 tree, syndrome compare, decode) on the paper-sized CMEM.
+func BenchmarkCheckLine(b *testing.B) {
+	cfg := cmem.PaperConfig()
+	c := cmem.New(cfg)
+	mem := xbar.New(cfg.N, cfg.N)
+	rng := rand.New(rand.NewSource(4))
+	mem.Mat().Randomize(rng)
+	c.LoadFrom(mem.Mat())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if d := c.CheckLine(mem, shifter.ColParallel, i%(cfg.N/cfg.M), 0); len(d) != 0 {
+			b.Fatal("unexpected diagnosis on clean memory")
+		}
+	}
+}
+
+// BenchmarkSyndromeDecode measures the pure decode path (syndrome →
+// located error) on a single block.
+func BenchmarkSyndromeDecode(b *testing.B) {
+	p := ecc.Params{N: 15, M: 15}
+	mem := bitmat.NewMat(15, 15)
+	rng := rand.New(rand.NewSource(5))
+	mem.Randomize(rng)
+	cb := ecc.Build(p, mem)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mem.Flip(i%15, (i*7)%15)
+		if d := cb.CorrectBlock(mem, 0, 0); d.Kind != ecc.DataError {
+			b.Fatalf("decode failed: %v", d.Kind)
+		}
+	}
+}
+
+// BenchmarkScrub1020 measures a full-crossbar periodic scrub at paper size.
+func BenchmarkScrub1020(b *testing.B) {
+	p := ecc.PaperParams()
+	mem := bitmat.NewMat(p.N, p.N)
+	rng := rand.New(rand.NewSource(6))
+	mem.Randomize(rng)
+	cb := ecc.Build(p, mem)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep := cb.Scrub(mem)
+		if rep.Uncorrectable != 0 {
+			b.Fatal("clean memory flagged")
+		}
+	}
+}
+
+// BenchmarkShifterRoute measures the barrel-shifter routing of a full
+// 1020-bit line into diagonal order.
+func BenchmarkShifterRoute(b *testing.B) {
+	s := shifter.New(1020, 15)
+	rng := rand.New(rand.NewSource(7))
+	v := bitmat.NewVec(1020)
+	for i := 0; i < 1020; i++ {
+		v.Set(i, rng.Intn(2) == 0)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Route(v, i%15, shifter.Leading, shifter.RowParallel)
+	}
+}
+
+// BenchmarkSIMPLERMapAdder measures SIMPLER mapping of the 128-bit adder
+// into a 1020-cell row.
+func BenchmarkSIMPLERMapAdder(b *testing.B) {
+	nor := circuits.BuildAdder().LowerToNOR()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := synth.Map(nor, 1020); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSIMDExecuteProtected measures end-to-end SIMD execution of an
+// 8-bit adder across 45 rows with continuous ECC maintenance.
+func BenchmarkSIMDExecuteProtected(b *testing.B) {
+	mp := benchAdderMapping(b)
+	for i := 0; i < b.N; i++ {
+		m := machine.New(machine.Config{N: 45, M: 15, K: 2, ECCEnabled: true})
+		if err := m.ExecuteSIMD(mp, m.MEM().AllRows()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSIMDExecuteBaseline is the unprotected control of the above.
+func BenchmarkSIMDExecuteBaseline(b *testing.B) {
+	mp := benchAdderMapping(b)
+	for i := 0; i < b.N; i++ {
+		m := machine.New(machine.Config{N: 45, ECCEnabled: false})
+		if err := m.ExecuteSIMD(mp, m.MEM().AllRows()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchAdderMapping(b *testing.B) *synth.Mapping {
+	b.Helper()
+	// An 8-bit adder fits the 45-cell benchmarking row.
+	nb := netlist.NewBuilder("adder8")
+	a := nb.InputBus(8)
+	x := nb.InputBus(8)
+	carry := nb.Const(false)
+	for i := 0; i < 8; i++ {
+		axb := nb.Xor(a[i], x[i])
+		nb.Output(nb.Xor(axb, carry))
+		carry = nb.Or(nb.And(a[i], x[i]), nb.And(axb, carry))
+	}
+	nb.Output(carry)
+	mp, err := synth.Map(nb.Build().LowerToNOR(), 45)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return mp
+}
+
+// --- E5: update-cost comparison (Fig 2) ---------------------------------------
+
+// BenchmarkDiagonalTouchMeasure measures the per-op touch-profile
+// computation used to prove the Θ(1) update property.
+func BenchmarkDiagonalTouchMeasure(b *testing.B) {
+	p := ecc.PaperParams()
+	cells := make([][2]int, p.N)
+	for r := 0; r < p.N; r++ {
+		cells[r] = [2]int{r, 7}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if prof := ecc.MeasureDiagonalTouch(p, cells); prof.MaxPerCheck != 1 {
+			b.Fatal("Θ(1) property violated")
+		}
+	}
+}

@@ -1,0 +1,57 @@
+// Command table1 regenerates the paper's Table I: per-benchmark MAGIC
+// latency (clock cycles) for the SIMPLER baseline and the ECC-extended
+// schedule, the overhead percentage, and the minimal number of processing
+// crossbars needed to avoid stalls.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/circuits"
+	"repro/internal/eccsched"
+)
+
+func main() {
+	row := flag.Int("row", 1020, "MEM row size (the paper's n)")
+	m := flag.Int("m", 15, "ECC block side length")
+	k := flag.Int("k", 8, "processing crossbars available to the scheduler")
+	only := flag.String("bench", "", "run a single benchmark by name")
+	verbose := flag.Bool("v", false, "print scheduling detail per benchmark")
+	flag.Parse()
+
+	cfg := eccsched.Table1Config{RowSize: *row, M: *m, K: *k}
+
+	var results []eccsched.Result
+	if *only != "" {
+		bm, ok := circuits.ByName(*only)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown benchmark %q\n", *only)
+			os.Exit(1)
+		}
+		r, err := eccsched.RunBenchmark(bm, cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		results = append(results, r)
+	} else {
+		var err error
+		results, err = eccsched.RunTable1(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
+	fmt.Printf("Table I — latency (clock cycles), n=%d, m=%d, k=%d\n\n", *row, *m, *k)
+	fmt.Print(eccsched.FormatTable(results))
+	if *verbose {
+		fmt.Println()
+		fmt.Printf("%-11s %12s %12s %12s\n", "Benchmark", "InputBlocks", "CriticalOps", "StallCycles")
+		for _, r := range results {
+			fmt.Printf("%-11s %12d %12d %12d\n", r.Name, r.InputBlocks, r.CriticalOps, r.StallCycles)
+		}
+	}
+}

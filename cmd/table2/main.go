@@ -1,0 +1,31 @@
+// Command table2 regenerates the paper's Table II: memristor and
+// transistor counts of the proposed per-crossbar architecture.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/area"
+)
+
+func main() {
+	n := flag.Int("n", 1020, "crossbar side length")
+	m := flag.Int("m", 15, "ECC block side length")
+	k := flag.Int("k", 3, "processing crossbars")
+	flag.Parse()
+
+	cfg := area.Config{N: *n, M: *m, K: *k}
+	if err := cfg.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("Table II — memristor/transistor count, n=%d, m=%d, k=%d\n\n", *n, *m, *k)
+	fmt.Printf("%-16s %14s %14s   %s\n", "Unit", "# Memristor", "# Transistor", "Expression")
+	for _, u := range cfg.Table() {
+		fmt.Printf("%-16s %14d %14d   %s\n", u.Name, u.Memristors, u.Transistors, u.Expression)
+	}
+	fmt.Printf("\nMemristor overhead over the bare data array: %.1f%%\n", 100*cfg.MemristorOverhead())
+}

@@ -1,0 +1,58 @@
+// Synthesis walk-through: take a Table I benchmark, lower it to MAGIC's
+// NOR basis, map it into a single 1020-cell row with the SIMPLER
+// reimplementation, and schedule it under the proposed ECC architecture —
+// printing every quantity that feeds a row of the paper's Table I.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/circuits"
+	"repro/internal/eccsched"
+	"repro/internal/synth"
+)
+
+func main() {
+	name := "dec" // the paper's most ECC-hostile benchmark
+	if len(os.Args) > 1 {
+		name = os.Args[1]
+	}
+	bm, ok := circuits.ByName(name)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown benchmark %q (try: adder, bar, dec, sin, voter, ...)\n", name)
+		os.Exit(1)
+	}
+
+	nl := bm.Build()
+	fmt.Printf("benchmark %q: %d inputs, %d outputs, %d mixed-basis gates\n",
+		bm.Name, nl.NumInputs(), nl.NumOutputs(), nl.GateCount())
+
+	nor := nl.LowerToNOR()
+	_, depth := nor.Levels()
+	fmt.Printf("lowered to NOR/NOT: %d gates, depth %d\n", nor.GateCount(), depth)
+
+	mp, err := synth.MapWith(nor, 1020, synth.Opts{ReuseInputs: bm.ReuseInputs})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("SIMPLER mapping: %d gate cycles + %d init cycles = %d cycles; peak live cells %d/%d\n",
+		mp.GateCycles, mp.InitCycles, mp.Latency(), mp.PeakLive, mp.RowSize)
+
+	model := eccsched.DefaultModel(15, 8)
+	events, r := eccsched.Timeline(mp, model)
+	fmt.Printf("\nECC-extended schedule (m=15, k=8):\n")
+	fmt.Printf("  input block-columns checked: %d (m MEM cycles each)\n", r.InputBlocks)
+	fmt.Printf("  critical (output-writing) ops: %d (3 MEM cycles + PC pipeline each)\n", r.CriticalOps)
+	fmt.Printf("  stall cycles waiting for PCs: %d\n", r.StallCycles)
+	fmt.Printf("  baseline %d → proposed %d cycles (overhead %.2f%%), minimal PCs %d\n",
+		r.Baseline, r.Proposed, r.OverheadPct, r.MinPCs)
+
+	window := r.Proposed
+	if window > 100 {
+		window = 100
+	}
+	fmt.Printf("\nfirst %d cycles of the MEM/PC timeline:\n%s",
+		window, eccsched.FormatTimeline(events, model.K, window))
+}

@@ -1,0 +1,98 @@
+// Package area implements the paper's Table II device-count model: the
+// memristor and transistor budget of one protected crossbar for the case
+// study n = 1020, m = 15, k = 3 processing crossbars. The paper leaves
+// physical layout to future work and reports device counts only; this
+// package reproduces those expressions exactly.
+package area
+
+import "fmt"
+
+// Config parameterizes the device-count expressions.
+type Config struct {
+	N int // crossbar side length
+	M int // block side length
+	K int // number of processing crossbars
+}
+
+// PaperConfig is Table II's case study: n=1020, m=15, k=3.
+func PaperConfig() Config { return Config{N: 1020, M: 15, K: 3} }
+
+// Unit is one row of Table II.
+type Unit struct {
+	Name        string
+	Memristors  int
+	Transistors int
+	Expression  string
+}
+
+// DataMEM returns the data crossbar row: n × n memristors.
+func (c Config) DataMEM() Unit {
+	return Unit{"Data (MEM)", c.N * c.N, 0, "n × n"}
+}
+
+// CheckBits returns the check-bit crossbar row: 2·m·(n/m)² memristors
+// (two diagonal families, m crossbars each, (n/m)² cells per crossbar).
+func (c Config) CheckBits() Unit {
+	g := c.N / c.M
+	return Unit{"Check-Bits", 2 * c.M * g * g, 0, "2 × m × (n/m)²"}
+}
+
+// ProcessingXBs returns the processing crossbar row: 2·11·k·n memristors —
+// k PCs, each with an 11-row XOR3 strip (3 inputs + 7 intermediates + 1
+// output) of width n, duplicated for the two diagonal families.
+func (c Config) ProcessingXBs() Unit {
+	return Unit{"Processing XBs", 2 * 11 * c.K * c.N, 0, "2 × 11 × k × n"}
+}
+
+// CheckingXB returns the checking crossbar row: 2·n memristors, one
+// syndrome bit per diagonal per block line for both families.
+func (c Config) CheckingXB() Unit {
+	return Unit{"Checking XB", 2 * c.N, 0, "2 × n"}
+}
+
+// Shifters returns the shifter row: 4·n·m transistors — each of n lines
+// fans out to m positions, with four shifter planes ({leading, counter} ×
+// {wordline side, bitline side}).
+func (c Config) Shifters() Unit {
+	return Unit{"Shifters", 0, 4 * c.N * c.M, "4 × n × m"}
+}
+
+// ConnectionUnit returns the connection-unit row: 2·n·(k+4) transistors —
+// routing each of 2n CMEM lines to the k processing crossbars plus the
+// check-bit crossbars, the checking crossbar, and the two controller
+// ports.
+func (c Config) ConnectionUnit() Unit {
+	return Unit{"Connection Unit", 0, 2 * c.N * (c.K + 4), "2 × n × (k + 4)"}
+}
+
+// Table returns all Table II rows in the paper's order, plus the total.
+func (c Config) Table() []Unit {
+	units := []Unit{
+		c.DataMEM(), c.CheckBits(), c.ProcessingXBs(),
+		c.CheckingXB(), c.Shifters(), c.ConnectionUnit(),
+	}
+	var total Unit
+	total.Name = "Total"
+	for _, u := range units {
+		total.Memristors += u.Memristors
+		total.Transistors += u.Transistors
+	}
+	return append(units, total)
+}
+
+// MemristorOverhead returns the fraction of extra memristors the proposed
+// design adds over the bare data array.
+func (c Config) MemristorOverhead() float64 {
+	t := c.Table()
+	total := t[len(t)-1].Memristors
+	data := c.DataMEM().Memristors
+	return float64(total-data) / float64(data)
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.N <= 0 || c.M <= 0 || c.N%c.M != 0 || c.K <= 0 {
+		return fmt.Errorf("area: invalid config %+v", c)
+	}
+	return nil
+}

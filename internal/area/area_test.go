@@ -1,0 +1,93 @@
+package area
+
+import "testing"
+
+// TestTableIIExactValues pins every row of Table II for the paper's case
+// study n=1020, m=15, k=3.
+func TestTableIIExactValues(t *testing.T) {
+	c := PaperConfig()
+	cases := []struct {
+		unit        Unit
+		memristors  int
+		transistors int
+	}{
+		{c.DataMEM(), 1040400, 0},      // 1.04·10⁶
+		{c.CheckBits(), 138720, 0},     // 1.39·10⁵
+		{c.ProcessingXBs(), 67320, 0},  // 6.73·10⁴
+		{c.CheckingXB(), 2040, 0},      // 2.04·10³
+		{c.Shifters(), 0, 61200},       // 6.12·10⁴
+		{c.ConnectionUnit(), 0, 14280}, // 1.43·10⁴
+	}
+	for _, tc := range cases {
+		if tc.unit.Memristors != tc.memristors {
+			t.Errorf("%s memristors = %d, want %d", tc.unit.Name, tc.unit.Memristors, tc.memristors)
+		}
+		if tc.unit.Transistors != tc.transistors {
+			t.Errorf("%s transistors = %d, want %d", tc.unit.Name, tc.unit.Transistors, tc.transistors)
+		}
+	}
+}
+
+func TestTableIITotals(t *testing.T) {
+	// Paper totals: 1.25·10⁶ memristors, 7.55·10⁴ transistors.
+	tab := PaperConfig().Table()
+	total := tab[len(tab)-1]
+	if total.Name != "Total" {
+		t.Fatal("last row should be the total")
+	}
+	if total.Memristors != 1040400+138720+67320+2040 {
+		t.Fatalf("total memristors = %d", total.Memristors)
+	}
+	if total.Memristors < 1240000 || total.Memristors > 1260000 {
+		t.Fatalf("total memristors = %d, want ≈1.25e6", total.Memristors)
+	}
+	if total.Transistors != 61200+14280 {
+		t.Fatalf("total transistors = %d", total.Transistors)
+	}
+	if total.Transistors < 75000 || total.Transistors > 76000 {
+		t.Fatalf("total transistors = %d, want ≈7.55e4", total.Transistors)
+	}
+}
+
+func TestMemristorOverheadModest(t *testing.T) {
+	// The ECC structures add about 20% memristors over the bare array.
+	ovh := PaperConfig().MemristorOverhead()
+	if ovh < 0.15 || ovh > 0.25 {
+		t.Fatalf("memristor overhead = %.3f, want ≈0.20", ovh)
+	}
+}
+
+func TestOverheadScalesWithBlockSize(t *testing.T) {
+	// Smaller blocks → more check bits → more memristor overhead
+	// (the reliability/overhead trade-off of Section III).
+	big := Config{N: 1020, M: 15, K: 3}
+	small := Config{N: 1020, M: 5, K: 3}
+	if small.MemristorOverhead() <= big.MemristorOverhead() {
+		t.Fatal("smaller blocks should cost more area")
+	}
+}
+
+func TestProcessingXBsScaleWithK(t *testing.T) {
+	k3 := Config{N: 1020, M: 15, K: 3}.ProcessingXBs().Memristors
+	k8 := Config{N: 1020, M: 15, K: 8}.ProcessingXBs().Memristors
+	if k8 != k3*8/3 {
+		t.Fatalf("PC memristors: k=3 → %d, k=8 → %d; want linear in k", k3, k8)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := PaperConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []Config{{0, 15, 3}, {1020, 0, 3}, {1020, 14, 3}, {1020, 15, 0}} {
+		if bad.Validate() == nil {
+			t.Errorf("config %+v should be invalid", bad)
+		}
+	}
+}
+
+func TestTableRowCount(t *testing.T) {
+	if got := len(PaperConfig().Table()); got != 7 {
+		t.Fatalf("table has %d rows, want 7 (6 units + total)", got)
+	}
+}

@@ -1,0 +1,223 @@
+package bitmat
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Mat is a dense bit matrix stored row-major, one packed Vec per row.
+type Mat struct {
+	rows, cols int
+	r          []*Vec
+}
+
+// NewMat returns an all-zero rows×cols bit matrix.
+func NewMat(rows, cols int) *Mat {
+	if rows < 0 || cols < 0 {
+		panic("bitmat: negative matrix dimension")
+	}
+	m := &Mat{rows: rows, cols: cols, r: make([]*Vec, rows)}
+	for i := range m.r {
+		m.r[i] = NewVec(cols)
+	}
+	return m
+}
+
+// Rows returns the number of rows.
+func (m *Mat) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Mat) Cols() int { return m.cols }
+
+// Get returns the bit at row r, column c.
+func (m *Mat) Get(r, c int) bool {
+	m.checkRow(r)
+	return m.r[r].Get(c)
+}
+
+// Set writes the bit at row r, column c.
+func (m *Mat) Set(r, c int, b bool) {
+	m.checkRow(r)
+	m.r[r].Set(c, b)
+}
+
+// Flip inverts the bit at row r, column c and returns the new value.
+func (m *Mat) Flip(r, c int) bool {
+	m.checkRow(r)
+	return m.r[r].Flip(c)
+}
+
+func (m *Mat) checkRow(r int) {
+	if r < 0 || r >= m.rows {
+		panic(fmt.Sprintf("bitmat: row %d out of range [0,%d)", r, m.rows))
+	}
+}
+
+// Row returns the live row vector (mutations are visible in the matrix).
+func (m *Mat) Row(r int) *Vec {
+	m.checkRow(r)
+	return m.r[r]
+}
+
+// SetRow copies src into row r.
+func (m *Mat) SetRow(r int, src *Vec) {
+	m.checkRow(r)
+	m.r[r].CopyFrom(src)
+}
+
+// Col returns a copy of column c as a vector of length Rows.
+func (m *Mat) Col(c int) *Vec {
+	out := NewVec(m.rows)
+	for r := 0; r < m.rows; r++ {
+		out.Set(r, m.Get(r, c))
+	}
+	return out
+}
+
+// SetCol writes src (length Rows) into column c.
+func (m *Mat) SetCol(c int, src *Vec) {
+	if src.Len() != m.rows {
+		panic("bitmat: SetCol length mismatch")
+	}
+	for r := 0; r < m.rows; r++ {
+		m.Set(r, c, src.Get(r))
+	}
+}
+
+// Clone returns a deep copy.
+func (m *Mat) Clone() *Mat {
+	out := NewMat(m.rows, m.cols)
+	for i, v := range m.r {
+		out.r[i].CopyFrom(v)
+	}
+	return out
+}
+
+// Equal reports whether two matrices hold identical bits.
+func (m *Mat) Equal(o *Mat) bool {
+	if m.rows != o.rows || m.cols != o.cols {
+		return false
+	}
+	for i := range m.r {
+		if !m.r[i].Equal(o.r[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Zero clears the matrix.
+func (m *Mat) Zero() {
+	for _, v := range m.r {
+		v.Zero()
+	}
+}
+
+// Fill sets every bit to b.
+func (m *Mat) Fill(b bool) {
+	for _, v := range m.r {
+		v.Fill(b)
+	}
+}
+
+// Popcount returns the number of set bits in the matrix.
+func (m *Mat) Popcount() int {
+	c := 0
+	for _, v := range m.r {
+		c += v.Popcount()
+	}
+	return c
+}
+
+// Transpose returns a new cols×rows matrix with axes swapped.
+func (m *Mat) Transpose() *Mat {
+	out := NewMat(m.cols, m.rows)
+	for r := 0; r < m.rows; r++ {
+		row := m.r[r]
+		for _, c := range row.OnesIndices() {
+			out.Set(c, r, true)
+		}
+	}
+	return out
+}
+
+// Block returns a copy of the h×w submatrix whose top-left corner is (r0,c0).
+func (m *Mat) Block(r0, c0, h, w int) *Mat {
+	if r0 < 0 || c0 < 0 || r0+h > m.rows || c0+w > m.cols {
+		panic(fmt.Sprintf("bitmat: block (%d,%d,%d,%d) out of %dx%d", r0, c0, h, w, m.rows, m.cols))
+	}
+	out := NewMat(h, w)
+	for r := 0; r < h; r++ {
+		for c := 0; c < w; c++ {
+			out.Set(r, c, m.Get(r0+r, c0+c))
+		}
+	}
+	return out
+}
+
+// SetBlock writes src into m with top-left corner at (r0,c0).
+func (m *Mat) SetBlock(r0, c0 int, src *Mat) {
+	if r0 < 0 || c0 < 0 || r0+src.rows > m.rows || c0+src.cols > m.cols {
+		panic("bitmat: SetBlock out of range")
+	}
+	for r := 0; r < src.rows; r++ {
+		for c := 0; c < src.cols; c++ {
+			m.Set(r0+r, c0+c, src.Get(r, c))
+		}
+	}
+}
+
+// Randomize fills the matrix with uniform random bits from rng.
+func (m *Mat) Randomize(rng *rand.Rand) {
+	for _, v := range m.r {
+		for i := range v.w {
+			v.w[i] = rng.Uint64()
+		}
+		v.trim()
+	}
+}
+
+// LeadingDiagonal returns, for an m×m square matrix, the cells of
+// wrap-around leading diagonal d: all (r,c) with (r+c) mod m == d.
+// The returned vector has element r equal to the bit at (r, (d-r) mod m).
+func (m *Mat) LeadingDiagonal(d int) *Vec {
+	if m.rows != m.cols {
+		panic("bitmat: LeadingDiagonal requires a square matrix")
+	}
+	n := m.rows
+	out := NewVec(n)
+	for r := 0; r < n; r++ {
+		c := ((d-r)%n + n) % n
+		out.Set(r, m.Get(r, c))
+	}
+	return out
+}
+
+// CounterDiagonal returns, for an m×m square matrix, the cells of
+// wrap-around counter diagonal d: all (r,c) with (r-c) mod m == d.
+// The returned vector has element r equal to the bit at (r, (r-d) mod m).
+func (m *Mat) CounterDiagonal(d int) *Vec {
+	if m.rows != m.cols {
+		panic("bitmat: CounterDiagonal requires a square matrix")
+	}
+	n := m.rows
+	out := NewVec(n)
+	for r := 0; r < n; r++ {
+		c := ((r-d)%n + n) % n
+		out.Set(r, m.Get(r, c))
+	}
+	return out
+}
+
+// String renders the matrix one row per line.
+func (m *Mat) String() string {
+	var sb strings.Builder
+	for r := 0; r < m.rows; r++ {
+		sb.WriteString(m.r[r].String())
+		if r != m.rows-1 {
+			sb.WriteByte('\n')
+		}
+	}
+	return sb.String()
+}

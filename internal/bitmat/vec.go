@@ -1,0 +1,301 @@
+// Package bitmat provides packed bit vectors and bit matrices tailored to
+// bit-level hardware simulation: row/column parallel Boolean operations,
+// modular rotations (barrel shifts), diagonal walks, and transposition.
+//
+// Go has no numeric/matrix ecosystem suited to bit-level crossbar
+// simulation, so this package is the substrate everything else builds on.
+// Vectors are packed 64 bits per word; all operations are word-parallel
+// where possible.
+package bitmat
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// Vec is a fixed-length bit vector packed into uint64 words. The zero value
+// is an empty vector; use NewVec to create one with a given length.
+type Vec struct {
+	n int
+	w []uint64
+}
+
+// NewVec returns an all-zero bit vector of length n. It panics if n < 0.
+func NewVec(n int) *Vec {
+	if n < 0 {
+		panic("bitmat: negative vector length")
+	}
+	return &Vec{n: n, w: make([]uint64, (n+63)/64)}
+}
+
+// FromBits builds a vector from a slice of booleans.
+func FromBits(bits []bool) *Vec {
+	v := NewVec(len(bits))
+	for i, b := range bits {
+		if b {
+			v.Set(i, true)
+		}
+	}
+	return v
+}
+
+// FromUint64 builds an n-bit vector (n <= 64) from the low n bits of x,
+// bit i of x becoming element i.
+func FromUint64(x uint64, n int) *Vec {
+	if n < 0 || n > 64 {
+		panic("bitmat: FromUint64 length out of range")
+	}
+	v := NewVec(n)
+	if n > 0 {
+		v.w[0] = x & maskLow(n)
+	}
+	return v
+}
+
+func maskLow(k int) uint64 {
+	if k >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << uint(k)) - 1
+}
+
+// Len returns the number of bits in the vector.
+func (v *Vec) Len() int { return v.n }
+
+// Get returns bit i.
+func (v *Vec) Get(i int) bool {
+	v.check(i)
+	return v.w[i>>6]&(1<<uint(i&63)) != 0
+}
+
+// Set writes bit i.
+func (v *Vec) Set(i int, b bool) {
+	v.check(i)
+	if b {
+		v.w[i>>6] |= 1 << uint(i&63)
+	} else {
+		v.w[i>>6] &^= 1 << uint(i&63)
+	}
+}
+
+// Flip inverts bit i and returns its new value.
+func (v *Vec) Flip(i int) bool {
+	v.check(i)
+	v.w[i>>6] ^= 1 << uint(i&63)
+	return v.Get(i)
+}
+
+func (v *Vec) check(i int) {
+	if i < 0 || i >= v.n {
+		panic(fmt.Sprintf("bitmat: index %d out of range [0,%d)", i, v.n))
+	}
+}
+
+// Clone returns a deep copy of v.
+func (v *Vec) Clone() *Vec {
+	c := NewVec(v.n)
+	copy(c.w, v.w)
+	return c
+}
+
+// CopyFrom overwrites v with the contents of src. The lengths must match.
+func (v *Vec) CopyFrom(src *Vec) {
+	v.sameLen(src)
+	copy(v.w, src.w)
+}
+
+func (v *Vec) sameLen(o *Vec) {
+	if v.n != o.n {
+		panic(fmt.Sprintf("bitmat: length mismatch %d vs %d", v.n, o.n))
+	}
+}
+
+// Zero clears all bits.
+func (v *Vec) Zero() {
+	for i := range v.w {
+		v.w[i] = 0
+	}
+}
+
+// Fill sets every bit to b.
+func (v *Vec) Fill(b bool) {
+	if !b {
+		v.Zero()
+		return
+	}
+	for i := range v.w {
+		v.w[i] = ^uint64(0)
+	}
+	v.trim()
+}
+
+// trim clears the unused high bits of the last word so that word-level
+// comparisons and popcounts stay exact.
+func (v *Vec) trim() {
+	if r := v.n & 63; r != 0 && len(v.w) > 0 {
+		v.w[len(v.w)-1] &= maskLow(r)
+	}
+}
+
+// Xor sets v = a ^ b. Any of the receivers/operands may alias.
+func (v *Vec) Xor(a, b *Vec) {
+	v.sameLen(a)
+	v.sameLen(b)
+	for i := range v.w {
+		v.w[i] = a.w[i] ^ b.w[i]
+	}
+}
+
+// And sets v = a & b.
+func (v *Vec) And(a, b *Vec) {
+	v.sameLen(a)
+	v.sameLen(b)
+	for i := range v.w {
+		v.w[i] = a.w[i] & b.w[i]
+	}
+}
+
+// Or sets v = a | b.
+func (v *Vec) Or(a, b *Vec) {
+	v.sameLen(a)
+	v.sameLen(b)
+	for i := range v.w {
+		v.w[i] = a.w[i] | b.w[i]
+	}
+}
+
+// Not sets v = ^a.
+func (v *Vec) Not(a *Vec) {
+	v.sameLen(a)
+	for i := range v.w {
+		v.w[i] = ^a.w[i]
+	}
+	v.trim()
+}
+
+// Nor sets v = ^(a | b). NOR is the native MAGIC gate, so it gets a
+// dedicated word-parallel implementation.
+func (v *Vec) Nor(a, b *Vec) {
+	v.sameLen(a)
+	v.sameLen(b)
+	for i := range v.w {
+		v.w[i] = ^(a.w[i] | b.w[i])
+	}
+	v.trim()
+}
+
+// AndNot sets v = a &^ b.
+func (v *Vec) AndNot(a, b *Vec) {
+	v.sameLen(a)
+	v.sameLen(b)
+	for i := range v.w {
+		v.w[i] = a.w[i] &^ b.w[i]
+	}
+}
+
+// Popcount returns the number of set bits.
+func (v *Vec) Popcount() int {
+	c := 0
+	for _, w := range v.w {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Any reports whether any bit is set.
+func (v *Vec) Any() bool {
+	for _, w := range v.w {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Equal reports whether v and o hold identical bits.
+func (v *Vec) Equal(o *Vec) bool {
+	if v.n != o.n {
+		return false
+	}
+	for i := range v.w {
+		if v.w[i] != o.w[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// OnesIndices returns the indices of all set bits in ascending order.
+func (v *Vec) OnesIndices() []int {
+	var out []int
+	for wi, w := range v.w {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			out = append(out, wi*64+b)
+			w &= w - 1
+		}
+	}
+	return out
+}
+
+// RotateLeft returns a copy of v rotated left by k positions (element i of
+// the result is element (i+k) mod n of v). k may be negative or exceed n.
+func (v *Vec) RotateLeft(k int) *Vec {
+	n := v.n
+	out := NewVec(n)
+	if n == 0 {
+		return out
+	}
+	k = ((k % n) + n) % n
+	for i := 0; i < n; i++ {
+		out.Set(i, v.Get((i+k)%n))
+	}
+	return out
+}
+
+// Slice returns a copy of bits [lo, hi).
+func (v *Vec) Slice(lo, hi int) *Vec {
+	if lo < 0 || hi > v.n || lo > hi {
+		panic(fmt.Sprintf("bitmat: bad slice [%d,%d) of %d", lo, hi, v.n))
+	}
+	out := NewVec(hi - lo)
+	for i := lo; i < hi; i++ {
+		out.Set(i-lo, v.Get(i))
+	}
+	return out
+}
+
+// SetSlice writes src into v starting at offset lo.
+func (v *Vec) SetSlice(lo int, src *Vec) {
+	if lo < 0 || lo+src.n > v.n {
+		panic(fmt.Sprintf("bitmat: bad SetSlice at %d len %d into %d", lo, src.n, v.n))
+	}
+	for i := 0; i < src.n; i++ {
+		v.Set(lo+i, src.Get(i))
+	}
+}
+
+// Uint64 returns the low 64 bits of the vector as an integer (bit i of the
+// vector becomes bit i of the result). Vectors longer than 64 bits are
+// truncated.
+func (v *Vec) Uint64() uint64 {
+	if len(v.w) == 0 {
+		return 0
+	}
+	return v.w[0]
+}
+
+// String renders the vector as a bit string, element 0 first.
+func (v *Vec) String() string {
+	var sb strings.Builder
+	sb.Grow(v.n)
+	for i := 0; i < v.n; i++ {
+		if v.Get(i) {
+			sb.WriteByte('1')
+		} else {
+			sb.WriteByte('0')
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,304 @@
+package bitmat
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewVecZero(t *testing.T) {
+	v := NewVec(130)
+	if v.Len() != 130 {
+		t.Fatalf("Len = %d, want 130", v.Len())
+	}
+	for i := 0; i < 130; i++ {
+		if v.Get(i) {
+			t.Fatalf("bit %d set in fresh vector", i)
+		}
+	}
+	if v.Any() || v.Popcount() != 0 {
+		t.Fatal("fresh vector not empty")
+	}
+}
+
+func TestSetGetFlip(t *testing.T) {
+	v := NewVec(100)
+	v.Set(0, true)
+	v.Set(63, true)
+	v.Set(64, true)
+	v.Set(99, true)
+	for _, i := range []int{0, 63, 64, 99} {
+		if !v.Get(i) {
+			t.Errorf("bit %d not set", i)
+		}
+	}
+	if v.Popcount() != 4 {
+		t.Fatalf("Popcount = %d, want 4", v.Popcount())
+	}
+	if v.Flip(63) {
+		t.Error("Flip(63) should clear the bit")
+	}
+	if !v.Flip(1) {
+		t.Error("Flip(1) should set the bit")
+	}
+	if v.Popcount() != 4 {
+		t.Fatalf("Popcount after flips = %d, want 4", v.Popcount())
+	}
+}
+
+func TestIndexPanics(t *testing.T) {
+	v := NewVec(10)
+	for _, i := range []int{-1, 10, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Get(%d) did not panic", i)
+				}
+			}()
+			v.Get(i)
+		}()
+	}
+}
+
+func TestFromBitsRoundTrip(t *testing.T) {
+	bits := []bool{true, false, true, true, false, false, true}
+	v := FromBits(bits)
+	for i, b := range bits {
+		if v.Get(i) != b {
+			t.Errorf("bit %d = %v, want %v", i, v.Get(i), b)
+		}
+	}
+	if v.String() != "1011001" {
+		t.Errorf("String = %q", v.String())
+	}
+}
+
+func TestFromUint64(t *testing.T) {
+	v := FromUint64(0b1011, 6)
+	if v.String() != "110100" {
+		t.Errorf("String = %q, want 110100", v.String())
+	}
+	if v.Uint64() != 0b1011 {
+		t.Errorf("Uint64 = %b", v.Uint64())
+	}
+	// Truncation of bits above n.
+	v2 := FromUint64(^uint64(0), 3)
+	if v2.Popcount() != 3 {
+		t.Errorf("Popcount = %d, want 3", v2.Popcount())
+	}
+}
+
+func TestFillAndZero(t *testing.T) {
+	v := NewVec(70)
+	v.Fill(true)
+	if v.Popcount() != 70 {
+		t.Fatalf("Popcount = %d, want 70 (trim of last word failed?)", v.Popcount())
+	}
+	v.Zero()
+	if v.Any() {
+		t.Fatal("Zero left bits set")
+	}
+}
+
+func TestBooleanOps(t *testing.T) {
+	a := FromBits([]bool{true, true, false, false})
+	b := FromBits([]bool{true, false, true, false})
+
+	x := NewVec(4)
+	x.Xor(a, b)
+	if x.String() != "0110" {
+		t.Errorf("Xor = %s", x)
+	}
+	x.And(a, b)
+	if x.String() != "1000" {
+		t.Errorf("And = %s", x)
+	}
+	x.Or(a, b)
+	if x.String() != "1110" {
+		t.Errorf("Or = %s", x)
+	}
+	x.Nor(a, b)
+	if x.String() != "0001" {
+		t.Errorf("Nor = %s", x)
+	}
+	x.Not(a)
+	if x.String() != "0011" {
+		t.Errorf("Not = %s", x)
+	}
+	x.AndNot(a, b)
+	if x.String() != "0100" {
+		t.Errorf("AndNot = %s", x)
+	}
+}
+
+func TestOpsAlias(t *testing.T) {
+	a := FromBits([]bool{true, false, true})
+	a.Xor(a, a)
+	if a.Any() {
+		t.Fatal("x^x should be zero even when aliased")
+	}
+}
+
+func TestLengthMismatchPanics(t *testing.T) {
+	a, b := NewVec(4), NewVec(5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Xor with mismatched lengths did not panic")
+		}
+	}()
+	NewVec(4).Xor(a, b)
+}
+
+func TestNorMatchesDefinition(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(200)
+		a, b := NewVec(n), NewVec(n)
+		for i := 0; i < n; i++ {
+			a.Set(i, rng.Intn(2) == 0)
+			b.Set(i, rng.Intn(2) == 0)
+		}
+		got := NewVec(n)
+		got.Nor(a, b)
+		for i := 0; i < n; i++ {
+			want := !(a.Get(i) || b.Get(i))
+			if got.Get(i) != want {
+				t.Fatalf("n=%d bit %d: Nor=%v want %v", n, i, got.Get(i), want)
+			}
+		}
+	}
+}
+
+func TestRotateLeft(t *testing.T) {
+	v := FromBits([]bool{true, false, false, true, false})
+	r := v.RotateLeft(1)
+	// element i of result = element (i+1) mod 5 of v
+	if r.String() != "00101" {
+		t.Errorf("RotateLeft(1) = %s", r)
+	}
+	if !v.RotateLeft(0).Equal(v) {
+		t.Error("RotateLeft(0) changed the vector")
+	}
+	if !v.RotateLeft(5).Equal(v) {
+		t.Error("RotateLeft(n) changed the vector")
+	}
+	if !v.RotateLeft(-1).Equal(v.RotateLeft(4)) {
+		t.Error("negative rotation mismatch")
+	}
+}
+
+func TestRotateLeftInverseProperty(t *testing.T) {
+	f := func(seed int64, kRaw int) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(150)
+		v := NewVec(n)
+		for i := 0; i < n; i++ {
+			v.Set(i, rng.Intn(2) == 0)
+		}
+		k := kRaw % (3 * n)
+		return v.RotateLeft(k).RotateLeft(-k).Equal(v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRotationPreservesPopcount(t *testing.T) {
+	f := func(seed int64, k int) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(99)
+		v := NewVec(n)
+		for i := 0; i < n; i++ {
+			v.Set(i, rng.Intn(3) == 0)
+		}
+		return v.RotateLeft(k%97).Popcount() == v.Popcount()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSliceAndSetSlice(t *testing.T) {
+	v := FromBits([]bool{true, false, true, true, false, true})
+	s := v.Slice(2, 5)
+	if s.String() != "110" {
+		t.Errorf("Slice = %s", s)
+	}
+	w := NewVec(6)
+	w.SetSlice(3, s)
+	if w.String() != "000110" {
+		t.Errorf("SetSlice = %s", w)
+	}
+}
+
+func TestOnesIndices(t *testing.T) {
+	v := NewVec(200)
+	want := []int{0, 5, 63, 64, 65, 128, 199}
+	for _, i := range want {
+		v.Set(i, true)
+	}
+	got := v.OnesIndices()
+	if len(got) != len(want) {
+		t.Fatalf("OnesIndices = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("OnesIndices[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	v := NewVec(10)
+	v.Set(3, true)
+	c := v.Clone()
+	c.Set(4, true)
+	if v.Get(4) {
+		t.Fatal("mutating clone affected the original")
+	}
+	if !c.Get(3) {
+		t.Fatal("clone lost bit 3")
+	}
+}
+
+func TestXorSelfInverseProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(300)
+		a, b := NewVec(n), NewVec(n)
+		for i := 0; i < n; i++ {
+			a.Set(i, rng.Intn(2) == 0)
+			b.Set(i, rng.Intn(2) == 0)
+		}
+		x := NewVec(n)
+		x.Xor(a, b)
+		x.Xor(x, b)
+		return x.Equal(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeMorganProperty(t *testing.T) {
+	// NOR(a,b) == AND(NOT a, NOT b) — the identity MAGIC logic leans on.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(300)
+		a, b := NewVec(n), NewVec(n)
+		for i := 0; i < n; i++ {
+			a.Set(i, rng.Intn(2) == 0)
+			b.Set(i, rng.Intn(2) == 0)
+		}
+		nor := NewVec(n)
+		nor.Nor(a, b)
+		na, nb, and := NewVec(n), NewVec(n), NewVec(n)
+		na.Not(a)
+		nb.Not(b)
+		and.And(na, nb)
+		return nor.Equal(and)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

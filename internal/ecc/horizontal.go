@@ -1,0 +1,100 @@
+package ecc
+
+import "repro/internal/bitmat"
+
+// This file implements the strawman the paper rejects in Section III /
+// Fig 2(a): parity check-bits computed over horizontal groups of data
+// bits. It exists so the update-cost asymmetry — the reason the diagonal
+// placement was invented — can be demonstrated and tested quantitatively.
+
+// HorizontalCode keeps one parity bit per horizontal group of W data bits
+// per row. Group g of row r covers columns [g·W, (g+1)·W).
+type HorizontalCode struct {
+	N, W  int
+	check *bitmat.Mat // rows × (N/W) parity bits
+}
+
+// NewHorizontalCode builds the horizontal parity state for mem with group
+// width w (w must divide the column count).
+func NewHorizontalCode(mem *bitmat.Mat, w int) *HorizontalCode {
+	if w <= 0 || mem.Cols()%w != 0 {
+		panic("ecc: horizontal group width must divide the column count")
+	}
+	h := &HorizontalCode{N: mem.Cols(), W: w, check: bitmat.NewMat(mem.Rows(), mem.Cols()/w)}
+	for r := 0; r < mem.Rows(); r++ {
+		for _, c := range mem.Row(r).OnesIndices() {
+			h.check.Flip(r, c/w)
+		}
+	}
+	return h
+}
+
+// Verify reports whether every group parity matches mem.
+func (h *HorizontalCode) Verify(mem *bitmat.Mat) bool {
+	for r := 0; r < mem.Rows(); r++ {
+		got := bitmat.NewVec(h.check.Cols())
+		for _, c := range mem.Row(r).OnesIndices() {
+			got.Flip(c / h.W)
+		}
+		if !got.Equal(h.check.Row(r)) {
+			return false
+		}
+	}
+	return true
+}
+
+// TouchProfile describes how a parallel write maps onto a code's check
+// bits: for each affected check bit, how many of its covered data bits
+// changed. MaxPerCheck is the quantity that determines update cost — a
+// code supports Θ(1) continuous update only if it is ≤ 1 for every
+// parallel operation the substrate can perform.
+type TouchProfile struct {
+	ChecksTouched int // number of check bits with ≥1 changed data bit
+	MaxPerCheck   int // worst-case changed data bits for a single check bit
+}
+
+// HorizontalTouchRowOp profiles a row-parallel MAGIC op writing column c
+// across nRows rows under a horizontal code of width w: each row's group
+// c/w sees exactly one changed bit → Θ(1) per check.
+func HorizontalTouchRowOp(nRows int) TouchProfile {
+	return TouchProfile{ChecksTouched: nRows, MaxPerCheck: 1}
+}
+
+// HorizontalTouchColOp profiles a column-parallel op writing row r across
+// nCols columns under a horizontal code of width w: every group of that
+// row has all w of its data bits changed → Θ(w) per check, the failure
+// mode shown in Fig 2(a).
+func HorizontalTouchColOp(nCols, w int) TouchProfile {
+	return TouchProfile{ChecksTouched: nCols / w, MaxPerCheck: w}
+}
+
+// DiagonalTouchProfile profiles any single row- or column-parallel
+// operation under the diagonal code: a parallel op writes at most one cell
+// per row and per column, hence at most one cell per wrap-around diagonal,
+// hence at most one changed data bit per check bit — always.
+func DiagonalTouchProfile(cellsWritten int) TouchProfile {
+	return TouchProfile{ChecksTouched: 2 * cellsWritten, MaxPerCheck: 1}
+}
+
+// MeasureDiagonalTouch empirically computes the touch profile of an
+// arbitrary set of written cells under geometry p, counting changed data
+// bits per (family, plane, block) check bit. Used by tests to prove the
+// MaxPerCheck ≤ 1 guarantee for real operation shapes.
+func MeasureDiagonalTouch(p Params, cells [][2]int) TouchProfile {
+	type key struct {
+		family, d, br, bc int
+	}
+	counts := make(map[key]int)
+	for _, rc := range cells {
+		br, bc, lr, lc := p.BlockOf(rc[0], rc[1])
+		counts[key{0, p.LeadIdx(lr, lc), br, bc}]++
+		counts[key{1, p.CounterIdx(lr, lc), br, bc}]++
+	}
+	prof := TouchProfile{ChecksTouched: len(counts)}
+	for _, n := range counts {
+		if n > prof.MaxPerCheck {
+			prof.MaxPerCheck = n
+		}
+	}
+	return prof
+}

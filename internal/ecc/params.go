@@ -1,0 +1,90 @@
+// Package ecc implements the paper's primary contribution: an
+// error-correcting code maintained along wrap-around diagonals of m×m
+// blocks of a memristive crossbar array.
+//
+// Every cell (r,c) of a block belongs to exactly one leading diagonal,
+// index (r+c) mod m, and one counter diagonal, index (r−c) mod m. A parity
+// check-bit is kept per diagonal per block, for both families. Because a
+// parallel MAGIC operation writes at most one cell per row and per column,
+// it changes at most one cell per diagonal — so every check-bit has at
+// most one altered data bit and can be updated continuously in Θ(1)
+// operations (Section III of the paper; contrast with horizontal codes,
+// which need Θ(n) updates after a column-parallel operation).
+//
+// With m odd, a (leading, counter) index pair identifies a unique block
+// cell — the intersection solves 2r ≡ i+j (mod m) — which gives the code
+// single-error correction per block: a data error flips exactly one
+// leading and one counter check, a check-bit error flips only its own
+// family, and anything else is flagged uncorrectable.
+package ecc
+
+import "fmt"
+
+// Params describes the geometry of the protected crossbar: an N×N data
+// array divided into an (N/M)×(N/M) grid of M×M blocks.
+type Params struct {
+	N int // crossbar side length (data bits per row)
+	M int // block side length; must be odd so diagonals intersect uniquely
+}
+
+// PaperParams returns the case-study geometry used throughout the paper's
+// evaluation: n = 1020, m = 15.
+func PaperParams() Params { return Params{N: 1020, M: 15} }
+
+// Validate checks the geometric constraints the code requires.
+func (p Params) Validate() error {
+	if p.M < 3 {
+		return fmt.Errorf("ecc: block size m=%d too small (need m ≥ 3)", p.M)
+	}
+	if p.M%2 == 0 {
+		return fmt.Errorf("ecc: block size m=%d must be odd for diagonals to intersect uniquely", p.M)
+	}
+	if p.N <= 0 || p.N%p.M != 0 {
+		return fmt.Errorf("ecc: crossbar size n=%d must be a positive multiple of m=%d", p.N, p.M)
+	}
+	return nil
+}
+
+// BlocksPerSide returns N/M, the number of blocks along one side.
+func (p Params) BlocksPerSide() int { return p.N / p.M }
+
+// NumBlocks returns the total number of blocks in the crossbar.
+func (p Params) NumBlocks() int { s := p.BlocksPerSide(); return s * s }
+
+// DataBitsPerBlock returns m².
+func (p Params) DataBitsPerBlock() int { return p.M * p.M }
+
+// CheckBitsPerBlock returns 2m (one parity bit per leading and per counter
+// diagonal).
+func (p Params) CheckBitsPerBlock() int { return 2 * p.M }
+
+// TotalCheckBits returns the CMEM capacity: 2·m·(n/m)², matching the
+// check-bit row of Table II.
+func (p Params) TotalCheckBits() int { return p.CheckBitsPerBlock() * p.NumBlocks() }
+
+// Overhead returns the storage overhead ratio check-bits/data-bits = 2/m.
+func (p Params) Overhead() float64 { return 2.0 / float64(p.M) }
+
+// BlockOf maps a global cell (r,c) to its block coordinates (br,bc) and
+// local in-block coordinates (lr,lc).
+func (p Params) BlockOf(r, c int) (br, bc, lr, lc int) {
+	return r / p.M, c / p.M, r % p.M, c % p.M
+}
+
+// LeadIdx returns the leading wrap-around diagonal index of local cell
+// (lr,lc): (lr+lc) mod m.
+func (p Params) LeadIdx(lr, lc int) int { return (lr + lc) % p.M }
+
+// CounterIdx returns the counter wrap-around diagonal index of local cell
+// (lr,lc): (lr−lc) mod m.
+func (p Params) CounterIdx(lr, lc int) int { return ((lr-lc)%p.M + p.M) % p.M }
+
+// Intersect returns the unique local cell lying on leading diagonal i and
+// counter diagonal j. It relies on m being odd: 2r ≡ i+j (mod m) has the
+// single solution r = (i+j)·(m+1)/2 mod m (footnote 1 in the paper).
+func (p Params) Intersect(i, j int) (lr, lc int) {
+	inv2 := (p.M + 1) / 2 // multiplicative inverse of 2 modulo odd m
+	lr = ((i + j) * inv2) % p.M
+	lc = ((i-lr)%p.M + p.M) % p.M
+	return lr, lc
+}

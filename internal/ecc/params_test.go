@@ -1,0 +1,173 @@
+package ecc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		p  Params
+		ok bool
+	}{
+		{Params{N: 1020, M: 15}, true},
+		{Params{N: 45, M: 15}, true},
+		{Params{N: 9, M: 3}, true},
+		{Params{N: 1020, M: 14}, false}, // even m
+		{Params{N: 1000, M: 15}, false}, // m does not divide n
+		{Params{N: 15, M: 1}, false},    // m too small
+		{Params{N: 0, M: 3}, false},
+		{Params{N: -9, M: 3}, false},
+	}
+	for _, c := range cases {
+		err := c.p.Validate()
+		if (err == nil) != c.ok {
+			t.Errorf("Validate(%+v) = %v, want ok=%v", c.p, err, c.ok)
+		}
+	}
+}
+
+func TestPaperParams(t *testing.T) {
+	p := PaperParams()
+	if p.N != 1020 || p.M != 15 {
+		t.Fatalf("PaperParams = %+v", p)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.BlocksPerSide() != 68 {
+		t.Fatalf("BlocksPerSide = %d, want 68", p.BlocksPerSide())
+	}
+	if p.NumBlocks() != 68*68 {
+		t.Fatalf("NumBlocks = %d", p.NumBlocks())
+	}
+	// Table II: check-bit count = 2·m·(n/m)² = 2·15·68² = 138720 ≈ 1.39e5.
+	if p.TotalCheckBits() != 138720 {
+		t.Fatalf("TotalCheckBits = %d, want 138720 (Table II)", p.TotalCheckBits())
+	}
+	if p.DataBitsPerBlock() != 225 || p.CheckBitsPerBlock() != 30 {
+		t.Fatal("per-block bit counts wrong")
+	}
+}
+
+func TestDiagonalIndexRanges(t *testing.T) {
+	p := Params{N: 45, M: 15}
+	for lr := 0; lr < p.M; lr++ {
+		for lc := 0; lc < p.M; lc++ {
+			if d := p.LeadIdx(lr, lc); d < 0 || d >= p.M {
+				t.Fatalf("LeadIdx(%d,%d) = %d out of range", lr, lc, d)
+			}
+			if d := p.CounterIdx(lr, lc); d < 0 || d >= p.M {
+				t.Fatalf("CounterIdx(%d,%d) = %d out of range", lr, lc, d)
+			}
+		}
+	}
+}
+
+func TestDiagonalsAreWrapAround(t *testing.T) {
+	// Each leading diagonal of a block contains exactly m cells, one per row
+	// and one per column (it's a permutation) — same for counter diagonals.
+	p := Params{N: 15, M: 15}
+	for d := 0; d < p.M; d++ {
+		rowsSeen := make(map[int]bool)
+		colsSeen := make(map[int]bool)
+		count := 0
+		for lr := 0; lr < p.M; lr++ {
+			for lc := 0; lc < p.M; lc++ {
+				if p.LeadIdx(lr, lc) == d {
+					count++
+					rowsSeen[lr] = true
+					colsSeen[lc] = true
+				}
+			}
+		}
+		if count != p.M || len(rowsSeen) != p.M || len(colsSeen) != p.M {
+			t.Fatalf("leading diagonal %d: count=%d rows=%d cols=%d", d, count, len(rowsSeen), len(colsSeen))
+		}
+	}
+}
+
+func TestIntersectUnique(t *testing.T) {
+	// For odd m, Intersect(i,j) must return the one cell on both diagonals.
+	for _, m := range []int{3, 5, 7, 15, 21} {
+		p := Params{N: m, M: m}
+		for i := 0; i < m; i++ {
+			for j := 0; j < m; j++ {
+				lr, lc := p.Intersect(i, j)
+				if lr < 0 || lr >= m || lc < 0 || lc >= m {
+					t.Fatalf("m=%d Intersect(%d,%d) = (%d,%d) out of range", m, i, j, lr, lc)
+				}
+				if p.LeadIdx(lr, lc) != i || p.CounterIdx(lr, lc) != j {
+					t.Fatalf("m=%d Intersect(%d,%d) = (%d,%d) not on both diagonals", m, i, j, lr, lc)
+				}
+			}
+		}
+		// And it is a bijection: m² (i,j) pairs map to m² distinct cells.
+		seen := make(map[[2]int]bool)
+		for i := 0; i < m; i++ {
+			for j := 0; j < m; j++ {
+				lr, lc := p.Intersect(i, j)
+				seen[[2]int{lr, lc}] = true
+			}
+		}
+		if len(seen) != m*m {
+			t.Fatalf("m=%d: Intersect not a bijection (%d distinct cells)", m, len(seen))
+		}
+	}
+}
+
+func TestIntersectRoundTripProperty(t *testing.T) {
+	// cell → (lead, counter) → Intersect → same cell.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 3 + 2*rng.Intn(10)
+		p := Params{N: m, M: m}
+		lr, lc := rng.Intn(m), rng.Intn(m)
+		gr, gc := p.Intersect(p.LeadIdx(lr, lc), p.CounterIdx(lr, lc))
+		return gr == lr && gc == lc
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEvenMBreaksUniqueness(t *testing.T) {
+	// Documented failure mode: with even m two diagonals can intersect in
+	// two cells (the paper's footnote 1 — why m must be odd).
+	m := 4
+	found := false
+	for i := 0; i < m && !found; i++ {
+		for j := 0; j < m && !found; j++ {
+			count := 0
+			for lr := 0; lr < m; lr++ {
+				for lc := 0; lc < m; lc++ {
+					if (lr+lc)%m == i && ((lr-lc)%m+m)%m == j {
+						count++
+					}
+				}
+			}
+			if count > 1 {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("expected some diagonal pair to intersect twice for even m")
+	}
+}
+
+func TestBlockOf(t *testing.T) {
+	p := Params{N: 30, M: 15}
+	br, bc, lr, lc := p.BlockOf(17, 29)
+	if br != 1 || bc != 1 || lr != 2 || lc != 14 {
+		t.Fatalf("BlockOf(17,29) = (%d,%d,%d,%d)", br, bc, lr, lc)
+	}
+}
+
+func TestOverhead(t *testing.T) {
+	p := PaperParams()
+	if got := p.Overhead(); got != 2.0/15.0 {
+		t.Fatalf("Overhead = %g", got)
+	}
+}

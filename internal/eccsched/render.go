@@ -1,0 +1,52 @@
+package eccsched
+
+import (
+	"fmt"
+	"strings"
+)
+
+// FormatTimeline renders a schedule's first `window` MEM cycles as an
+// ASCII Gantt strip: one lane for the MEM and one per processing
+// crossbar. MEM glyphs: c = input-check copy, g = gate/init, C =
+// critical-op protocol, . = stall. PC lanes show # while the PC is busy.
+func FormatTimeline(events []Event, k, window int) string {
+	if window <= 0 {
+		return ""
+	}
+	memLane := make([]byte, window)
+	for i := range memLane {
+		memLane[i] = ' '
+	}
+	pcLanes := make([][]byte, k)
+	for p := range pcLanes {
+		pcLanes[p] = make([]byte, window)
+		for i := range pcLanes[p] {
+			pcLanes[p][i] = ' '
+		}
+	}
+	glyph := map[EventKind]byte{
+		EvInputCheck: 'c', EvGate: 'g', EvCritical: 'C', EvStall: '.',
+	}
+	for _, e := range events {
+		for t := e.Start; t < e.Start+e.MEMDur && t < window; t++ {
+			if t >= 0 {
+				memLane[t] = glyph[e.Kind]
+			}
+		}
+		if e.PC >= 0 && e.PC < k {
+			for t := e.Start; t < e.PCBusyTo && t < window; t++ {
+				if t >= 0 {
+					pcLanes[e.PC][t] = '#'
+				}
+			}
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "cycle 0%*s%d\n", window-len(fmt.Sprint(window))-6, "", window)
+	fmt.Fprintf(&sb, "MEM  |%s|\n", memLane)
+	for p := range pcLanes {
+		fmt.Fprintf(&sb, "PC %d |%s|\n", p, pcLanes[p])
+	}
+	sb.WriteString("      c=input-check  g=gate/init  C=critical  .=stall  #=PC busy\n")
+	return sb.String()
+}

@@ -1,0 +1,34 @@
+package eccsched
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFormatTimeline(t *testing.T) {
+	m := tinyMapping(t, 20, 30, 6)
+	model := DefaultModel(15, 2)
+	events, r := Timeline(m, model)
+	s := FormatTimeline(events, model.K, r.Proposed)
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 2+model.K+1 { // header + MEM + k PCs + legend
+		t.Fatalf("timeline has %d lines:\n%s", len(lines), s)
+	}
+	for _, g := range []string{"c", "g", "C", "#"} {
+		if !strings.Contains(s, g) {
+			t.Fatalf("timeline missing glyph %q:\n%s", g, s)
+		}
+	}
+	// The MEM lane must have no blanks inside the window.
+	memLane := lines[1]
+	body := memLane[strings.Index(memLane, "|")+1 : strings.LastIndex(memLane, "|")]
+	if strings.Contains(body, " ") {
+		t.Fatalf("gap in MEM lane:\n%s", s)
+	}
+}
+
+func TestFormatTimelineEmptyWindow(t *testing.T) {
+	if FormatTimeline(nil, 2, 0) != "" {
+		t.Fatal("zero window should render empty")
+	}
+}

@@ -1,0 +1,61 @@
+package eccsched
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/circuits"
+	"repro/internal/synth"
+)
+
+// Table1Config parameterizes the Table I reproduction.
+type Table1Config struct {
+	RowSize int // MEM row length (the paper's n = 1020)
+	M       int // block side (15)
+	K       int // PCs available during scheduling (8 covers every benchmark)
+}
+
+// DefaultTable1Config returns the paper's case-study parameters.
+func DefaultTable1Config() Table1Config {
+	return Table1Config{RowSize: 1020, M: 15, K: 8}
+}
+
+// RunTable1 synthesizes every benchmark with the SIMPLER mapper and runs
+// the ECC-extended greedy scheduler, reproducing Table I. It returns one
+// Result per benchmark in the paper's row order.
+func RunTable1(cfg Table1Config) ([]Result, error) {
+	var out []Result
+	for _, bm := range circuits.All() {
+		r, err := RunBenchmark(bm, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("table1: %s: %w", bm.Name, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// RunBenchmark maps and schedules a single benchmark.
+func RunBenchmark(bm circuits.Benchmark, cfg Table1Config) (Result, error) {
+	nor := bm.Build().LowerToNOR()
+	m, err := synth.MapWith(nor, cfg.RowSize, synth.Opts{ReuseInputs: bm.ReuseInputs})
+	if err != nil {
+		return Result{}, err
+	}
+	r := Schedule(m, DefaultModel(cfg.M, cfg.K))
+	r.Name = bm.Name // drop the "-nor" suffix the lowering pass appends
+	return r, nil
+}
+
+// FormatTable renders results in the paper's Table I layout.
+func FormatTable(rs []Result) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-11s %10s %10s %13s %7s\n", "Benchmark", "Baseline", "Proposed", "Overhead (%)", "PC (#)")
+	for _, r := range rs {
+		fmt.Fprintf(&sb, "%-11s %10d %10d %13.2f %7d\n",
+			r.Name, r.Baseline, r.Proposed, r.OverheadPct, r.MinPCs)
+	}
+	fmt.Fprintf(&sb, "%-11s %10s %10s %13.2f %7.2f\n", "Geo. Mean", "", "",
+		GeoMeanOverhead(rs), GeoMeanMinPCs(rs))
+	return sb.String()
+}

@@ -1,0 +1,70 @@
+package eccsched
+
+import "testing"
+
+func TestTimelineCoversLatency(t *testing.T) {
+	m := tinyMapping(t, 20, 30, 10)
+	model := DefaultModel(15, 2)
+	events, r := Timeline(m, model)
+	if len(events) == 0 {
+		t.Fatal("no events")
+	}
+	// Events are time-ordered, non-overlapping on MEM, and their MEM
+	// durations sum to the proposed latency.
+	total := 0
+	prevEnd := 0
+	for i, e := range events {
+		if e.Start < prevEnd {
+			t.Fatalf("event %d starts at %d before previous end %d", i, e.Start, prevEnd)
+		}
+		if e.Start != prevEnd {
+			t.Fatalf("event %d leaves a MEM gap [%d,%d)", i, prevEnd, e.Start)
+		}
+		if e.MEMDur <= 0 {
+			t.Fatalf("event %d has non-positive duration", i)
+		}
+		prevEnd = e.Start + e.MEMDur
+		total += e.MEMDur
+	}
+	if total != r.Proposed {
+		t.Fatalf("timeline covers %d cycles, latency is %d", total, r.Proposed)
+	}
+}
+
+func TestTimelineEventKinds(t *testing.T) {
+	m := tinyMapping(t, 20, 30, 10)
+	events, r := Timeline(m, DefaultModel(15, 2))
+	counts := map[EventKind]int{}
+	stallCycles := 0
+	for _, e := range events {
+		counts[e.Kind]++
+		if e.Kind == EvStall {
+			stallCycles += e.MEMDur
+		}
+		if (e.Kind == EvInputCheck || e.Kind == EvCritical) && e.PC < 0 {
+			t.Fatalf("%v event without a PC", e.Kind)
+		}
+		if e.Kind == EvCritical && e.PCBusyTo <= e.Start {
+			t.Fatal("critical event frees its PC before starting")
+		}
+	}
+	if counts[EvInputCheck] != r.InputBlocks {
+		t.Fatalf("input-check events %d, want %d", counts[EvInputCheck], r.InputBlocks)
+	}
+	if counts[EvCritical] != r.CriticalOps {
+		t.Fatalf("critical events %d, want %d", counts[EvCritical], r.CriticalOps)
+	}
+	if stallCycles != r.StallCycles {
+		t.Fatalf("stall cycles %d, want %d", stallCycles, r.StallCycles)
+	}
+	// 10 back-to-back criticals on k=2 must stall somewhere.
+	if counts[EvStall] == 0 {
+		t.Fatal("expected stalls with k=2 and a dense critical tail")
+	}
+}
+
+func TestEventKindString(t *testing.T) {
+	if EvInputCheck.String() != "input-check" || EvStall.String() != "stall" {
+		t.Fatal("event kind names")
+	}
+}

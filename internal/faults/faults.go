@@ -1,0 +1,139 @@
+// Package faults models memristor soft errors: unintentional state flips
+// caused by oxygen-vacancy diffusion (state drift), ion strikes, and
+// environmental factors. Following the paper's reliability analysis
+// (Section V-A), errors are uniform and independent across memristors with
+// a constant Soft Error Rate (SER) λ expressed in FIT/bit, where 1 FIT/bit
+// is one error per 10⁹ device-hours.
+package faults
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/xbar"
+)
+
+// FITHours is the number of device-hours in one FIT unit.
+const FITHours = 1e9
+
+// FlashSERFITPerBit is the reference memristor SER the paper uses for its
+// headline comparison: approximately the SER of Flash memory, 10⁻³ FIT/bit.
+const FlashSERFITPerBit = 1e-3
+
+// Flip identifies a single soft-error location.
+type Flip struct {
+	Row, Col int
+}
+
+// ErrorProbability returns the probability that a specific memristor
+// suffers at least one soft error within `hours` hours at SER λ [FIT/bit]:
+// p = 1 − exp(−λ·t/10⁹).
+func ErrorProbability(serFITPerBit, hours float64) float64 {
+	return -math.Expm1(-serFITPerBit * hours / FITHours)
+}
+
+// Injector draws soft errors over a crossbar according to the uniform,
+// independent SER model. It is deterministic given its seed, which keeps
+// campaigns reproducible.
+type Injector struct {
+	SER float64 // FIT/bit
+	rng *rand.Rand
+}
+
+// NewInjector returns an injector at the given SER [FIT/bit] and seed.
+func NewInjector(serFITPerBit float64, seed int64) *Injector {
+	if serFITPerBit < 0 {
+		panic("faults: negative SER")
+	}
+	return &Injector{SER: serFITPerBit, rng: rand.New(rand.NewSource(seed))}
+}
+
+// SampleCount draws the number of bit flips occurring in `bits` memristors
+// over `hours` hours. Each bit flips independently with probability
+// ErrorProbability; for the tiny per-bit probabilities involved the count
+// is binomial, sampled exactly bit-by-bit for small populations and via a
+// Poisson approximation (λ_total = bits·p, valid when p ≪ 1) for large
+// ones.
+func (in *Injector) SampleCount(bits int, hours float64) int {
+	p := ErrorProbability(in.SER, hours)
+	if p <= 0 || bits <= 0 {
+		return 0
+	}
+	if bits <= 4096 {
+		n := 0
+		for i := 0; i < bits; i++ {
+			if in.rng.Float64() < p {
+				n++
+			}
+		}
+		return n
+	}
+	return in.poisson(float64(bits) * p)
+}
+
+// poisson samples Poisson(mean) with Knuth's method for small means and a
+// normal approximation for large ones.
+func (in *Injector) poisson(mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	if mean < 30 {
+		l := math.Exp(-mean)
+		k, p := 0, 1.0
+		for {
+			p *= in.rng.Float64()
+			if p <= l {
+				return k
+			}
+			k++
+		}
+	}
+	n := int(math.Round(mean + math.Sqrt(mean)*in.rng.NormFloat64()))
+	if n < 0 {
+		n = 0
+	}
+	return n
+}
+
+// Inject flips soft-error bits in the crossbar corresponding to an exposure
+// of `hours` hours, returning the flipped locations. Locations are drawn
+// uniformly; a location hit twice flips twice (back to its original value),
+// matching independent physical events.
+func (in *Injector) Inject(x *xbar.Crossbar, hours float64) []Flip {
+	n := in.SampleCount(x.Rows()*x.Cols(), hours)
+	flips := make([]Flip, 0, n)
+	for i := 0; i < n; i++ {
+		f := Flip{Row: in.rng.Intn(x.Rows()), Col: in.rng.Intn(x.Cols())}
+		x.Flip(f.Row, f.Col)
+		flips = append(flips, f)
+	}
+	return flips
+}
+
+// InjectExactly flips exactly n uniformly-chosen distinct bits — the
+// controlled campaign used by correction tests and examples.
+func (in *Injector) InjectExactly(x *xbar.Crossbar, n int) []Flip {
+	total := x.Rows() * x.Cols()
+	if n > total {
+		panic(fmt.Sprintf("faults: cannot place %d distinct flips in %d bits", n, total))
+	}
+	seen := make(map[int]bool, n)
+	flips := make([]Flip, 0, n)
+	for len(flips) < n {
+		idx := in.rng.Intn(total)
+		if seen[idx] {
+			continue
+		}
+		seen[idx] = true
+		f := Flip{Row: idx / x.Cols(), Col: idx % x.Cols()}
+		x.Flip(f.Row, f.Col)
+		flips = append(flips, f)
+	}
+	return flips
+}
+
+// UniformCell returns a uniformly random cell coordinate in an r×c array.
+func (in *Injector) UniformCell(r, c int) (int, int) {
+	return in.rng.Intn(r), in.rng.Intn(c)
+}

@@ -1,0 +1,284 @@
+// Package machine assembles the full proposed architecture (Fig 3): a MEM
+// crossbar executing SIMPLER-mapped functions with SIMD row parallelism,
+// a CMEM keeping diagonal ECC check bits continuously up to date through
+// the critical-operation protocol, shifter-routed transfers, and the
+// controller behaviors (input checking before execution, periodic
+// scrubbing, single-error correction).
+//
+// It is the end-to-end integration: the same Mapping the latency
+// scheduler costs out is *actually executed* on simulated crossbars, with
+// soft errors injected and corrected, so tests can confirm the mechanism
+// — not just its cycle model — works.
+package machine
+
+import (
+	"fmt"
+
+	"repro/internal/bitmat"
+	"repro/internal/cmem"
+	"repro/internal/ecc"
+	"repro/internal/shifter"
+	"repro/internal/synth"
+	"repro/internal/xbar"
+)
+
+// Config parameterizes a protected processing unit.
+type Config struct {
+	N          int  // crossbar side
+	M          int  // ECC block side
+	K          int  // processing crossbars
+	ECCEnabled bool // false = the paper's baseline (no protection)
+}
+
+// Machine is one crossbar plus its check memory.
+type Machine struct {
+	cfg Config
+	mem *xbar.Crossbar
+	cm  *cmem.CMEM // nil when ECC is disabled
+
+	// statistics
+	criticalOps   int
+	inputChecks   int
+	corrections   int
+	uncorrectable int
+}
+
+// New builds a machine with an all-zero memory.
+func New(cfg Config) *Machine {
+	if cfg.ECCEnabled {
+		if err := (cmem.Config{N: cfg.N, M: cfg.M, K: cfg.K}).Validate(); err != nil {
+			panic(err)
+		}
+	}
+	m := &Machine{cfg: cfg, mem: xbar.New(cfg.N, cfg.N)}
+	if cfg.ECCEnabled {
+		m.cm = cmem.New(cmem.Config{N: cfg.N, M: cfg.M, K: cfg.K})
+	}
+	return m
+}
+
+// Config returns the machine configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// MEM exposes the data crossbar (for inspection and fault injection).
+func (m *Machine) MEM() *xbar.Crossbar { return m.mem }
+
+// CMEM exposes the check memory, or nil for a baseline machine.
+func (m *Machine) CMEM() *cmem.CMEM { return m.cm }
+
+// Stats summarizes machine activity.
+type Stats struct {
+	MEMCycles     int
+	CriticalOps   int
+	InputChecks   int
+	Corrections   int
+	Uncorrectable int
+}
+
+// Stats returns accumulated statistics.
+func (m *Machine) Stats() Stats {
+	return Stats{
+		MEMCycles:     m.mem.Stats().Cycles,
+		CriticalOps:   m.criticalOps,
+		InputChecks:   m.inputChecks,
+		Corrections:   m.corrections,
+		Uncorrectable: m.uncorrectable,
+	}
+}
+
+// LoadRow writes data into MEM row r through the controller write path
+// and brings the check bits up to date (ECC is computed along writes, as
+// in a conventional protected memory).
+func (m *Machine) LoadRow(r int, v *bitmat.Vec) {
+	old := m.mem.Mat().Row(r).Clone()
+	m.mem.WriteRow(r, v)
+	if m.cm != nil {
+		m.cm.UpdateCritical(0, cmem.CriticalUpdate{
+			Orientation: shifter.ColParallel, Index: r, Old: old, New: v.Clone(),
+		})
+	}
+}
+
+// InjectDataFault flips a memristor in MEM — a soft error.
+func (m *Machine) InjectDataFault(r, c int) { m.mem.Flip(r, c) }
+
+// InjectCheckFault flips a stored check bit (ECC state is memristive too).
+func (m *Machine) InjectCheckFault(f shifter.Family, d, br, bc int) {
+	if m.cm == nil {
+		panic("machine: baseline machine has no check bits")
+	}
+	m.cm.FlipCheckBit(f, d, br, bc)
+}
+
+// CheckConsistent reports whether the CMEM state matches a from-scratch
+// rebuild over the current memory image (true for a healthy machine).
+func (m *Machine) CheckConsistent() bool {
+	if m.cm == nil {
+		return true
+	}
+	want := ecc.Build(ecc.Params{N: m.cfg.N, M: m.cfg.M}, m.mem.Mat())
+	return m.cm.Image().Equal(want)
+}
+
+// Scrub performs the periodic full-memory ECC check: every block line is
+// verified and single errors are corrected. Returns the number of
+// corrections applied and of uncorrectable blocks found.
+func (m *Machine) Scrub() (corrected, uncorrectable int) {
+	if m.cm == nil {
+		return 0, 0
+	}
+	blocks := m.cfg.N / m.cfg.M
+	for br := 0; br < blocks; br++ {
+		diags := m.cm.CheckLine(m.mem, shifter.ColParallel, br, br%m.cfg.K)
+		for _, d := range diags {
+			if d.Kind == ecc.Uncorrectable {
+				uncorrectable++
+			} else if d.Kind != ecc.NoError {
+				corrected++
+			}
+		}
+	}
+	m.corrections += corrected
+	m.uncorrectable += uncorrectable
+	return corrected, uncorrectable
+}
+
+// ExecuteSIMD runs a SIMPLER mapping in every selected row simultaneously
+// (the same in-row gate sequence applied with MAGIC's row parallelism,
+// Fig 1a). Each row computes the function on its own input data, which
+// must already be loaded in cells [0, NumInputs) of that row.
+//
+// With ECC enabled the controller first checks every block-column that
+// holds function inputs (correcting single soft errors), then executes,
+// wrapping every output-writing step in the critical-operation protocol
+// so the check bits stay in sync.
+func (m *Machine) ExecuteSIMD(mp *synth.Mapping, rows *bitmat.Vec) error {
+	if mp.RowSize > m.cfg.N {
+		return fmt.Errorf("machine: mapping needs %d cells, crossbar row has %d", mp.RowSize, m.cfg.N)
+	}
+	if m.cm != nil {
+		inputBlocks := (mp.Netlist.NumInputs() + m.cfg.M - 1) / m.cfg.M
+		for bc := 0; bc < inputBlocks; bc++ {
+			diags := m.cm.CheckLine(m.mem, shifter.RowParallel, bc, bc%m.cfg.K)
+			m.inputChecks++
+			for _, d := range diags {
+				if d.Kind == ecc.Uncorrectable {
+					m.uncorrectable++
+				} else if d.Kind != ecc.NoError {
+					m.corrections++
+				}
+			}
+		}
+	}
+
+	pc := 0
+	for _, s := range mp.Steps {
+		switch s.Kind {
+		case synth.StepInit:
+			m.mem.InitColumnsInRows(s.Init, rows)
+		case synth.StepConst:
+			m.writeColumn(s.Cell, s.Value, rows, s.Critical, &pc)
+		case synth.StepGate:
+			m.gate(s, rows, &pc)
+		}
+	}
+	m.reconcileWorkingRegion(mp)
+	return nil
+}
+
+// reconcileWorkingRegion re-establishes check bits over the block-columns
+// the function's working cells occupy. The paper keeps the ECC current
+// only for output-writing (critical) operations and leaves intermediate
+// cells uncovered ("left for future work"); after execution the
+// intermediate cells hold dead values whose blocks' parity is stale, so
+// the controller recomputes those check bits from the memory image before
+// the region is treated as protected data again. Output blocks were kept
+// in sync by the critical protocol; recomputing them is idempotent.
+func (m *Machine) reconcileWorkingRegion(mp *synth.Mapping) {
+	if m.cm == nil {
+		return
+	}
+	p := ecc.Params{N: m.cfg.N, M: m.cfg.M}
+	want := ecc.Build(p, m.mem.Mat())
+	firstBC := mp.Netlist.NumInputs() / m.cfg.M
+	lastBC := (mp.RowSize - 1) / m.cfg.M
+	for bc := firstBC; bc <= lastBC; bc++ {
+		for br := 0; br < p.BlocksPerSide(); br++ {
+			for d := 0; d < m.cfg.M; d++ {
+				m.cm.SetCheckBit(shifter.Leading, d, br, bc, want.Lead(d, br, bc))
+				m.cm.SetCheckBit(shifter.Counter, d, br, bc, want.Counter(d, br, bc))
+			}
+		}
+	}
+}
+
+// gate executes one (possibly critical) MAGIC step.
+func (m *Machine) gate(s synth.Step, rows *bitmat.Vec, pc *int) {
+	critical := s.Critical && m.cm != nil
+	var old *bitmat.Vec
+	if critical {
+		old = m.mem.Mat().Col(s.Cell)
+		m.mem.Tick() // copy-old transfer occupies MEM
+	}
+	if s.IsNot {
+		m.mem.NOTRows(s.A, s.Cell, rows)
+	} else {
+		m.mem.NORRows(s.A, s.B, s.Cell, rows)
+	}
+	if critical {
+		newCol := m.mem.Mat().Col(s.Cell)
+		m.mem.Tick() // copy-new transfer occupies MEM
+		m.cm.UpdateCritical(*pc, cmem.CriticalUpdate{
+			Orientation: shifter.RowParallel, Index: s.Cell, Old: old, New: newCol,
+		})
+		m.criticalOps++
+		*pc = (*pc + 1) % m.cfg.K
+	}
+}
+
+// writeColumn drives a constant into column c of every selected row.
+func (m *Machine) writeColumn(c int, v bool, rows *bitmat.Vec, criticalStep bool, pc *int) {
+	critical := criticalStep && m.cm != nil
+	var old *bitmat.Vec
+	if critical {
+		old = m.mem.Mat().Col(c)
+		m.mem.Tick()
+	}
+	for _, r := range rows.OnesIndices() {
+		m.mem.Set(r, c, v)
+	}
+	m.mem.Tick() // one write-driver cycle
+	if critical {
+		newCol := m.mem.Mat().Col(c)
+		m.mem.Tick()
+		m.cm.UpdateCritical(*pc, cmem.CriticalUpdate{
+			Orientation: shifter.RowParallel, Index: c, Old: old, New: newCol,
+		})
+		m.criticalOps++
+		*pc = (*pc + 1) % m.cfg.K
+	}
+}
+
+// ReadOutputs returns the function outputs computed in row r.
+func (m *Machine) ReadOutputs(mp *synth.Mapping, r int) []bool {
+	out := make([]bool, mp.Netlist.NumOutputs())
+	for i, id := range mp.Netlist.Outputs() {
+		out[i] = m.mem.Get(r, mp.CellOf[id])
+	}
+	return out
+}
+
+// LoadInputs writes each row's function inputs into cells [0, NumInputs).
+// inputs[r] supplies row r; rows without an entry keep their contents.
+func (m *Machine) LoadInputs(mp *synth.Mapping, inputs map[int][]bool) {
+	for r, in := range inputs {
+		if len(in) != mp.Netlist.NumInputs() {
+			panic("machine: wrong input width")
+		}
+		row := m.mem.Mat().Row(r).Clone()
+		for i, v := range in {
+			row.Set(i, v)
+		}
+		m.LoadRow(r, row)
+	}
+}

@@ -1,0 +1,332 @@
+package machine
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitmat"
+	"repro/internal/ecc"
+	"repro/internal/netlist"
+	"repro/internal/shifter"
+	"repro/internal/synth"
+)
+
+var testCfg = Config{N: 45, M: 15, K: 2, ECCEnabled: true}
+
+// adder8 returns an 8-bit adder mapping that fits the 45-cell test row.
+func adder8(t *testing.T) *synth.Mapping {
+	t.Helper()
+	b := netlist.NewBuilder("adder8")
+	a := b.InputBus(8)
+	x := b.InputBus(8)
+	carry := b.Const(false)
+	for i := 0; i < 8; i++ {
+		axb := b.Xor(a[i], x[i])
+		b.Output(b.Xor(axb, carry))
+		carry = b.Or(b.And(a[i], x[i]), b.And(axb, carry))
+	}
+	b.Output(carry)
+	m, err := synth.Map(b.Build().LowerToNOR(), 45)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func loadRandomInputs(t *testing.T, m *Machine, mp *synth.Mapping, seed int64) map[int][]bool {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	inputs := make(map[int][]bool)
+	for r := 0; r < m.Config().N; r++ {
+		in := make([]bool, mp.Netlist.NumInputs())
+		for i := range in {
+			in[i] = rng.Intn(2) == 0
+		}
+		inputs[r] = in
+	}
+	m.LoadInputs(mp, inputs)
+	return inputs
+}
+
+func checkAllRows(t *testing.T, m *Machine, mp *synth.Mapping, inputs map[int][]bool) {
+	t.Helper()
+	for r, in := range inputs {
+		want := mp.Netlist.Eval(in)
+		got := m.ReadOutputs(mp, r)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("row %d output %d: got %v want %v", r, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestSIMDExecutionAllRows(t *testing.T) {
+	// Fig 1a end-to-end: 45 independent 8-bit additions in one pass.
+	m := New(testCfg)
+	mp := adder8(t)
+	inputs := loadRandomInputs(t, m, mp, 1)
+	if err := m.ExecuteSIMD(mp, m.MEM().AllRows()); err != nil {
+		t.Fatal(err)
+	}
+	checkAllRows(t, m, mp, inputs)
+	if !m.CheckConsistent() {
+		t.Fatal("CMEM inconsistent after execution")
+	}
+	if m.Stats().CriticalOps == 0 {
+		t.Fatal("no critical operations recorded")
+	}
+}
+
+func TestBaselineMachineAlsoComputes(t *testing.T) {
+	cfg := testCfg
+	cfg.ECCEnabled = false
+	m := New(cfg)
+	mp := adder8(t)
+	inputs := loadRandomInputs(t, m, mp, 2)
+	if err := m.ExecuteSIMD(mp, m.MEM().AllRows()); err != nil {
+		t.Fatal(err)
+	}
+	checkAllRows(t, m, mp, inputs)
+	if m.CMEM() != nil {
+		t.Fatal("baseline machine should have no CMEM")
+	}
+}
+
+func TestInputFaultCorrectedBeforeExecution(t *testing.T) {
+	// E6 headline: a soft error in a function input is detected and
+	// corrected by the pre-execution check, so every row still computes
+	// the right answer.
+	m := New(testCfg)
+	mp := adder8(t)
+	inputs := loadRandomInputs(t, m, mp, 3)
+
+	m.InjectDataFault(20, 5) // input region: column 5 < 16 inputs
+	inputs[20][5] = !inputs[20][5]
+	// The stored (faulted) bit is wrong; ECC must restore the original.
+	inputs[20][5] = !inputs[20][5]
+
+	if err := m.ExecuteSIMD(mp, m.MEM().AllRows()); err != nil {
+		t.Fatal(err)
+	}
+	if m.Stats().Corrections != 1 {
+		t.Fatalf("corrections = %d, want 1", m.Stats().Corrections)
+	}
+	checkAllRows(t, m, mp, inputs)
+}
+
+func TestInputFaultCorruptsBaseline(t *testing.T) {
+	// The same fault on the unprotected baseline silently corrupts the
+	// affected row's result — the failure mode motivating the paper.
+	cfg := testCfg
+	cfg.ECCEnabled = false
+	m := New(cfg)
+	mp := adder8(t)
+	inputs := loadRandomInputs(t, m, mp, 3)
+
+	m.InjectDataFault(20, 0) // flip input bit a[0] of row 20
+	if err := m.ExecuteSIMD(mp, m.MEM().AllRows()); err != nil {
+		t.Fatal(err)
+	}
+	want := mp.Netlist.Eval(inputs[20])
+	got := m.ReadOutputs(mp, 20)
+	same := true
+	for i := range want {
+		if got[i] != want[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("baseline produced correct output despite corrupted input — test is vacuous")
+	}
+}
+
+func TestMultipleInputFaultsDifferentBlocksCorrected(t *testing.T) {
+	m := New(testCfg)
+	mp := adder8(t)
+	inputs := loadRandomInputs(t, m, mp, 4)
+	// One fault per block-row of input block-column 0.
+	m.InjectDataFault(3, 2)
+	m.InjectDataFault(18, 9)
+	m.InjectDataFault(40, 14)
+	if err := m.ExecuteSIMD(mp, m.MEM().AllRows()); err != nil {
+		t.Fatal(err)
+	}
+	if m.Stats().Corrections != 3 {
+		t.Fatalf("corrections = %d, want 3", m.Stats().Corrections)
+	}
+	checkAllRows(t, m, mp, inputs)
+}
+
+func TestScrubRepairsIdleData(t *testing.T) {
+	m := New(testCfg)
+	mp := adder8(t)
+	inputs := loadRandomInputs(t, m, mp, 5)
+	_ = inputs
+	before := m.MEM().Snapshot()
+	m.InjectDataFault(30, 30) // outside the input region
+	corrected, unc := m.Scrub()
+	if corrected != 1 || unc != 0 {
+		t.Fatalf("scrub: corrected=%d uncorrectable=%d", corrected, unc)
+	}
+	if !m.MEM().Snapshot().Equal(before) {
+		t.Fatal("scrub did not restore memory")
+	}
+}
+
+func TestScrubRepairsCheckBitFault(t *testing.T) {
+	m := New(testCfg)
+	mp := adder8(t)
+	loadRandomInputs(t, m, mp, 6)
+	m.InjectCheckFault(shifter.Leading, 4, 1, 2)
+	corrected, unc := m.Scrub()
+	if corrected != 1 || unc != 0 {
+		t.Fatalf("scrub: corrected=%d uncorrectable=%d", corrected, unc)
+	}
+	if !m.CheckConsistent() {
+		t.Fatal("check bits still inconsistent")
+	}
+}
+
+func TestScrubFlagsUncorrectableBlock(t *testing.T) {
+	m := New(testCfg)
+	mp := adder8(t)
+	loadRandomInputs(t, m, mp, 7)
+	// Two faults in one block with disjoint diagonals.
+	m.InjectDataFault(0, 0)
+	m.InjectDataFault(1, 3)
+	_, unc := m.Scrub()
+	if unc != 1 {
+		t.Fatalf("uncorrectable = %d, want 1", unc)
+	}
+}
+
+func TestPartialRowMask(t *testing.T) {
+	// Execute in only half the rows; others must be untouched outside the
+	// working region.
+	m := New(testCfg)
+	mp := adder8(t)
+	inputs := loadRandomInputs(t, m, mp, 8)
+	rows := m.MEM().RowMask()
+	active := map[int]bool{}
+	for r := 0; r < testCfg.N; r += 2 {
+		rows.Set(r, true)
+		active[r] = true
+	}
+	if err := m.ExecuteSIMD(mp, rows); err != nil {
+		t.Fatal(err)
+	}
+	for r := range inputs {
+		if !active[r] {
+			continue
+		}
+		want := mp.Netlist.Eval(inputs[r])
+		got := m.ReadOutputs(mp, r)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("active row %d output %d wrong", r, i)
+			}
+		}
+	}
+	// Inputs of inactive rows are untouched.
+	for r := 1; r < testCfg.N; r += 2 {
+		for i := 0; i < mp.Netlist.NumInputs(); i++ {
+			if m.MEM().Get(r, i) != inputs[r][i] {
+				t.Fatalf("inactive row %d input %d changed", r, i)
+			}
+		}
+	}
+	if !m.CheckConsistent() {
+		t.Fatal("CMEM inconsistent after masked execution")
+	}
+}
+
+func TestCMEMStaysInSyncThroughLoadRows(t *testing.T) {
+	m := New(testCfg)
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 30; i++ {
+		v := bitmat.NewVec(testCfg.N)
+		for j := 0; j < testCfg.N; j++ {
+			v.Set(j, rng.Intn(2) == 0)
+		}
+		m.LoadRow(rng.Intn(testCfg.N), v)
+	}
+	if !m.CheckConsistent() {
+		t.Fatal("LoadRow lost CMEM sync")
+	}
+}
+
+func TestExecuteRejectsOversizedMapping(t *testing.T) {
+	m := New(testCfg)
+	b := netlist.NewBuilder("wide")
+	in := b.InputBus(4)
+	b.Output(b.Nor(in[0], in[1]))
+	mp, err := synth.Map(b.Build().LowerToNOR(), 64) // wider than N=45
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.ExecuteSIMD(mp, m.MEM().AllRows()); err == nil {
+		t.Fatal("expected row-size error")
+	}
+}
+
+func TestStatsAccumulation(t *testing.T) {
+	m := New(testCfg)
+	mp := adder8(t)
+	loadRandomInputs(t, m, mp, 10)
+	if err := m.ExecuteSIMD(mp, m.MEM().AllRows()); err != nil {
+		t.Fatal(err)
+	}
+	st := m.Stats()
+	if st.MEMCycles == 0 || st.InputChecks != 2 { // 16 inputs → 2 block-columns
+		t.Fatalf("stats: %+v", st)
+	}
+	if st.CriticalOps != mp.CriticalOps() {
+		t.Fatalf("critical ops %d, want %d", st.CriticalOps, mp.CriticalOps())
+	}
+}
+
+func TestECCDetectsUncorrectableInputCorruption(t *testing.T) {
+	m := New(testCfg)
+	mp := adder8(t)
+	loadRandomInputs(t, m, mp, 11)
+	// Two faults in one input block: flagged, not silently accepted.
+	m.InjectDataFault(0, 0)
+	m.InjectDataFault(1, 3)
+	if err := m.ExecuteSIMD(mp, m.MEM().AllRows()); err != nil {
+		t.Fatal(err)
+	}
+	if m.Stats().Uncorrectable == 0 {
+		t.Fatal("double input error not flagged")
+	}
+}
+
+func TestConsistencyIsNontrivial(t *testing.T) {
+	// Sanity for CheckConsistent itself: a deliberately skewed check bit
+	// must break consistency.
+	m := New(testCfg)
+	mp := adder8(t)
+	loadRandomInputs(t, m, mp, 12)
+	if !m.CheckConsistent() {
+		t.Fatal("fresh machine inconsistent")
+	}
+	m.InjectCheckFault(shifter.Counter, 0, 0, 0)
+	if m.CheckConsistent() {
+		t.Fatal("CheckConsistent missed an injected inconsistency")
+	}
+}
+
+func TestEndToEndWithECCvsParamsBuild(t *testing.T) {
+	// After a full execute, CMEM must equal ecc.Build of the final image
+	// (reconciliation + critical updates together cover everything).
+	m := New(testCfg)
+	mp := adder8(t)
+	loadRandomInputs(t, m, mp, 13)
+	if err := m.ExecuteSIMD(mp, m.MEM().AllRows()); err != nil {
+		t.Fatal(err)
+	}
+	want := ecc.Build(ecc.Params{N: testCfg.N, M: testCfg.M}, m.MEM().Mat())
+	if !m.CMEM().Image().Equal(want) {
+		t.Fatal("CMEM image diverged from rebuilt check bits")
+	}
+}

@@ -1,0 +1,77 @@
+// Package mmpu models the memory-level organization the paper assumes: a
+// memristive Memory Processing Unit divided into banks, each consisting of
+// many n×n crossbar arrays (Section II-A). The proposed ECC extensions are
+// applied per crossbar; this package provides the counting and addressing
+// glue used to scale per-crossbar reliability to a full memory (the 1GB
+// memory of Fig 6).
+package mmpu
+
+import "fmt"
+
+// Organization describes a memory built from identical crossbars.
+type Organization struct {
+	CrossbarN  int // crossbar side length (bits)
+	Banks      int // number of banks
+	PerBank    int // crossbars per bank
+	TotalBytes int64
+}
+
+// GBMemory returns the paper's Fig 6 configuration: enough n×n crossbars
+// to hold 1GB (2³³ bits) of data, split across `banks` banks.
+func GBMemory(n, banks int) Organization {
+	const bits = int64(1) << 33
+	per := int64(n) * int64(n)
+	count := int((bits + per - 1) / per)
+	perBank := (count + banks - 1) / banks
+	return Organization{CrossbarN: n, Banks: banks, PerBank: perBank, TotalBytes: 1 << 30}
+}
+
+// Crossbars returns the total crossbar count.
+func (o Organization) Crossbars() int { return o.Banks * o.PerBank }
+
+// DataBits returns the total data capacity in bits.
+func (o Organization) DataBits() int64 {
+	return int64(o.Crossbars()) * int64(o.CrossbarN) * int64(o.CrossbarN)
+}
+
+// Validate checks the organization is well formed.
+func (o Organization) Validate() error {
+	if o.CrossbarN <= 0 || o.Banks <= 0 || o.PerBank <= 0 {
+		return fmt.Errorf("mmpu: non-positive organization field: %+v", o)
+	}
+	if o.DataBits() < 8*o.TotalBytes {
+		return fmt.Errorf("mmpu: %d crossbars of %d² bits cannot hold %d bytes",
+			o.Crossbars(), o.CrossbarN, o.TotalBytes)
+	}
+	return nil
+}
+
+// Address locates a bit within the memory.
+type Address struct {
+	Bank, Crossbar int // crossbar index within its bank
+	Row, Col       int
+}
+
+// Locate maps a flat bit index to its physical location, filling crossbars
+// row-major, banks outermost.
+func (o Organization) Locate(bit int64) (Address, error) {
+	if bit < 0 || bit >= o.DataBits() {
+		return Address{}, fmt.Errorf("mmpu: bit %d out of range [0,%d)", bit, o.DataBits())
+	}
+	per := int64(o.CrossbarN) * int64(o.CrossbarN)
+	xb := bit / per
+	off := bit % per
+	return Address{
+		Bank:     int(xb) / o.PerBank,
+		Crossbar: int(xb) % o.PerBank,
+		Row:      int(off) / o.CrossbarN,
+		Col:      int(off) % o.CrossbarN,
+	}, nil
+}
+
+// FlatIndex is the inverse of Locate.
+func (o Organization) FlatIndex(a Address) int64 {
+	per := int64(o.CrossbarN) * int64(o.CrossbarN)
+	xb := int64(a.Bank)*int64(o.PerBank) + int64(a.Crossbar)
+	return xb*per + int64(a.Row)*int64(o.CrossbarN) + int64(a.Col)
+}

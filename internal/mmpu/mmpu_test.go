@@ -1,0 +1,85 @@
+package mmpu
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGBMemoryCapacity(t *testing.T) {
+	org := GBMemory(1020, 16)
+	if err := org.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if org.DataBits() < 1<<33 {
+		t.Fatalf("capacity %d bits < 2^33", org.DataBits())
+	}
+	// ceil(2^33/1020²) = 8257 crossbars before bank rounding.
+	if org.Crossbars() < 8257 {
+		t.Fatalf("crossbars = %d, want ≥ 8257", org.Crossbars())
+	}
+	if org.Banks != 16 {
+		t.Fatalf("banks = %d", org.Banks)
+	}
+}
+
+func TestLocateRoundTripProperty(t *testing.T) {
+	org := GBMemory(1020, 16)
+	f := func(raw int64) bool {
+		bit := raw % org.DataBits()
+		if bit < 0 {
+			bit = -bit
+		}
+		a, err := org.Locate(bit)
+		if err != nil {
+			return false
+		}
+		return org.FlatIndex(a) == bit
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLocateBounds(t *testing.T) {
+	org := GBMemory(1020, 4)
+	if _, err := org.Locate(-1); err == nil {
+		t.Fatal("negative bit accepted")
+	}
+	if _, err := org.Locate(org.DataBits()); err == nil {
+		t.Fatal("out-of-range bit accepted")
+	}
+	a, err := org.Locate(org.DataBits() - 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Bank >= org.Banks || a.Crossbar >= org.PerBank ||
+		a.Row >= org.CrossbarN || a.Col >= org.CrossbarN {
+		t.Fatalf("address out of range: %+v", a)
+	}
+}
+
+func TestLocateFieldsConsistent(t *testing.T) {
+	org := Organization{CrossbarN: 4, Banks: 2, PerBank: 3, TotalBytes: 0}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		bit := int64(rng.Intn(int(org.DataBits())))
+		a, err := org.Locate(bit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := org.FlatIndex(a); got != bit {
+			t.Fatalf("round trip %d → %+v → %d", bit, a, got)
+		}
+	}
+}
+
+func TestValidateRejectsUndersized(t *testing.T) {
+	bad := Organization{CrossbarN: 8, Banks: 1, PerBank: 1, TotalBytes: 1 << 30}
+	if bad.Validate() == nil {
+		t.Fatal("undersized organization accepted")
+	}
+	if (Organization{}).Validate() == nil {
+		t.Fatal("zero organization accepted")
+	}
+}

@@ -1,0 +1,239 @@
+package netlist
+
+import "fmt"
+
+// Builder constructs a Netlist incrementally. It performs structural
+// hashing (common-subexpression elimination) and light constant folding
+// as gates are added, so generators can write naive structural code and
+// still get reasonably sized netlists.
+type Builder struct {
+	gates   []Gate
+	inputs  []int
+	outputs []int
+	name    string
+	hash    map[Gate]int
+	zero    int // node id of Const0, -1 until created
+	one     int // node id of Const1, -1 until created
+}
+
+// NewBuilder returns an empty builder for a circuit with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{name: name, hash: make(map[Gate]int), zero: -1, one: -1}
+}
+
+func (b *Builder) add(g Gate) int {
+	b.gates = append(b.gates, g)
+	return len(b.gates) - 1
+}
+
+// Input declares a new primary input and returns its node id.
+func (b *Builder) Input() int {
+	id := b.add(Gate{Op: Input})
+	b.inputs = append(b.inputs, id)
+	return id
+}
+
+// InputBus declares w primary inputs and returns their ids (bit 0 first).
+func (b *Builder) InputBus(w int) []int {
+	ids := make([]int, w)
+	for i := range ids {
+		ids[i] = b.Input()
+	}
+	return ids
+}
+
+// Const returns the node id of the constant v, creating it on first use.
+func (b *Builder) Const(v bool) int {
+	if v {
+		if b.one < 0 {
+			b.one = b.add(Gate{Op: Const1})
+		}
+		return b.one
+	}
+	if b.zero < 0 {
+		b.zero = b.add(Gate{Op: Const0})
+	}
+	return b.zero
+}
+
+func (b *Builder) isConst(id int) (bool, bool) {
+	switch b.gates[id].Op {
+	case Const0:
+		return true, false
+	case Const1:
+		return true, true
+	}
+	return false, false
+}
+
+// gate adds a structurally hashed binary gate with folding.
+func (b *Builder) gate(op Op, x, y int) int {
+	b.checkID(x)
+	b.checkID(y)
+	// Normalize commutative operand order for hashing.
+	if x > y {
+		x, y = y, x
+	}
+	if cx, vx := b.isConst(x); cx {
+		if cy, vy := b.isConst(y); cy {
+			return b.Const(evalBinary(op, vx, vy))
+		}
+		return b.foldWithConst(op, y, vx)
+	}
+	if cy, vy := b.isConst(y); cy {
+		return b.foldWithConst(op, x, vy)
+	}
+	if x == y {
+		switch op {
+		case And, Or:
+			return x
+		case Xor:
+			return b.Const(false)
+		case Xnor:
+			return b.Const(true)
+		case Nand, Nor:
+			return b.Not(x)
+		}
+	}
+	key := Gate{Op: op, A: x, B: y}
+	if id, ok := b.hash[key]; ok {
+		return id
+	}
+	id := b.add(key)
+	b.hash[key] = id
+	return id
+}
+
+// foldWithConst simplifies op(x, const v).
+func (b *Builder) foldWithConst(op Op, x int, v bool) int {
+	switch op {
+	case And:
+		if v {
+			return x
+		}
+		return b.Const(false)
+	case Or:
+		if v {
+			return b.Const(true)
+		}
+		return x
+	case Nand:
+		if v {
+			return b.Not(x)
+		}
+		return b.Const(true)
+	case Nor:
+		if v {
+			return b.Const(false)
+		}
+		return b.Not(x)
+	case Xor:
+		if v {
+			return b.Not(x)
+		}
+		return x
+	case Xnor:
+		if v {
+			return x
+		}
+		return b.Not(x)
+	}
+	panic("netlist: foldWithConst on non-binary op")
+}
+
+func evalBinary(op Op, a, bo bool) bool {
+	switch op {
+	case And:
+		return a && bo
+	case Or:
+		return a || bo
+	case Nand:
+		return !(a && bo)
+	case Nor:
+		return !(a || bo)
+	case Xor:
+		return a != bo
+	case Xnor:
+		return a == bo
+	}
+	panic("netlist: evalBinary on non-binary op")
+}
+
+// Not returns ¬x, folding double negation and constants.
+func (b *Builder) Not(x int) int {
+	b.checkID(x)
+	if c, v := b.isConst(x); c {
+		return b.Const(!v)
+	}
+	if b.gates[x].Op == Not {
+		return b.gates[x].A // ¬¬y = y
+	}
+	key := Gate{Op: Not, A: x}
+	if id, ok := b.hash[key]; ok {
+		return id
+	}
+	id := b.add(key)
+	b.hash[key] = id
+	return id
+}
+
+// And returns x∧y.
+func (b *Builder) And(x, y int) int { return b.gate(And, x, y) }
+
+// Or returns x∨y.
+func (b *Builder) Or(x, y int) int { return b.gate(Or, x, y) }
+
+// Nand returns ¬(x∧y).
+func (b *Builder) Nand(x, y int) int { return b.gate(Nand, x, y) }
+
+// Nor returns ¬(x∨y).
+func (b *Builder) Nor(x, y int) int { return b.gate(Nor, x, y) }
+
+// Xor returns x⊕y.
+func (b *Builder) Xor(x, y int) int { return b.gate(Xor, x, y) }
+
+// Xnor returns ¬(x⊕y).
+func (b *Builder) Xnor(x, y int) int { return b.gate(Xnor, x, y) }
+
+// Mux returns s ? a : b (a when s is true).
+func (b *Builder) Mux(s, a, bb int) int {
+	return b.Or(b.And(s, a), b.And(b.Not(s), bb))
+}
+
+// Output declares a primary output driven by node id.
+func (b *Builder) Output(id int) {
+	b.checkID(id)
+	b.outputs = append(b.outputs, id)
+}
+
+// OutputBus declares a bus of outputs (bit 0 first).
+func (b *Builder) OutputBus(ids []int) {
+	for _, id := range ids {
+		b.Output(id)
+	}
+}
+
+func (b *Builder) checkID(id int) {
+	if id < 0 || id >= len(b.gates) {
+		panic(fmt.Sprintf("netlist: node id %d out of range", id))
+	}
+}
+
+// Build finalizes the netlist. Outputs that are driven directly by a
+// primary input or shared with another output get a Buf gate inserted so
+// every output has a distinct driver gate — which the SIMPLER mapper
+// needs, because each output must occupy its own writable cell.
+func (b *Builder) Build() *Netlist {
+	seen := make(map[int]bool)
+	for i, id := range b.outputs {
+		needsBuf := b.gates[id].Op == Input || b.gates[id].Op == Const0 ||
+			b.gates[id].Op == Const1 || seen[id]
+		if needsBuf {
+			nid := b.add(Gate{Op: Buf, A: id})
+			b.outputs[i] = nid
+			id = nid
+		}
+		seen[id] = true
+	}
+	return &Netlist{gates: b.gates, inputs: b.inputs, outputs: b.outputs, name: b.name}
+}

@@ -1,0 +1,95 @@
+package netlist
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Stats summarizes a netlist for reports and sanity checks.
+type Stats struct {
+	Inputs, Outputs int
+	Gates           int
+	Depth           int
+	ByOp            map[Op]int
+	MaxFanout       int
+}
+
+// Stats computes summary statistics in one sweep.
+func (n *Netlist) Stats() Stats {
+	s := Stats{
+		Inputs:  n.NumInputs(),
+		Outputs: n.NumOutputs(),
+		Gates:   n.GateCount(),
+		ByOp:    make(map[Op]int),
+	}
+	_, s.Depth = n.Levels()
+	for _, g := range n.gates {
+		s.ByOp[g.Op]++
+	}
+	for _, f := range n.Fanout() {
+		if f > s.MaxFanout {
+			s.MaxFanout = f
+		}
+	}
+	return s
+}
+
+// String renders the stats compactly, ops in a stable order.
+func (s Stats) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "in=%d out=%d gates=%d depth=%d maxFanout=%d [",
+		s.Inputs, s.Outputs, s.Gates, s.Depth, s.MaxFanout)
+	ops := make([]int, 0, len(s.ByOp))
+	for op := range s.ByOp {
+		ops = append(ops, int(op))
+	}
+	sort.Ints(ops)
+	first := true
+	for _, op := range ops {
+		if Op(op) == Input || Op(op) == Const0 || Op(op) == Const1 {
+			continue
+		}
+		if !first {
+			sb.WriteByte(' ')
+		}
+		first = false
+		fmt.Fprintf(&sb, "%v:%d", Op(op), s.ByOp[Op(op)])
+	}
+	sb.WriteByte(']')
+	return sb.String()
+}
+
+// DOT renders the netlist in Graphviz format for inspection. Inputs are
+// boxes, outputs double circles, gates labeled by op. Intended for the
+// small control circuits; large netlists render but are unreadable.
+func (n *Netlist) DOT() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "digraph %q {\n  rankdir=LR;\n", n.name)
+	outSet := make(map[int]int)
+	for i, id := range n.outputs {
+		outSet[id] = i
+	}
+	inIdx := 0
+	for id, g := range n.gates {
+		switch g.Op {
+		case Input:
+			fmt.Fprintf(&sb, "  n%d [shape=box,label=\"in%d\"];\n", id, inIdx)
+			inIdx++
+		case Const0, Const1:
+			fmt.Fprintf(&sb, "  n%d [shape=box,label=%q];\n", id, g.Op.String())
+		default:
+			shape := "ellipse"
+			if _, ok := outSet[id]; ok {
+				shape = "doublecircle"
+			}
+			fmt.Fprintf(&sb, "  n%d [shape=%s,label=%q];\n", id, shape, g.Op.String())
+			fmt.Fprintf(&sb, "  n%d -> n%d;\n", g.A, id)
+			if g.Op.arity() == 2 {
+				fmt.Fprintf(&sb, "  n%d -> n%d;\n", g.B, id)
+			}
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}

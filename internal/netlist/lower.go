@@ -1,0 +1,78 @@
+package netlist
+
+import "fmt"
+
+// LowerToNOR rewrites the netlist into the MAGIC-native {NOR2, NOT}
+// basis, with structural hashing and double-negation folding applied
+// during the rewrite. The standard decompositions are used:
+//
+//	AND(a,b)  = NOR(¬a, ¬b)
+//	OR(a,b)   = ¬NOR(a,b)
+//	NAND(a,b) = ¬NOR(¬a, ¬b)
+//	XNOR(a,b) = NOR(NOR(a,t), NOR(b,t)),  t = NOR(a,b)   (4 gates)
+//	XOR(a,b)  = ¬XNOR(a,b)                               (5 gates)
+//
+// Buf gates (inserted so each primary output has its own cell) become a
+// raw double-NOT copy, since MAGIC has no buffer gate.
+func (n *Netlist) LowerToNOR() *Netlist {
+	lb := &lowerer{b: NewBuilder(n.name + "-nor")}
+	mapped := make([]int, len(n.gates))
+	for id, g := range n.gates {
+		switch g.Op {
+		case Input:
+			mapped[id] = lb.b.Input()
+		case Const0:
+			mapped[id] = lb.b.Const(false)
+		case Const1:
+			mapped[id] = lb.b.Const(true)
+		case Not:
+			mapped[id] = lb.not(mapped[g.A])
+		case Buf:
+			// Copy through two raw NOTs; no folding, so the output keeps
+			// a distinct driver gate.
+			mapped[id] = lb.rawNot(lb.not(mapped[g.A]))
+		case And:
+			mapped[id] = lb.nor(lb.not(mapped[g.A]), lb.not(mapped[g.B]))
+		case Or:
+			mapped[id] = lb.not(lb.nor(mapped[g.A], mapped[g.B]))
+		case Nand:
+			mapped[id] = lb.not(lb.nor(lb.not(mapped[g.A]), lb.not(mapped[g.B])))
+		case Nor:
+			mapped[id] = lb.nor(mapped[g.A], mapped[g.B])
+		case Xor:
+			mapped[id] = lb.not(lb.xnor(mapped[g.A], mapped[g.B]))
+		case Xnor:
+			mapped[id] = lb.xnor(mapped[g.A], mapped[g.B])
+		default:
+			panic(fmt.Sprintf("netlist: cannot lower op %v", g.Op))
+		}
+	}
+	// Re-declare outputs; ensure each has a distinct non-source driver.
+	seen := make(map[int]bool)
+	for _, id := range n.outputs {
+		m := mapped[id]
+		g := lb.b.gates[m]
+		if g.Op == Input || g.Op == Const0 || g.Op == Const1 || seen[m] {
+			m = lb.rawNot(lb.not(m))
+		}
+		seen[m] = true
+		lb.b.outputs = append(lb.b.outputs, m)
+	}
+	return &Netlist{gates: lb.b.gates, inputs: lb.b.inputs, outputs: lb.b.outputs, name: lb.b.name}
+}
+
+// lowerer wraps a Builder restricted to the NOR basis.
+type lowerer struct{ b *Builder }
+
+func (l *lowerer) nor(x, y int) int { return l.b.gate(Nor, x, y) }
+func (l *lowerer) not(x int) int    { return l.b.Not(x) }
+
+// rawNot appends a NOT gate without hashing or double-negation folding.
+func (l *lowerer) rawNot(x int) int {
+	return l.b.add(Gate{Op: Not, A: x})
+}
+
+func (l *lowerer) xnor(x, y int) int {
+	t := l.nor(x, y)
+	return l.nor(l.nor(x, t), l.nor(y, t))
+}

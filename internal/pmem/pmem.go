@@ -1,0 +1,173 @@
+// Package pmem assembles protected crossbars (internal/machine) into a
+// byte-addressable memory following the mMPU organization
+// (internal/mmpu): banks of n×n crossbars, each with its own CMEM. It is
+// the level at which the paper's Fig 6 experiment is *performed* rather
+// than modeled: data lives across many crossbars, soft errors arrive per
+// the SER, periodic scrubs run, and the memory either survives (all
+// errors corrected) or reports uncorrectable damage.
+package pmem
+
+import (
+	"fmt"
+
+	"repro/internal/faults"
+	"repro/internal/machine"
+	"repro/internal/mmpu"
+)
+
+// Config sizes a protected memory.
+type Config struct {
+	Org        mmpu.Organization
+	M          int // ECC block side
+	K          int // processing crossbars per crossbar array
+	ECCEnabled bool
+}
+
+// Memory is a bank-organized set of protected crossbars.
+type Memory struct {
+	cfg Config
+	xbs []*machine.Machine // flattened [bank*PerBank + crossbar]
+}
+
+// New builds the memory. All crossbars start zeroed with consistent ECC.
+func New(cfg Config) (*Memory, error) {
+	if err := cfg.Org.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.ECCEnabled && cfg.Org.CrossbarN%cfg.M != 0 {
+		return nil, fmt.Errorf("pmem: block side %d does not divide crossbar side %d", cfg.M, cfg.Org.CrossbarN)
+	}
+	m := &Memory{cfg: cfg, xbs: make([]*machine.Machine, cfg.Org.Crossbars())}
+	for i := range m.xbs {
+		m.xbs[i] = machine.New(machine.Config{
+			N: cfg.Org.CrossbarN, M: cfg.M, K: cfg.K, ECCEnabled: cfg.ECCEnabled,
+		})
+	}
+	return m, nil
+}
+
+// Config returns the memory configuration.
+func (m *Memory) Config() Config { return m.cfg }
+
+// Crossbar returns the machine holding the given flat crossbar index.
+func (m *Memory) Crossbar(i int) *machine.Machine { return m.xbs[i] }
+
+// locate maps a flat bit address to (crossbar, row, col).
+func (m *Memory) locate(bit int64) (xb *machine.Machine, row, col int, err error) {
+	a, err := m.cfg.Org.Locate(bit)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	return m.xbs[a.Bank*m.cfg.Org.PerBank+a.Crossbar], a.Row, a.Col, nil
+}
+
+// WriteBit stores one bit, keeping the owning crossbar's check bits
+// current (the write path computes ECC, as in conventional memories).
+func (m *Memory) WriteBit(bit int64, v bool) error {
+	xb, row, col, err := m.locate(bit)
+	if err != nil {
+		return err
+	}
+	rowVec := xb.MEM().Mat().Row(row).Clone()
+	rowVec.Set(col, v)
+	xb.LoadRow(row, rowVec)
+	return nil
+}
+
+// ReadBit returns one stored bit (no correction on the read path; the
+// scrub and pre-compute checks handle errors, per the paper's model).
+func (m *Memory) ReadBit(bit int64) (bool, error) {
+	xb, row, col, err := m.locate(bit)
+	if err != nil {
+		return false, err
+	}
+	return xb.MEM().Get(row, col), nil
+}
+
+// WriteWord stores up to 64 bits starting at a bit address.
+func (m *Memory) WriteWord(bit int64, w uint64, width int) error {
+	for i := 0; i < width; i++ {
+		if err := m.WriteBit(bit+int64(i), w&(1<<uint(i)) != 0); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadWord reads up to 64 bits starting at a bit address.
+func (m *Memory) ReadWord(bit int64, width int) (uint64, error) {
+	var w uint64
+	for i := 0; i < width; i++ {
+		b, err := m.ReadBit(bit + int64(i))
+		if err != nil {
+			return 0, err
+		}
+		if b {
+			w |= 1 << uint(i)
+		}
+	}
+	return w, nil
+}
+
+// LoadPattern fills the memory's first `bits` positions from a seeded
+// generator (for campaign setup) and returns a verifier closure.
+func (m *Memory) LoadPattern(bits int64, seed int64) (verify func() (bad int64), err error) {
+	// A cheap deterministic pattern: bit i = mixed hash of (i, seed).
+	val := func(i int64) bool {
+		x := uint64(i)*2654435761 + uint64(seed)
+		x ^= x >> 33
+		return x&1 != 0
+	}
+	for i := int64(0); i < bits; i++ {
+		if err := m.WriteBit(i, val(i)); err != nil {
+			return nil, err
+		}
+	}
+	return func() (bad int64) {
+		for i := int64(0); i < bits; i++ {
+			got, err := m.ReadBit(i)
+			if err != nil || got != val(i) {
+				bad++
+			}
+		}
+		return bad
+	}, nil
+}
+
+// ScrubAll runs the periodic full-memory check over every crossbar.
+func (m *Memory) ScrubAll() (corrected, uncorrectable int) {
+	for _, xb := range m.xbs {
+		c, u := xb.Scrub()
+		corrected += c
+		uncorrectable += u
+	}
+	return corrected, uncorrectable
+}
+
+// CampaignResult summarizes one error-injection window.
+type CampaignResult struct {
+	Injected      int
+	Corrected     int
+	Uncorrectable int
+	DataIntact    bool
+}
+
+// RunWindow models one checking period: soft errors are injected across
+// the whole memory at the given SER for `hours` of exposure, then the
+// periodic scrub runs. verify (from LoadPattern) is used to confirm data
+// integrity afterwards.
+func (m *Memory) RunWindow(ser, hours float64, seed int64, verify func() int64) CampaignResult {
+	inj := faults.NewInjector(ser, seed)
+	injected := 0
+	for _, xb := range m.xbs {
+		injected += len(inj.Inject(xb.MEM(), hours))
+	}
+	corrected, unc := m.ScrubAll()
+	res := CampaignResult{
+		Injected: injected, Corrected: corrected, Uncorrectable: unc,
+	}
+	if verify != nil {
+		res.DataIntact = verify() == 0
+	}
+	return res
+}

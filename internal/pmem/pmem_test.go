@@ -1,0 +1,179 @@
+package pmem
+
+import (
+	"testing"
+
+	"repro/internal/mmpu"
+)
+
+// smallCfg is a 4-crossbar memory of 45×45 arrays (2×2 banks).
+func smallCfg(ecc bool) Config {
+	return Config{
+		Org:        mmpu.Organization{CrossbarN: 45, Banks: 2, PerBank: 2},
+		M:          15,
+		K:          2,
+		ECCEnabled: ecc,
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	m, err := New(smallCfg(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := []int64{0, 1, 44, 45, 1000, 45*45 - 1, 45 * 45, 3*45*45 + 17}
+	for i, a := range addrs {
+		if err := m.WriteBit(a, i%2 == 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, a := range addrs {
+		got, err := m.ReadBit(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != (i%2 == 0) {
+			t.Fatalf("bit %d round trip failed", a)
+		}
+	}
+}
+
+func TestWordRoundTrip(t *testing.T) {
+	m, err := New(smallCfg(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Straddles a crossbar boundary (45*45 = 2025).
+	if err := m.WriteWord(2000, 0xDEADBEEF, 48); err != nil {
+		t.Fatal(err)
+	}
+	w, err := m.ReadWord(2000, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != 0xDEADBEEF {
+		t.Fatalf("word = %#x", w)
+	}
+}
+
+func TestOutOfRangeAddress(t *testing.T) {
+	m, err := New(smallCfg(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WriteBit(m.Config().Org.DataBits(), true); err == nil {
+		t.Fatal("out-of-range write accepted")
+	}
+	if _, err := m.ReadBit(-1); err == nil {
+		t.Fatal("negative read accepted")
+	}
+}
+
+func TestCampaignWindowSurvivesSparseErrors(t *testing.T) {
+	// One checking window at an SER low enough that blocks see ≤1 error:
+	// all errors corrected, data intact — the per-window success event of
+	// the Fig 6 model, executed for real.
+	m, err := New(smallCfg(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const bits = 4 * 45 * 45
+	verify, err := m.LoadPattern(bits, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ser·hours/1e9 ≈ 5e-4 per bit → ~4 errors over 8100 bits, spread
+	// across the 36 blocks (seeded deterministically so no two errors
+	// share a block).
+	res := m.RunWindow(5e2, 1e3, 42, verify)
+	if res.Injected == 0 {
+		t.Fatal("campaign injected nothing — not meaningful")
+	}
+	if !res.DataIntact {
+		t.Fatalf("data corrupted despite sparse errors: %+v", res)
+	}
+	if res.Uncorrectable != 0 {
+		t.Fatalf("unexpected uncorrectable blocks: %+v", res)
+	}
+	if res.Corrected < res.Injected-1 { // two hits may cancel on one cell
+		t.Fatalf("corrected %d of %d injected", res.Corrected, res.Injected)
+	}
+}
+
+func TestCampaignWindowBaselineCorrupts(t *testing.T) {
+	m, err := New(smallCfg(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const bits = 4 * 45 * 45
+	verify, err := m.LoadPattern(bits, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := m.RunWindow(1e3, 1e3, 42, verify)
+	if res.Injected == 0 {
+		t.Fatal("nothing injected")
+	}
+	if res.DataIntact {
+		t.Fatal("baseline memory survived — injection broken?")
+	}
+	if res.Corrected != 0 {
+		t.Fatal("baseline corrected something without ECC")
+	}
+}
+
+func TestDenseErrorsFlaggedUncorrectable(t *testing.T) {
+	// Crank the rate until blocks collect multiple errors: the protected
+	// memory must flag uncorrectable damage rather than pretend success.
+	m, err := New(smallCfg(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	verify, err := m.LoadPattern(4*45*45, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ~5% of bits flip: nearly every block has ≥2 errors.
+	res := m.RunWindow(5e7, 1e3, 9, verify)
+	if res.Uncorrectable == 0 {
+		t.Fatalf("dense damage not flagged: %+v", res)
+	}
+	if res.DataIntact {
+		t.Fatal("dense damage cannot leave data intact")
+	}
+}
+
+func TestRepeatedWindowsStayConsistent(t *testing.T) {
+	m, err := New(smallCfg(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	verify, err := m.LoadPattern(4*45*45, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w := 0; w < 5; w++ {
+		res := m.RunWindow(5e2, 1e3, int64(100+w), verify)
+		if !res.DataIntact || res.Uncorrectable != 0 {
+			t.Fatalf("window %d: %+v", w, res)
+		}
+		for i := 0; i < m.Config().Org.Crossbars(); i++ {
+			if !m.Crossbar(i).CheckConsistent() {
+				t.Fatalf("window %d: crossbar %d inconsistent", w, i)
+			}
+		}
+	}
+}
+
+func TestNewRejectsBadConfig(t *testing.T) {
+	bad := smallCfg(true)
+	bad.M = 14
+	if _, err := New(bad); err == nil {
+		t.Fatal("even block size accepted")
+	}
+	bad = smallCfg(true)
+	bad.Org.CrossbarN = 0
+	if _, err := New(bad); err == nil {
+		t.Fatal("zero crossbar accepted")
+	}
+}

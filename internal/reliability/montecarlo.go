@@ -1,0 +1,136 @@
+package reliability
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/bitmat"
+	"repro/internal/ecc"
+)
+
+// Monte Carlo cross-validation of the analytic model: place binomial
+// errors on a small crossbar geometry with an exaggerated per-bit error
+// probability and measure how often a block exceeds the single-error
+// budget. The analytic and empirical block-failure probabilities must
+// agree within sampling error — this validates the closed form the Fig 6
+// curves are built from.
+
+// MCResult summarizes a Monte Carlo block-failure experiment.
+type MCResult struct {
+	Trials        int
+	Failures      int     // trials where ≥1 block had ≥2 errors
+	Empirical     float64 // failure fraction
+	Analytic      float64 // model prediction for the same geometry/p
+	StandardError float64 // binomial standard error of Empirical
+}
+
+// MonteCarloCrossbarFailure estimates the probability that an n×n
+// crossbar (geometry p, including check bits when countCheck) accumulates
+// an uncorrectable pattern in one window, with per-bit error probability
+// pBit, over `trials` trials seeded deterministically.
+func MonteCarloCrossbarFailure(geom ecc.Params, pBit float64, countCheck bool, trials int, seed int64) MCResult {
+	rng := rand.New(rand.NewSource(seed))
+	blockBits := geom.DataBitsPerBlock()
+	if countCheck {
+		blockBits += geom.CheckBitsPerBlock()
+	}
+	nBlocks := geom.NumBlocks()
+
+	failures := 0
+	for t := 0; t < trials; t++ {
+		failed := false
+		for b := 0; b < nBlocks && !failed; b++ {
+			errs := 0
+			for i := 0; i < blockBits; i++ {
+				if rng.Float64() < pBit {
+					errs++
+					if errs >= 2 {
+						failed = true
+						break
+					}
+				}
+			}
+		}
+		if failed {
+			failures++
+		}
+	}
+
+	// Analytic prediction for the same setup.
+	b := float64(blockBits)
+	logSBlock := (b-1)*math.Log1p(-pBit) + math.Log1p((b-1)*pBit)
+	analytic := -math.Expm1(float64(nBlocks) * logSBlock)
+
+	emp := float64(failures) / float64(trials)
+	return MCResult{
+		Trials:        trials,
+		Failures:      failures,
+		Empirical:     emp,
+		Analytic:      analytic,
+		StandardError: math.Sqrt(emp * (1 - emp) / float64(trials)),
+	}
+}
+
+// MonteCarloCorrectionRoundTrip goes one level deeper than counting: it
+// actually injects k errors into a simulated block's data+check bits and
+// runs the real decoder, returning the fraction of trials where the block
+// state was fully restored. For k=1 this must be 1.0 (single-error
+// correction is exact); for k=2 it must be 0 restored but also 0 silently
+// missed — every double error is flagged.
+type RoundTripResult struct {
+	Trials        int
+	Restored      int
+	Flagged       int // trials ending in an Uncorrectable diagnosis
+	SilentlyWrong int // trials where state is wrong but no flag was raised
+}
+
+// MonteCarloCorrectionRoundTrip injects exactly k errors per trial into a
+// single m×m block (uniformly across data and check bits) and exercises
+// the decoder.
+func MonteCarloCorrectionRoundTrip(m int, k int, trials int, seed int64) RoundTripResult {
+	rng := rand.New(rand.NewSource(seed))
+	geom := ecc.Params{N: m, M: m}
+	res := RoundTripResult{Trials: trials}
+
+	for t := 0; t < trials; t++ {
+		mem := randomBits(rng, geom.N)
+		cb := ecc.Build(geom, mem)
+		wantMem := mem.Clone()
+		wantCB := cb.Clone()
+
+		// Choose k distinct positions among m²+2m bits.
+		total := geom.DataBitsPerBlock() + geom.CheckBitsPerBlock()
+		chosen := map[int]bool{}
+		for len(chosen) < k {
+			chosen[rng.Intn(total)] = true
+		}
+		for pos := range chosen {
+			switch {
+			case pos < geom.DataBitsPerBlock():
+				mem.Flip(pos/m, pos%m)
+			case pos < geom.DataBitsPerBlock()+m:
+				cb.FlipLead(pos-geom.DataBitsPerBlock(), 0, 0)
+			default:
+				cb.FlipCounter(pos-geom.DataBitsPerBlock()-m, 0, 0)
+			}
+		}
+
+		d := cb.CorrectBlock(mem, 0, 0)
+		restored := mem.Equal(wantMem) && cb.Equal(wantCB)
+		switch {
+		case restored:
+			res.Restored++
+		case d.Kind == ecc.Uncorrectable:
+			res.Flagged++
+		default:
+			res.SilentlyWrong++
+		}
+	}
+	return res
+}
+
+func randomBits(rng *rand.Rand, n int) *bitmat.Mat {
+	m := bitmat.NewMat(n, n)
+	m.Randomize(rng)
+	return m
+}

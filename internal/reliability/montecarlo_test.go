@@ -1,0 +1,79 @@
+package reliability
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/ecc"
+)
+
+func TestMonteCarloMatchesAnalytic(t *testing.T) {
+	// Small geometry (45×45, nine 15×15 blocks), inflated per-bit error
+	// probability so failures are common enough to measure.
+	geom := ecc.Params{N: 45, M: 15}
+	pBit := 2e-3
+	res := MonteCarloCrossbarFailure(geom, pBit, true, 4000, 1)
+	diff := math.Abs(res.Empirical - res.Analytic)
+	tol := 4*res.StandardError + 1e-4
+	if diff > tol {
+		t.Fatalf("Monte Carlo %.5f vs analytic %.5f (diff %.5f > tol %.5f)",
+			res.Empirical, res.Analytic, diff, tol)
+	}
+	if res.Failures == 0 {
+		t.Fatal("experiment produced no failures — not a meaningful validation")
+	}
+}
+
+func TestMonteCarloLowProbabilityRegime(t *testing.T) {
+	geom := ecc.Params{N: 15, M: 15}
+	res := MonteCarloCrossbarFailure(geom, 1e-4, true, 20000, 2)
+	// Analytic ≈ C(255,2)·p² ≈ 3.2e-4; empirical must be within noise.
+	if math.Abs(res.Empirical-res.Analytic) > 5*res.StandardError+5e-4 {
+		t.Fatalf("empirical %.6f vs analytic %.6f", res.Empirical, res.Analytic)
+	}
+}
+
+func TestRoundTripSingleErrorAlwaysRestored(t *testing.T) {
+	res := MonteCarloCorrectionRoundTrip(15, 1, 500, 3)
+	if res.Restored != res.Trials {
+		t.Fatalf("single-error round trip restored %d/%d", res.Restored, res.Trials)
+	}
+	if res.SilentlyWrong != 0 {
+		t.Fatalf("%d silent corruptions with one error", res.SilentlyWrong)
+	}
+}
+
+func TestRoundTripDoubleErrorNeverRestoredMostlyFlagged(t *testing.T) {
+	// Two errors are never correctable, so Restored must be 0. Most double
+	// errors are flagged Uncorrectable; a small fraction alias to a
+	// correctable signature (e.g. a data error plus a check-bit error on
+	// one of its own diagonals, or a leading+counter check-bit pair that
+	// mimics a data error at their intersection) and are miscorrected —
+	// exactly why the reliability model counts every ≥2-error block as a
+	// failure rather than assuming detection.
+	res := MonteCarloCorrectionRoundTrip(15, 2, 1000, 4)
+	if res.Restored != 0 {
+		t.Fatalf("impossible: %d double-error trials restored", res.Restored)
+	}
+	if res.Flagged < res.Trials*85/100 {
+		t.Fatalf("only %d/%d double errors flagged", res.Flagged, res.Trials)
+	}
+	// Aliasing exists but must stay rare (< 10% for m=15).
+	if res.SilentlyWrong > res.Trials/10 {
+		t.Fatalf("%d/%d silent miscorrections — far above the aliasing rate",
+			res.SilentlyWrong, res.Trials)
+	}
+}
+
+func TestRoundTripTripleErrorsMostlyFlagged(t *testing.T) {
+	// With ≥3 errors, parity can alias: some triples mimic a single error
+	// and get miscorrected (documented limitation of single-error codes).
+	// The decoder must still flag the majority and never claim "restored".
+	res := MonteCarloCorrectionRoundTrip(15, 3, 500, 5)
+	if res.Restored != 0 {
+		t.Fatalf("%d triple-error trials claimed restored", res.Restored)
+	}
+	if res.Flagged == 0 {
+		t.Fatal("no triple errors flagged at all")
+	}
+}

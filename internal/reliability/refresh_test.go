@@ -1,0 +1,115 @@
+package reliability
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMechanismOrdering(t *testing.T) {
+	// For drift-dominated errors the paper's qualitative story must hold:
+	// none < refresh-only < ecc-only < ecc+refresh.
+	r := DefaultRefreshModel()
+	ser := 1e-3
+	none := r.MTTF(NoProtection, ser)
+	refresh := r.MTTF(RefreshOnly, ser)
+	eccOnly := r.MTTF(ECCOnly, ser)
+	both := r.MTTF(ECCPlusRefresh, ser)
+	if !(none < refresh && refresh < eccOnly && eccOnly < both) {
+		t.Fatalf("ordering violated: none=%.3g refresh=%.3g ecc=%.3g both=%.3g",
+			none, refresh, eccOnly, both)
+	}
+}
+
+func TestRefreshCannotFixAbruptErrors(t *testing.T) {
+	// With purely abrupt errors, refresh buys nothing (the paper's point:
+	// "refresh also does not address abrupt soft errors").
+	r := DefaultRefreshModel()
+	r.DriftFraction = 0
+	ser := 1e-3
+	if r.MTTF(RefreshOnly, ser) != r.MTTF(NoProtection, ser) {
+		t.Fatal("refresh improved MTTF with zero drift fraction")
+	}
+	// ECC still helps by many orders of magnitude.
+	if r.MTTF(ECCOnly, ser)/r.MTTF(NoProtection, ser) < 1e8 {
+		t.Fatal("ECC lost its advantage under abrupt errors")
+	}
+}
+
+func TestFasterRefreshMonotone(t *testing.T) {
+	r := DefaultRefreshModel()
+	prev := 0.0
+	for _, tr := range []float64{100, 10, 1, 0.1} {
+		r.RefreshPeriod = tr
+		mttf := r.MTTF(RefreshOnly, 1e-3)
+		if mttf <= prev {
+			t.Fatalf("MTTF not improving as refresh period shrinks (Tr=%g)", tr)
+		}
+		prev = mttf
+	}
+}
+
+func TestPerfectRefreshLeavesAbruptFloor(t *testing.T) {
+	// Even an infinitely fast refresh only removes drift errors; the MTTF
+	// saturates at the abrupt-only level.
+	r := DefaultRefreshModel()
+	r.RefreshPeriod = 0 // ideal
+	ser := 1e-3
+	abruptOnly := r.Base.BaselineMTTF(ser * (1 - r.DriftFraction))
+	got := r.MTTF(RefreshOnly, ser)
+	if math.Abs(got-abruptOnly)/abruptOnly > 1e-9 {
+		t.Fatalf("ideal refresh MTTF %.6g, want abrupt-only %.6g", got, abruptOnly)
+	}
+}
+
+func TestConjunctionBeatsBothIndividually(t *testing.T) {
+	// The paper's composition claim, quantified across the Fig 6 range.
+	r := DefaultRefreshModel()
+	for _, p := range r.Compare(1e-5, 1e3, 9) {
+		both := p.MTTF[ECCPlusRefresh]
+		if both < p.MTTF[ECCOnly] || both < p.MTTF[RefreshOnly] {
+			t.Fatalf("at SER %g, conjunction is not best: %+v", p.SER, p.MTTF)
+		}
+	}
+}
+
+func TestEffectiveSERBounds(t *testing.T) {
+	r := DefaultRefreshModel()
+	ser := 2e-2
+	eff := r.EffectiveSER(ser)
+	if eff <= 0 || eff > ser {
+		t.Fatalf("effective SER %g outside (0, %g]", eff, ser)
+	}
+	// With no drift at all, refresh must not change the SER.
+	r.DriftFraction = 0
+	if r.EffectiveSER(ser) != ser {
+		t.Fatal("effective SER changed with no drift")
+	}
+}
+
+func TestMechanismString(t *testing.T) {
+	want := map[Mechanism]string{
+		NoProtection: "none", RefreshOnly: "refresh-only",
+		ECCOnly: "ecc-only", ECCPlusRefresh: "ecc+refresh",
+		Mechanism(9): "unknown",
+	}
+	for m, s := range want {
+		if m.String() != s {
+			t.Errorf("Mechanism(%d) = %q, want %q", int(m), m.String(), s)
+		}
+	}
+}
+
+func TestCompareGrid(t *testing.T) {
+	r := DefaultRefreshModel()
+	pts := r.Compare(1e-4, 1e-2, 5)
+	if len(pts) != 5 {
+		t.Fatalf("%d points", len(pts))
+	}
+	for _, p := range pts {
+		for m := NoProtection; m <= ECCPlusRefresh; m++ {
+			if p.MTTF[m] <= 0 || math.IsNaN(p.MTTF[m]) {
+				t.Fatalf("bad MTTF for %v at %g", m, p.SER)
+			}
+		}
+	}
+}

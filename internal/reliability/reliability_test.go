@@ -1,0 +1,220 @@
+package reliability
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/ecc"
+	"repro/internal/mmpu"
+)
+
+func TestPaperModelGeometry(t *testing.T) {
+	m := PaperModel()
+	if m.Geometry.N != 1020 || m.Geometry.M != 15 || m.CheckPeriodH != 24 {
+		t.Fatalf("PaperModel = %+v", m)
+	}
+	if m.blockBits() != 225 { // 15² data bits (paper's binomial population)
+		t.Fatalf("blockBits = %d, want 225", m.blockBits())
+	}
+	withCheck := m
+	withCheck.CountCheck = true
+	if withCheck.blockBits() != 255 { // 15² + 2·15 in the ablation
+		t.Fatalf("blockBits with check = %d, want 255", withCheck.blockBits())
+	}
+	// 1GB needs ceil(2³³/1020²) = 8257 crossbars.
+	if got := m.Org.Crossbars(); got < 8257 || got > 8272 {
+		t.Fatalf("crossbars = %d, want ≈8257 (bank rounding allowed)", got)
+	}
+}
+
+func TestHeadlineImprovementAtFlashSER(t *testing.T) {
+	// The paper's headline: at SER = 10⁻³ FIT/bit (Flash-like), the MTTF
+	// improvement exceeds 3·10⁸ — "over eight orders of magnitude".
+	m := PaperModel()
+	imp := m.Improvement(1e-3)
+	if imp < 3e8 {
+		t.Fatalf("improvement at 1e-3 FIT/bit = %.3g, want > 3e8 (paper's claim)", imp)
+	}
+	if imp > 1e10 {
+		t.Fatalf("improvement = %.3g is implausibly high — model broken?", imp)
+	}
+}
+
+func TestBaselineMTTFMagnitudeAtFlashSER(t *testing.T) {
+	// Fig 6 shows the baseline near 10² hours at SER 10⁻³: 1GB ≈ 8.6e9
+	// bits × 1e-3 FIT/bit ≈ 8.6e6 FIT → MTTF ≈ 116 h.
+	m := PaperModel()
+	mttf := m.BaselineMTTF(1e-3)
+	if mttf < 50 || mttf > 300 {
+		t.Fatalf("baseline MTTF = %.1f h, want ≈116 h", mttf)
+	}
+}
+
+func TestProposedMTTFMagnitudeAtFlashSER(t *testing.T) {
+	// Proposed design at 10⁻³: ≈3·10¹⁰ hours (Fig 6's ~10¹⁰·⁵ point).
+	m := PaperModel()
+	mttf := m.ProposedMTTF(1e-3)
+	if mttf < 1e10 || mttf > 1e11 {
+		t.Fatalf("proposed MTTF = %.3g h, want ~3e10 h", mttf)
+	}
+}
+
+func TestMTTFMonotoneDecreasingInSER(t *testing.T) {
+	m := PaperModel()
+	prevB, prevP := math.Inf(1), math.Inf(1)
+	for _, ser := range []float64{1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1, 10, 100, 1000} {
+		b, p := m.BaselineMTTF(ser), m.ProposedMTTF(ser)
+		if b >= prevB || p >= prevP {
+			t.Fatalf("MTTF not strictly decreasing at SER %g", ser)
+		}
+		if p <= b {
+			t.Fatalf("proposed MTTF %.3g ≤ baseline %.3g at SER %g", p, b, ser)
+		}
+		prevB, prevP = b, p
+	}
+}
+
+func TestProposedSlopeIsDoubleErrorDominated(t *testing.T) {
+	// On the log-log plot the proposed curve falls with slope ≈ −2 in the
+	// low-SER regime (failures need two errors per block), while the
+	// baseline falls with slope ≈ −1. This is the visual signature of
+	// Fig 6; verify both slopes numerically.
+	m := PaperModel()
+	slope := func(f func(float64) float64, ser float64) float64 {
+		return (math.Log10(f(ser*10)) - math.Log10(f(ser))) // per decade
+	}
+	if s := slope(m.ProposedMTTF, 1e-4); math.Abs(s+2) > 0.05 {
+		t.Fatalf("proposed log-log slope = %.3f, want ≈ −2", s)
+	}
+	if s := slope(m.BaselineMTTF, 1e-4); math.Abs(s+1) > 0.05 {
+		t.Fatalf("baseline log-log slope = %.3f, want ≈ −1", s)
+	}
+}
+
+func TestFailureProbabilityBounds(t *testing.T) {
+	m := PaperModel()
+	for _, ser := range []float64{1e-6, 1e-3, 1, 1e3, 1e6} {
+		for _, p := range []float64{m.ProposedFailureProbability(ser), m.BaselineFailureProbability(ser)} {
+			if p < 0 || p > 1 || math.IsNaN(p) {
+				t.Fatalf("failure probability %g out of [0,1] at SER %g", p, ser)
+			}
+		}
+		if ser <= 1 && m.ProposedFailureProbability(ser) >= m.BaselineFailureProbability(ser) {
+			t.Fatalf("proposed not more reliable at SER %g", ser)
+		}
+	}
+}
+
+func TestTinySERNoUnderflow(t *testing.T) {
+	// At SER 10⁻⁵ the per-bit probability is ~2.4e-19; the failure
+	// probability of the proposed design is ~1e-25 — log-space math must
+	// keep it positive and finite.
+	m := PaperModel()
+	p := m.ProposedFailureProbability(1e-5)
+	if p <= 0 {
+		t.Fatalf("proposed failure probability underflowed: %g", p)
+	}
+	if mttf := m.ProposedMTTF(1e-5); math.IsInf(mttf, 1) || mttf < 1e14 {
+		t.Fatalf("proposed MTTF at 1e-5 = %g, want finite and > 1e14 h", mttf)
+	}
+}
+
+func TestFig6SweepShape(t *testing.T) {
+	m := PaperModel()
+	pts := m.Fig6Sweep(2)
+	if len(pts) != 17 {
+		t.Fatalf("sweep has %d points, want 17", len(pts))
+	}
+	if pts[0].SER != 1e-5 {
+		t.Fatalf("sweep starts at %g, want 1e-5", pts[0].SER)
+	}
+	if math.Abs(pts[len(pts)-1].SER-1e3)/1e3 > 1e-9 {
+		t.Fatalf("sweep ends at %g, want 1e3", pts[len(pts)-1].SER)
+	}
+	for i, pt := range pts {
+		if pt.ProposedMTTF <= pt.BaselineMTTF {
+			t.Fatalf("point %d: proposed %.3g ≤ baseline %.3g", i, pt.ProposedMTTF, pt.BaselineMTTF)
+		}
+		if pt.Improvement <= 1 {
+			t.Fatalf("point %d: improvement %.3g ≤ 1", i, pt.Improvement)
+		}
+	}
+}
+
+func TestSweepPanicsOnBadRange(t *testing.T) {
+	m := PaperModel()
+	for _, bad := range [][3]interface{}{} {
+		_ = bad
+	}
+	cases := []func(){
+		func() { m.Sweep(0, 1, 10) },
+		func() { m.Sweep(1, 1, 10) },
+		func() { m.Sweep(1e-5, 1e3, 1) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestSmallerBlocksMoreReliable(t *testing.T) {
+	// Design-space check from Section III: smaller blocks → higher
+	// reliability (at more overhead). m=5 must beat m=15 at equal SER.
+	base := PaperModel()
+	small := base
+	small.Geometry = ecc.Params{N: 1020, M: 5}
+	if small.ProposedMTTF(1e-3) <= base.ProposedMTTF(1e-3) {
+		t.Fatal("smaller blocks should improve MTTF")
+	}
+	// And the storage overhead correspondingly grows: 2/5 > 2/15.
+	if small.Geometry.Overhead() <= base.Geometry.Overhead() {
+		t.Fatal("smaller blocks should cost more overhead")
+	}
+}
+
+func TestShorterCheckPeriodMoreReliable(t *testing.T) {
+	base := PaperModel()
+	freq := base
+	freq.CheckPeriodH = 1
+	if freq.ProposedMTTF(1e-3) <= base.ProposedMTTF(1e-3) {
+		t.Fatal("more frequent checks should improve MTTF")
+	}
+}
+
+func TestMTTFFromFIT(t *testing.T) {
+	if got := MTTFFromFIT(1e9); got != 1 {
+		t.Fatalf("MTTFFromFIT(1e9) = %g, want 1 h", got)
+	}
+	if !math.IsInf(MTTFFromFIT(0), 1) {
+		t.Fatal("zero FIT should give infinite MTTF")
+	}
+}
+
+func TestCountCheckBitsMatters(t *testing.T) {
+	// Excluding check bits from the vulnerable population should slightly
+	// improve the predicted MTTF (fewer bits can fail) — and the ratio
+	// should be modest (≈(255/225)² for double-error-dominated failures).
+	without := PaperModel()
+	with := without
+	with.CountCheck = true
+	ratio := without.ProposedMTTF(1e-3) / with.ProposedMTTF(1e-3)
+	if ratio <= 1 || ratio > 2 {
+		t.Fatalf("check-bit population effect ratio = %.3f, want in (1,2]", ratio)
+	}
+}
+
+func TestGBMemoryOrganization(t *testing.T) {
+	org := mmpu.GBMemory(1020, 16)
+	if err := org.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if org.DataBits() < 1<<33 {
+		t.Fatal("1GB organization holds less than 2³³ bits")
+	}
+}

@@ -1,0 +1,181 @@
+// Package shifter models the barrel shifters that connect the MEM crossbar
+// to the Check Memory (Fig 5 of the paper). Diagonal wires are infeasible
+// in a crossbar (memristors have two terminals), so the diagonal effect is
+// emulated by rerouting: the n wordlines (or bitlines) are divided into
+// n/m groups of m lines — one group per block — and every group is rotated
+// by the operation's row/column index modulo m. After rotation, output
+// line i of each group carries the data bit lying on diagonal index i of
+// that block, which is exactly the order the check-bit crossbars need.
+//
+// The shifters are pure routing (transistor switches + a CMOS decoder for
+// the shift amount); data transfer through them behaves like an ordinary
+// in-crossbar copy, preserving MAGIC's parallelism.
+package shifter
+
+import (
+	"fmt"
+
+	"repro/internal/bitmat"
+)
+
+// Family selects which diagonal family's ordering the shifter produces.
+type Family int
+
+const (
+	// Leading selects (row+col) mod m diagonals (bottom-left to top-right).
+	Leading Family = iota
+	// Counter selects (row−col) mod m diagonals (bottom-right to top-left).
+	Counter
+)
+
+// String names the family.
+func (f Family) String() string {
+	if f == Leading {
+		return "leading"
+	}
+	return "counter"
+}
+
+// Orientation says which MEM interface the data arrived on.
+type Orientation int
+
+const (
+	// RowParallel: the MEM op executed in-row across all rows; the
+	// transferred vector is a column, indexed by global row, and the shift
+	// amount is the written column index mod m.
+	RowParallel Orientation = iota
+	// ColParallel: the MEM op executed in-column across all columns; the
+	// transferred vector is a row, indexed by global column, and the shift
+	// amount is the written row index mod m.
+	ColParallel
+)
+
+// String names the orientation.
+func (o Orientation) String() string {
+	if o == RowParallel {
+		return "row-parallel"
+	}
+	return "col-parallel"
+}
+
+// Shifter routes length-n vectors between MEM line order and CMEM diagonal
+// order for an n×n crossbar with m×m blocks.
+type Shifter struct {
+	N, M int
+}
+
+// New returns a shifter for geometry (n, m). n must be a multiple of m.
+func New(n, m int) *Shifter {
+	if m <= 0 || n <= 0 || n%m != 0 {
+		panic(fmt.Sprintf("shifter: n=%d must be a positive multiple of m=%d", n, m))
+	}
+	return &Shifter{N: n, M: m}
+}
+
+// Groups returns n/m, the number of blocks a transferred vector spans.
+func (s *Shifter) Groups() int { return s.N / s.M }
+
+// sourceOffset returns the local line offset within each group that feeds
+// diagonal-index output d, for the given family/orientation and shift
+// amount (the fixed row/column index of the MEM operation, mod m).
+//
+// Derivations (lr/lc are local row/col inside a block):
+//
+//	leading, row-parallel:  d = (lr+lc) mod m, lc fixed = shift → lr = d−shift
+//	leading, col-parallel:  d = (lr+lc) mod m, lr fixed = shift → lc = d−shift
+//	counter, row-parallel:  d = (lr−lc) mod m, lc fixed = shift → lr = d+shift
+//	counter, col-parallel:  d = (lr−lc) mod m, lr fixed = shift → lc = shift−d
+func (s *Shifter) sourceOffset(d, shift int, f Family, o Orientation) int {
+	m := s.M
+	var off int
+	switch {
+	case f == Leading:
+		off = d - shift
+	case f == Counter && o == RowParallel:
+		off = d + shift
+	default: // Counter, ColParallel
+		off = shift - d
+	}
+	return ((off % m) + m) % m
+}
+
+// Route converts a MEM-order vector (length n, indexed by global row for
+// row-parallel ops or global column for column-parallel ops) into the m
+// diagonal-order vectors d_0..d_{m−1}, each of length n/m, where
+// out[d][g] is the data bit of group (block) g lying on diagonal d.
+func (s *Shifter) Route(data *bitmat.Vec, shift int, f Family, o Orientation) []*bitmat.Vec {
+	if data.Len() != s.N {
+		panic(fmt.Sprintf("shifter: vector length %d, want %d", data.Len(), s.N))
+	}
+	shift = ((shift % s.M) + s.M) % s.M
+	out := make([]*bitmat.Vec, s.M)
+	g := s.Groups()
+	for d := 0; d < s.M; d++ {
+		v := bitmat.NewVec(g)
+		off := s.sourceOffset(d, shift, f, o)
+		for grp := 0; grp < g; grp++ {
+			v.Set(grp, data.Get(grp*s.M+off))
+		}
+		out[d] = v
+	}
+	return out
+}
+
+// Unroute is the inverse of Route: it reassembles the MEM-order vector
+// from diagonal-order vectors. Route followed by Unroute is the identity,
+// reflecting that the shifter is pure (bijective) wiring.
+func (s *Shifter) Unroute(diag []*bitmat.Vec, shift int, f Family, o Orientation) *bitmat.Vec {
+	if len(diag) != s.M {
+		panic(fmt.Sprintf("shifter: got %d diagonal vectors, want %d", len(diag), s.M))
+	}
+	shift = ((shift % s.M) + s.M) % s.M
+	out := bitmat.NewVec(s.N)
+	g := s.Groups()
+	for d := 0; d < s.M; d++ {
+		if diag[d].Len() != g {
+			panic("shifter: diagonal vector has wrong length")
+		}
+		off := s.sourceOffset(d, shift, f, o)
+		for grp := 0; grp < g; grp++ {
+			out.Set(grp*s.M+off, diag[d].Get(grp))
+		}
+	}
+	return out
+}
+
+// Permutation returns, for validation, the source line index feeding each
+// (diagonal, group) output: perm[d*groups+g] = source index in the MEM
+// vector. The mapping must always be a bijection on [0,n).
+func (s *Shifter) Permutation(shift int, f Family, o Orientation) []int {
+	shift = ((shift % s.M) + s.M) % s.M
+	g := s.Groups()
+	perm := make([]int, s.N)
+	for d := 0; d < s.M; d++ {
+		off := s.sourceOffset(d, shift, f, o)
+		for grp := 0; grp < g; grp++ {
+			perm[d*g+grp] = grp*s.M + off
+		}
+	}
+	return perm
+}
+
+// TransistorCount returns the switch-transistor budget of the crossbar's
+// shifter complement per Table II: 4·n·m — each of the n lines fans out to
+// m possible positions (an m-Shifter column of m pass transistors), and
+// there are four shifter planes: {leading, counter} × {wordline-side,
+// bitline-side}.
+func TransistorCount(n, m int) int { return 4 * n * m }
+
+// ShiftPattern renders the Fig 2(c) pattern: for an m×m block it returns
+// rows of leading-diagonal indices, showing how the diagonal label shifts
+// by one position per column. Row r, column c holds (r+c) mod m.
+func ShiftPattern(m int) [][]int {
+	out := make([][]int, m)
+	for r := range out {
+		out[r] = make([]int, m)
+		for c := range out[r] {
+			out[r][c] = (r + c) % m
+		}
+	}
+	return out
+}

@@ -1,0 +1,184 @@
+package shifter
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitmat"
+	"repro/internal/ecc"
+)
+
+func randVec(rng *rand.Rand, n int) *bitmat.Vec {
+	v := bitmat.NewVec(n)
+	for i := 0; i < n; i++ {
+		v.Set(i, rng.Intn(2) == 0)
+	}
+	return v
+}
+
+func TestRouteUnrouteIdentityProperty(t *testing.T) {
+	f := func(seed int64, shiftRaw int, fam, orient bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 3 + 2*rng.Intn(8)
+		groups := 1 + rng.Intn(6)
+		s := New(m*groups, m)
+		data := randVec(rng, s.N)
+		family := Leading
+		if fam {
+			family = Counter
+		}
+		o := RowParallel
+		if orient {
+			o = ColParallel
+		}
+		diag := s.Route(data, shiftRaw, family, o)
+		return s.Unroute(diag, shiftRaw, family, o).Equal(data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPermutationIsBijection(t *testing.T) {
+	s := New(45, 15)
+	for shift := 0; shift < 15; shift++ {
+		for _, f := range []Family{Leading, Counter} {
+			for _, o := range []Orientation{RowParallel, ColParallel} {
+				perm := s.Permutation(shift, f, o)
+				seen := make([]bool, s.N)
+				for _, src := range perm {
+					if src < 0 || src >= s.N || seen[src] {
+						t.Fatalf("shift=%d %v %v: not a bijection", shift, f, o)
+					}
+					seen[src] = true
+				}
+			}
+		}
+	}
+}
+
+// TestRouteMatchesDiagonalIndexing is the load-bearing test: the shifter
+// output for a column transfer must agree with the ecc package's diagonal
+// indexing of the cells that column passes through.
+func TestRouteMatchesDiagonalIndexing(t *testing.T) {
+	p := ecc.Params{N: 45, M: 15}
+	s := New(p.N, p.M)
+	rng := rand.New(rand.NewSource(7))
+	mem := bitmat.NewMat(p.N, p.N)
+	mem.Randomize(rng)
+
+	for _, c := range []int{0, 1, 7, 14, 15, 29, 44} {
+		col := mem.Col(c)
+		shift := c % p.M
+		lead := s.Route(col, shift, Leading, RowParallel)
+		counter := s.Route(col, shift, Counter, RowParallel)
+		for r := 0; r < p.N; r++ {
+			br, _, lr, lc := p.BlockOf(r, c)
+			want := mem.Get(r, c)
+			if got := lead[p.LeadIdx(lr, lc)].Get(br); got != want {
+				t.Fatalf("col %d row %d: leading route bit %v, want %v", c, r, got, want)
+			}
+			if got := counter[p.CounterIdx(lr, lc)].Get(br); got != want {
+				t.Fatalf("col %d row %d: counter route bit %v, want %v", c, r, got, want)
+			}
+		}
+	}
+}
+
+func TestRouteMatchesDiagonalIndexingColParallel(t *testing.T) {
+	p := ecc.Params{N: 45, M: 15}
+	s := New(p.N, p.M)
+	rng := rand.New(rand.NewSource(8))
+	mem := bitmat.NewMat(p.N, p.N)
+	mem.Randomize(rng)
+
+	for _, r := range []int{0, 3, 14, 15, 30, 44} {
+		row := mem.Row(r).Clone()
+		shift := r % p.M
+		lead := s.Route(row, shift, Leading, ColParallel)
+		counter := s.Route(row, shift, Counter, ColParallel)
+		for c := 0; c < p.N; c++ {
+			_, bc, lr, lc := p.BlockOf(r, c)
+			want := mem.Get(r, c)
+			if got := lead[p.LeadIdx(lr, lc)].Get(bc); got != want {
+				t.Fatalf("row %d col %d: leading route bit %v, want %v", r, c, got, want)
+			}
+			if got := counter[p.CounterIdx(lr, lc)].Get(bc); got != want {
+				t.Fatalf("row %d col %d: counter route bit %v, want %v", r, c, got, want)
+			}
+		}
+	}
+}
+
+func TestShiftAmountIrrelevantBeyondModM(t *testing.T) {
+	s := New(30, 15)
+	rng := rand.New(rand.NewSource(3))
+	data := randVec(rng, 30)
+	a := s.Route(data, 2, Leading, RowParallel)
+	b := s.Route(data, 17, Leading, RowParallel) // 17 mod 15 == 2
+	for d := range a {
+		if !a[d].Equal(b[d]) {
+			t.Fatal("shift not taken modulo m")
+		}
+	}
+}
+
+func TestTransistorCountPaperCaseStudy(t *testing.T) {
+	// Table II: shifters for n=1020, m=15 use 4·n·m = 61200 ≈ 6.12e4.
+	if got := TransistorCount(1020, 15); got != 61200 {
+		t.Fatalf("TransistorCount = %d, want 61200", got)
+	}
+}
+
+func TestShiftPattern(t *testing.T) {
+	// Fig 2(c): each row of the pattern is the previous rotated by one.
+	pat := ShiftPattern(5)
+	for r := 0; r < 5; r++ {
+		for c := 0; c < 5; c++ {
+			if pat[r][c] != (r+c)%5 {
+				t.Fatalf("pattern[%d][%d] = %d", r, c, pat[r][c])
+			}
+		}
+	}
+	// Row r+1 is row r shifted left by one position.
+	for r := 0; r+1 < 5; r++ {
+		for c := 0; c < 5; c++ {
+			if pat[r+1][c] != pat[r][(c+1)%5] {
+				t.Fatal("rows do not shift by column index")
+			}
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	for _, bad := range [][2]int{{10, 3}, {0, 3}, {9, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d,%d) did not panic", bad[0], bad[1])
+				}
+			}()
+			New(bad[0], bad[1])
+		}()
+	}
+}
+
+func TestRouteWrongLengthPanics(t *testing.T) {
+	s := New(30, 15)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Route with wrong vector length did not panic")
+		}
+	}()
+	s.Route(bitmat.NewVec(29), 0, Leading, RowParallel)
+}
+
+func TestFamilyOrientationStrings(t *testing.T) {
+	if Leading.String() != "leading" || Counter.String() != "counter" {
+		t.Fatal("family strings")
+	}
+	if RowParallel.String() != "row-parallel" || ColParallel.String() != "col-parallel" {
+		t.Fatal("orientation strings")
+	}
+}

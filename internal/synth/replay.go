@@ -1,0 +1,91 @@
+package synth
+
+import (
+	"fmt"
+
+	"repro/internal/netlist"
+)
+
+// Replay simulates a mapping's step sequence on an abstract row of cells
+// and returns the primary output values for the given input assignment.
+// It enforces MAGIC's initialization discipline: a gate writing a cell
+// that was not initialized since its last use is an error. Replay is the
+// reference executor used to validate mappings; the cycle-accurate
+// machine package executes the same steps on a simulated crossbar.
+func (m *Mapping) Replay(in []bool) ([]bool, error) {
+	nl := m.Netlist
+	if len(in) != nl.NumInputs() {
+		return nil, fmt.Errorf("synth: replay got %d inputs, want %d", len(in), nl.NumInputs())
+	}
+	row := make([]bool, m.RowSize)
+	inited := make([]bool, m.RowSize)
+	for i, v := range in {
+		row[i] = v
+	}
+	for si, s := range m.Steps {
+		switch s.Kind {
+		case StepInit:
+			for _, c := range s.Init {
+				row[c] = true
+				inited[c] = true
+			}
+		case StepConst:
+			row[s.Cell] = s.Value
+			inited[s.Cell] = false
+		case StepGate:
+			if !inited[s.Cell] {
+				return nil, fmt.Errorf("synth: step %d writes cell %d without initialization", si, s.Cell)
+			}
+			row[s.Cell] = !(row[s.A] || row[s.B])
+			inited[s.Cell] = false
+		}
+	}
+	out := make([]bool, nl.NumOutputs())
+	for i, id := range nl.Outputs() {
+		cell, ok := m.CellOf[id]
+		if !ok {
+			return nil, fmt.Errorf("synth: output node %d has no cell", id)
+		}
+		out[i] = row[cell]
+	}
+	return out, nil
+}
+
+// Validate replays the mapping against the netlist on the given input
+// vectors and reports the first mismatch.
+func (m *Mapping) Validate(vectors [][]bool) error {
+	for vi, in := range vectors {
+		got, err := m.Replay(in)
+		if err != nil {
+			return fmt.Errorf("vector %d: %w", vi, err)
+		}
+		want := m.Netlist.Eval(in)
+		for i := range want {
+			if got[i] != want[i] {
+				return fmt.Errorf("vector %d: output %d = %v, want %v", vi, i, got[i], want[i])
+			}
+		}
+	}
+	return nil
+}
+
+// MinRowSize binary-searches for the smallest row size in [lo, hi] that
+// the netlist maps into (fit is monotone in row size because extra cells
+// only enlarge the reuse pool). It returns hi+1 if even hi cells do not
+// suffice.
+func MinRowSize(nl *netlist.Netlist, lo, hi int) int {
+	if lo < nl.NumInputs()+1 {
+		lo = nl.NumInputs() + 1
+	}
+	ans := hi + 1
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		if _, err := Map(nl, mid); err == nil {
+			ans = mid
+			hi = mid - 1
+		} else {
+			lo = mid + 1
+		}
+	}
+	return ans
+}

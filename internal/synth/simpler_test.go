@@ -1,0 +1,285 @@
+package synth
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/netlist"
+)
+
+// adderNetlist builds a w-bit ripple-carry adder and lowers it to NOR form.
+func adderNetlist(w int) *netlist.Netlist {
+	b := netlist.NewBuilder("adder")
+	a := b.InputBus(w)
+	x := b.InputBus(w)
+	carry := b.Const(false)
+	sum := make([]int, w)
+	for i := 0; i < w; i++ {
+		axb := b.Xor(a[i], x[i])
+		sum[i] = b.Xor(axb, carry)
+		carry = b.Or(b.And(a[i], x[i]), b.And(axb, carry))
+	}
+	b.OutputBus(sum)
+	b.Output(carry)
+	return b.Build().LowerToNOR()
+}
+
+func randVectors(rng *rand.Rand, n, count int) [][]bool {
+	vs := make([][]bool, count)
+	for i := range vs {
+		v := make([]bool, n)
+		for j := range v {
+			v[j] = rng.Intn(2) == 0
+		}
+		vs[i] = v
+	}
+	return vs
+}
+
+func TestMapSmallAdderCorrect(t *testing.T) {
+	nl := adderNetlist(8)
+	m, err := Map(nl, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	if err := m.Validate(randVectors(rng, nl.NumInputs(), 200)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMapRejectsNonNORForm(t *testing.T) {
+	b := netlist.NewBuilder("raw")
+	x, y := b.Input(), b.Input()
+	b.Output(b.Xor(x, y))
+	if _, err := Map(b.Build(), 64); err == nil {
+		t.Fatal("expected error for non-NOR netlist")
+	}
+}
+
+func TestMapRejectsTooManyInputs(t *testing.T) {
+	nl := adderNetlist(8) // 16 inputs
+	if _, err := Map(nl, 16); err == nil {
+		t.Fatal("expected error when inputs alone fill the row")
+	}
+}
+
+func TestRowOverflowDetected(t *testing.T) {
+	// A 16-bit adder cannot execute in a row with almost no working cells.
+	nl := adderNetlist(16)
+	if _, err := Map(nl, nl.NumInputs()+2); err == nil {
+		t.Fatal("expected row-overflow error")
+	}
+}
+
+func TestCellReuseKeepsRowSmall(t *testing.T) {
+	// The whole point of SIMPLER: a circuit with hundreds of gates fits a
+	// row not much larger than its I/O, thanks to cell reuse.
+	nl := adderNetlist(16) // ~200+ NOR gates
+	min := MinRowSize(nl, nl.NumInputs()+1, nl.NumInputs()+nl.GateCount())
+	if min > nl.NumInputs()+60 {
+		t.Fatalf("min row size %d — cell reuse not effective (inputs=%d, gates=%d)",
+			min, nl.NumInputs(), nl.GateCount())
+	}
+	// And the minimal mapping is still correct.
+	m, err := Map(nl, min)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	if err := m.Validate(randVectors(rng, nl.NumInputs(), 100)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLatencyAccounting(t *testing.T) {
+	nl := adderNetlist(8)
+	m, err := Map(nl, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gates, inits, consts := 0, 0, 0
+	for _, s := range m.Steps {
+		switch s.Kind {
+		case StepGate:
+			gates++
+		case StepInit:
+			inits++
+		case StepConst:
+			consts++
+		}
+	}
+	if gates != m.GateCycles || inits != m.InitCycles || consts != m.ConstCycles {
+		t.Fatal("cycle counters disagree with steps")
+	}
+	if m.Latency() != gates+inits+consts {
+		t.Fatal("Latency() mismatch")
+	}
+	if gates != nl.GateCount() {
+		t.Fatalf("executed %d gates, netlist has %d — every gate must run exactly once",
+			gates, nl.GateCount())
+	}
+	if inits < 1 {
+		t.Fatal("expected at least the initial batch-init cycle")
+	}
+}
+
+func TestSmallerRowsMoreInitCycles(t *testing.T) {
+	// Shrinking the row forces more frequent batch re-initializations —
+	// the latency/area trade-off SIMPLER exposes.
+	nl := adderNetlist(32)
+	big, err := Map(nl, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	min := MinRowSize(nl, nl.NumInputs()+1, 2048)
+	small, err := Map(nl, min)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.InitCycles <= big.InitCycles {
+		t.Fatalf("init cycles: small row %d, big row %d — expected more in small row",
+			small.InitCycles, big.InitCycles)
+	}
+	if small.GateCycles != big.GateCycles {
+		t.Fatal("gate count must not depend on row size")
+	}
+}
+
+func TestCriticalStepsAreExactlyOutputs(t *testing.T) {
+	nl := adderNetlist(8)
+	m, err := Map(nl, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.CriticalOps(); got != nl.NumOutputs() {
+		t.Fatalf("critical ops = %d, want %d (one per primary output)", got, nl.NumOutputs())
+	}
+	// And the critical steps' nodes are exactly the output set.
+	outSet := make(map[int]bool)
+	for _, o := range nl.Outputs() {
+		outSet[o] = true
+	}
+	for _, s := range m.Steps {
+		if s.Critical && !outSet[s.Node] {
+			t.Fatalf("non-output node %d marked critical", s.Node)
+		}
+	}
+}
+
+func TestInputsPinnedToPrefixCells(t *testing.T) {
+	nl := adderNetlist(8)
+	m, err := Map(nl, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, id := range nl.Inputs() {
+		if m.CellOf[id] != i {
+			t.Fatalf("input %d at cell %d, want %d", i, m.CellOf[id], i)
+		}
+	}
+	// No step may ever write an input cell.
+	for si, s := range m.Steps {
+		switch s.Kind {
+		case StepGate, StepConst:
+			if s.Cell < nl.NumInputs() {
+				t.Fatalf("step %d writes input cell %d", si, s.Cell)
+			}
+		case StepInit:
+			for _, c := range s.Init {
+				if c < nl.NumInputs() {
+					t.Fatalf("init step %d touches input cell %d", si, c)
+				}
+			}
+		}
+	}
+}
+
+func TestPeakLiveWithinRow(t *testing.T) {
+	nl := adderNetlist(16)
+	m, err := Map(nl, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.PeakLive > 100 {
+		t.Fatalf("peak live cells %d exceeds row size", m.PeakLive)
+	}
+}
+
+func TestMapRandomCircuitsProperty(t *testing.T) {
+	// Random NOR DAGs must map and replay correctly at both generous and
+	// minimal row sizes.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := netlist.NewBuilder("rand")
+		nodes := b.InputBus(3 + rng.Intn(6))
+		for i := 0; i < 20+rng.Intn(60); i++ {
+			x := nodes[rng.Intn(len(nodes))]
+			y := nodes[rng.Intn(len(nodes))]
+			if rng.Intn(4) == 0 {
+				nodes = append(nodes, b.Not(x))
+			} else {
+				nodes = append(nodes, b.Nor(x, y))
+			}
+		}
+		for i := 0; i < 1+rng.Intn(4); i++ {
+			b.Output(nodes[rng.Intn(len(nodes))])
+		}
+		nl := b.Build().LowerToNOR()
+		min := MinRowSize(nl, nl.NumInputs()+1, nl.NumInputs()+nl.GateCount()+2)
+		for _, rows := range []int{min, min + 17} {
+			m, err := Map(nl, rows)
+			if err != nil {
+				return false
+			}
+			if err := m.Validate(randVectors(rng, nl.NumInputs(), 30)); err != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConstantNodesHandled(t *testing.T) {
+	// A netlist that retains a constant after lowering must still map:
+	// the constant is written via the driver (StepConst).
+	b := netlist.NewBuilder("const")
+	x := b.Input()
+	b.Output(b.Const(true)) // output tied to 1 → Buf(const) after Build
+	b.Output(b.Not(x))
+	nl := b.Build().LowerToNOR()
+	m, err := Map(nl, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := m.Replay([]bool{false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != true || out[1] != true {
+		t.Fatalf("outputs = %v", out)
+	}
+}
+
+func TestReplayDetectsUninitializedWrite(t *testing.T) {
+	nl := adderNetlist(4)
+	m, err := Map(nl, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the schedule: drop all init steps.
+	var bad []Step
+	for _, s := range m.Steps {
+		if s.Kind != StepInit {
+			bad = append(bad, s)
+		}
+	}
+	m.Steps = bad
+	if _, err := m.Replay(make([]bool, nl.NumInputs())); err == nil {
+		t.Fatal("replay accepted a schedule with no initialization")
+	}
+}

@@ -1,0 +1,118 @@
+package xbar
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/bitmat"
+)
+
+// OpKind labels one traced crossbar operation.
+type OpKind uint8
+
+// Trace operation kinds.
+const (
+	OpInit OpKind = iota
+	OpNORRows
+	OpNOTRows
+	OpNORCols
+	OpNOTCols
+	OpRead
+	OpWrite
+	OpStall
+)
+
+// String names the op kind.
+func (k OpKind) String() string {
+	names := [...]string{"init", "nor-rows", "not-rows", "nor-cols",
+		"not-cols", "read", "write", "stall"}
+	if int(k) < len(names) {
+		return names[k]
+	}
+	return fmt.Sprintf("OpKind(%d)", uint8(k))
+}
+
+// OpRecord is one entry of the operation trace.
+type OpRecord struct {
+	Cycle   int // clock cycle at which the operation completed
+	Kind    OpKind
+	A, B, O int // operand/output line indices (−1 when not applicable)
+	Lines   int // number of parallel lines (gates) the op covered
+}
+
+// String renders the record compactly.
+func (r OpRecord) String() string {
+	switch r.Kind {
+	case OpInit:
+		return fmt.Sprintf("@%-6d init ×%d", r.Cycle, r.Lines)
+	case OpNORRows, OpNORCols:
+		return fmt.Sprintf("@%-6d %s %d,%d->%d ×%d", r.Cycle, r.Kind, r.A, r.B, r.O, r.Lines)
+	case OpNOTRows, OpNOTCols:
+		return fmt.Sprintf("@%-6d %s %d->%d ×%d", r.Cycle, r.Kind, r.A, r.O, r.Lines)
+	default:
+		return fmt.Sprintf("@%-6d %s line %d", r.Cycle, r.Kind, r.O)
+	}
+}
+
+// EnableTrace starts recording operations into a bounded ring buffer of
+// the given capacity (older records are dropped first). Capacity ≤ 0
+// disables tracing.
+func (x *Crossbar) EnableTrace(capacity int) {
+	if capacity <= 0 {
+		x.trace = nil
+		return
+	}
+	x.trace = &traceRing{cap: capacity}
+}
+
+// Trace returns the recorded operations, oldest first.
+func (x *Crossbar) Trace() []OpRecord {
+	if x.trace == nil {
+		return nil
+	}
+	return x.trace.records()
+}
+
+// TraceString renders the trace one record per line.
+func (x *Crossbar) TraceString() string {
+	var sb strings.Builder
+	for _, r := range x.Trace() {
+		sb.WriteString(r.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+type traceRing struct {
+	cap   int
+	buf   []OpRecord
+	start int
+}
+
+func (t *traceRing) add(r OpRecord) {
+	if len(t.buf) < t.cap {
+		t.buf = append(t.buf, r)
+		return
+	}
+	t.buf[t.start] = r
+	t.start = (t.start + 1) % t.cap
+}
+
+func (t *traceRing) records() []OpRecord {
+	out := make([]OpRecord, 0, len(t.buf))
+	out = append(out, t.buf[t.start:]...)
+	out = append(out, t.buf[:t.start]...)
+	return out
+}
+
+// record appends to the trace if enabled.
+func (x *Crossbar) record(kind OpKind, a, b, o int, mask *bitmat.Vec) {
+	if x.trace == nil {
+		return
+	}
+	lines := 0
+	if mask != nil {
+		lines = mask.Popcount()
+	}
+	x.trace.add(OpRecord{Cycle: x.stats.Cycles, Kind: kind, A: a, B: b, O: o, Lines: lines})
+}

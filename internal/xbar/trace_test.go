@@ -1,0 +1,100 @@
+package xbar
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTraceRecordsOps(t *testing.T) {
+	x := New(4, 4)
+	x.EnableTrace(16)
+	rows := x.AllRows()
+	x.InitColumnsInRows([]int{3}, rows)
+	x.NORRows(0, 1, 3, rows)
+	x.InitColumnsInRows([]int{2}, rows)
+	x.NOTRows(0, 2, rows)
+	x.ReadRow(1)
+
+	tr := x.Trace()
+	if len(tr) != 5 {
+		t.Fatalf("trace has %d records, want 5", len(tr))
+	}
+	wantKinds := []OpKind{OpInit, OpNORRows, OpInit, OpNOTRows, OpRead}
+	for i, k := range wantKinds {
+		if tr[i].Kind != k {
+			t.Fatalf("record %d kind = %v, want %v", i, tr[i].Kind, k)
+		}
+	}
+	if tr[1].A != 0 || tr[1].B != 1 || tr[1].O != 3 || tr[1].Lines != 4 {
+		t.Fatalf("NOR record malformed: %+v", tr[1])
+	}
+	// Cycles must be monotone.
+	for i := 1; i < len(tr); i++ {
+		if tr[i].Cycle < tr[i-1].Cycle {
+			t.Fatal("trace cycles not monotone")
+		}
+	}
+}
+
+func TestTraceRingDropsOldest(t *testing.T) {
+	x := New(2, 4)
+	x.EnableTrace(3)
+	rows := x.AllRows()
+	for i := 0; i < 10; i++ {
+		x.InitColumnsInRows([]int{3}, rows)
+	}
+	tr := x.Trace()
+	if len(tr) != 3 {
+		t.Fatalf("ring kept %d records, want 3", len(tr))
+	}
+	// The retained records are the newest three (cycles 8,9,10).
+	if tr[0].Cycle != 8 || tr[2].Cycle != 10 {
+		t.Fatalf("ring retained wrong window: %+v", tr)
+	}
+}
+
+func TestTraceDisabledByDefault(t *testing.T) {
+	x := New(2, 2)
+	x.InitColumnsInRows([]int{0}, x.AllRows())
+	if x.Trace() != nil {
+		t.Fatal("trace recorded without EnableTrace")
+	}
+	x.EnableTrace(4)
+	x.Tick()
+	x.EnableTrace(0) // disable again
+	x.InitColumnsInRows([]int{1}, x.AllRows())
+	if x.Trace() != nil {
+		t.Fatal("trace still active after disable")
+	}
+}
+
+func TestTraceString(t *testing.T) {
+	x := New(2, 3)
+	x.EnableTrace(8)
+	rows := x.AllRows()
+	x.InitColumnsInRows([]int{2}, rows)
+	x.NORRows(0, 1, 2, rows)
+	s := x.TraceString()
+	if !strings.Contains(s, "init") || !strings.Contains(s, "nor-rows 0,1->2") {
+		t.Fatalf("trace rendering:\n%s", s)
+	}
+}
+
+func TestOpKindString(t *testing.T) {
+	if OpNORCols.String() != "nor-cols" || OpKind(99).String() == "" {
+		t.Fatal("op kind names")
+	}
+}
+
+func TestColumnOpsTraced(t *testing.T) {
+	x := New(4, 4)
+	x.EnableTrace(8)
+	cols := x.AllCols()
+	x.InitRowsInCols([]int{3}, cols)
+	x.NORCols(0, 1, 3, cols)
+	x.NOTCols(0, 2, cols) // not initialized, but strict is off
+	tr := x.Trace()
+	if tr[1].Kind != OpNORCols || tr[2].Kind != OpNOTCols {
+		t.Fatalf("column ops not traced: %+v", tr)
+	}
+}

@@ -1,0 +1,77 @@
+package xbar
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestVCDExport(t *testing.T) {
+	x := New(XOR3WorkRows, 4)
+	// Drive the XOR3 macro and watch its inputs and output.
+	for c := 0; c < 4; c++ {
+		x.Set(XOR3RowA, c, c&1 != 0)
+		x.Set(XOR3RowB, c, c&2 != 0)
+	}
+	x.WatchCell(XOR3RowA, 1)
+	x.WatchCell(XOR3RowOut, 1)
+	x.WatchCell(XOR3RowOut, 3)
+	x.XOR3Cols(0, x.AllCols())
+
+	var sb strings.Builder
+	if err := x.WriteVCD(&sb, "pim"); err != nil {
+		t.Fatal(err)
+	}
+	vcd := sb.String()
+	for _, want := range []string{
+		"$timescale", "$scope module pim", "$var wire 1",
+		"cell_0_1", "cell_10_1", "cell_10_3", "$enddefinitions",
+	} {
+		if !strings.Contains(vcd, want) {
+			t.Fatalf("VCD missing %q:\n%s", want, vcd)
+		}
+	}
+	// The output cell must show at least two changes: init to 1, then the
+	// final NOR writes the XOR3 value (0 for column 1: 1⊕0⊕0... column 1
+	// has a=1,b=0,c=0 → XOR3=1; column 3 has a=1,b=1 → 0).
+	if !strings.Contains(vcd, "#") {
+		t.Fatal("no timestamps in VCD")
+	}
+	// Final values must match the crossbar state.
+	if x.Get(XOR3RowOut, 1) != true || x.Get(XOR3RowOut, 3) != false {
+		t.Fatal("XOR3 state unexpected; test premise broken")
+	}
+}
+
+func TestVCDNoWatches(t *testing.T) {
+	x := New(2, 2)
+	var sb strings.Builder
+	if err := x.WriteVCD(&sb, "m"); err == nil {
+		t.Fatal("expected error with no watched cells")
+	}
+}
+
+func TestWatchRecordsOnlyChanges(t *testing.T) {
+	x := New(2, 2)
+	x.WatchCell(0, 0)
+	for i := 0; i < 10; i++ {
+		x.Tick() // value never changes
+	}
+	if n := len(x.watch[[2]int{0, 0}]); n != 1 {
+		t.Fatalf("recorded %d samples for a constant signal, want 1", n)
+	}
+	x.Write(0, 0, true)
+	if n := len(x.watch[[2]int{0, 0}]); n != 2 {
+		t.Fatalf("change not recorded (%d samples)", n)
+	}
+}
+
+func TestVCDIDsUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 200; i++ {
+		id := vcdID(i)
+		if seen[id] {
+			t.Fatalf("duplicate VCD id %q at %d", id, i)
+		}
+		seen[id] = true
+	}
+}
