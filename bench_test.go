@@ -18,8 +18,8 @@ import (
 	"repro/internal/cmem"
 	"repro/internal/ecc"
 	"repro/internal/eccsched"
+	"repro/internal/fleet"
 	"repro/internal/machine"
-	"repro/internal/netlist"
 	"repro/internal/reliability"
 	"repro/internal/shifter"
 	"repro/internal/synth"
@@ -218,7 +218,7 @@ func BenchmarkSIMPLERMapAdder(b *testing.B) {
 func BenchmarkSIMDExecuteProtected(b *testing.B) {
 	mp := benchAdderMapping(b)
 	for i := 0; i < b.N; i++ {
-		m := machine.New(machine.Config{N: 45, M: 15, K: 2, ECCEnabled: true})
+		m := machine.MustNew(machine.Config{N: 45, M: 15, K: 2, ECCEnabled: true})
 		if err := m.ExecuteSIMD(mp, m.MEM().AllRows()); err != nil {
 			b.Fatal(err)
 		}
@@ -229,7 +229,7 @@ func BenchmarkSIMDExecuteProtected(b *testing.B) {
 func BenchmarkSIMDExecuteBaseline(b *testing.B) {
 	mp := benchAdderMapping(b)
 	for i := 0; i < b.N; i++ {
-		m := machine.New(machine.Config{N: 45, ECCEnabled: false})
+		m := machine.MustNew(machine.Config{N: 45, ECCEnabled: false})
 		if err := m.ExecuteSIMD(mp, m.MEM().AllRows()); err != nil {
 			b.Fatal(err)
 		}
@@ -238,18 +238,9 @@ func BenchmarkSIMDExecuteBaseline(b *testing.B) {
 
 func benchAdderMapping(b *testing.B) *synth.Mapping {
 	b.Helper()
-	// An 8-bit adder fits the 45-cell benchmarking row.
-	nb := netlist.NewBuilder("adder8")
-	a := nb.InputBus(8)
-	x := nb.InputBus(8)
-	carry := nb.Const(false)
-	for i := 0; i < 8; i++ {
-		axb := nb.Xor(a[i], x[i])
-		nb.Output(nb.Xor(axb, carry))
-		carry = nb.Or(nb.And(a[i], x[i]), nb.And(axb, carry))
-	}
-	nb.Output(carry)
-	mp, err := synth.Map(nb.Build().LowerToNOR(), 45)
+	// An 8-bit adder fits the 45-cell benchmarking row — the same kernel
+	// the fleet engine (E7) executes, so E6 and E7 measure like for like.
+	mp, err := fleet.AdderKernel(8, 45)
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -14,8 +14,8 @@ import (
 
 	"repro/internal/bitmat"
 	"repro/internal/faults"
+	"repro/internal/fleet"
 	"repro/internal/machine"
-	"repro/internal/netlist"
 	"repro/internal/synth"
 )
 
@@ -49,21 +49,15 @@ func main() {
 }
 
 func buildAdder(width, rowSize int) (*synth.Mapping, error) {
-	b := netlist.NewBuilder(fmt.Sprintf("adder%d", width))
-	a := b.InputBus(width)
-	x := b.InputBus(width)
-	carry := b.Const(false)
-	for i := 0; i < width; i++ {
-		axb := b.Xor(a[i], x[i])
-		b.Output(b.Xor(axb, carry))
-		carry = b.Or(b.And(a[i], x[i]), b.And(axb, carry))
-	}
-	b.Output(carry)
-	return synth.Map(b.Build().LowerToNOR(), rowSize)
+	return fleet.AdderKernel(width, rowSize)
 }
 
 func run(ecc bool, mp *synth.Mapping, n, m, k, nFaults int, seed int64) (rowsCorrect, corrections int) {
-	mach := machine.New(machine.Config{N: n, M: m, K: k, ECCEnabled: ecc})
+	mach, err := machine.New(machine.Config{N: n, M: m, K: k, ECCEnabled: ecc})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	rng := rand.New(rand.NewSource(seed))
 	inputs := make(map[int][]bool, n)
 	for r := 0; r < n; r++ {

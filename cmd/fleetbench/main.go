@@ -1,0 +1,90 @@
+// Command fleetbench drives the concurrent fleet engine (internal/fleet):
+// it instantiates a multi-bank mMPU organization of protected crossbars,
+// streams a chosen workload scenario across it with a per-bank worker
+// pool, and reports aggregate throughput plus ECC activity.
+//
+// Examples:
+//
+//	fleetbench -scenario uniform -banks 8 -perbank 4 -workers 4
+//	fleetbench -scenario hotbank -intensity 256
+//	fleetbench -scenario faultstorm -duration 3s -ecc=true
+//	fleetbench -scenario uniform -ecc=false        # unprotected baseline
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/fleet"
+	"repro/internal/mmpu"
+)
+
+func main() {
+	n := flag.Int("n", 45, "crossbar side (multiple of m)")
+	m := flag.Int("m", 15, "ECC block side (odd)")
+	k := flag.Int("k", 2, "processing crossbars per machine")
+	banks := flag.Int("banks", 8, "number of banks")
+	perBank := flag.Int("perbank", 4, "crossbars per bank")
+	ecc := flag.Bool("ecc", true, "enable the diagonal-ECC mechanism")
+	scenario := flag.String("scenario", "uniform",
+		"workload scenario: "+strings.Join(fleet.ScenarioNames(), ", "))
+	intensity := flag.Int("intensity", 0,
+		"scenario intensity (uniform: ops/crossbar, hotbank: total jobs, mixedscrub: rounds/crossbar, faultstorm: bursts/crossbar; 0 = default)")
+	workers := flag.Int("workers", 0, "worker shards (0 = GOMAXPROCS, capped at banks)")
+	seed := flag.Int64("seed", 1, "campaign base seed")
+	width := flag.Int("width", 8, "SIMD kernel: adder width")
+	duration := flag.Duration("duration", 0,
+		"keep re-running (fresh derived seed each pass) until this much time has elapsed; 0 = one pass")
+	flag.Parse()
+
+	w, err := fleet.ScenarioByName(*scenario, *intensity)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	cfg := fleet.Config{
+		Org: mmpu.Custom(*n, *banks, *perBank), M: *m, K: *k, ECCEnabled: *ecc,
+		Workers: *workers, Seed: *seed, KernelWidth: *width,
+	}
+
+	var total fleet.Result
+	passes := 0
+	start := time.Now()
+	for {
+		cfg.Seed = *seed + int64(passes) // each pass replays a fresh deterministic campaign
+		res, err := fleet.Run(cfg, w)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		total = total.Merge(res)
+		passes++
+		if time.Since(start) >= *duration {
+			break
+		}
+	}
+	elapsed := time.Since(start)
+
+	fmt.Printf("fleet: %d banks × %d crossbars of %d×%d (ECC %v), %d workers\n",
+		*banks, *perBank, *n, *n, *ecc, cfg.EffectiveWorkers())
+	fmt.Printf("scenario %-11s %d pass(es) in %v\n\n", total.Scenario, passes, elapsed.Round(time.Millisecond))
+	fmt.Printf("  jobs %-10d ops %-10d crossbars touched %d/pass\n",
+		total.Jobs, total.Ops, total.CrossbarsTouched/passes)
+	fmt.Printf("  simd %-10d scrubs %-8d loads %-8d bursts %d\n",
+		total.SIMDOps, total.Scrubs, total.Loads, total.FaultBursts)
+	fmt.Printf("  injected %-6d corrected %-5d uncorrectable %d\n",
+		total.Injected, total.Corrected, total.Uncorrectable)
+	fmt.Printf("  MEM cycles %-12d critical ops %-8d input checks %d\n",
+		total.Machine.MEMCycles, total.Machine.CriticalOps, total.Machine.InputChecks)
+	fmt.Printf("  throughput: %.1f jobs/s, %.1f ops/s\n\n",
+		float64(total.Jobs)/elapsed.Seconds(), float64(total.Ops)/elapsed.Seconds())
+
+	fmt.Println("  per-bank traffic:")
+	for b, t := range total.PerBank {
+		bar := strings.Repeat("#", int(64*t.Jobs/max(total.Jobs, 1)))
+		fmt.Printf("    bank %2d %6d jobs %s\n", b, t.Jobs, bar)
+	}
+}

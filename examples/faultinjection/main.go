@@ -42,10 +42,14 @@ func main() {
 
 	for _, protected := range []bool{true, false} {
 		var mach *machine.Machine
+		var err error
 		if protected {
-			mach = core.NewProtectedMachine(n, 15, 2)
+			mach, err = core.NewProtectedMachine(n, 15, 2)
 		} else {
-			mach = core.NewBaselineMachine(n)
+			mach, err = core.NewBaselineMachine(n)
+		}
+		if err != nil {
+			panic(err)
 		}
 
 		// 45 independent additions, one per crossbar row.

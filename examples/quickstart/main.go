@@ -14,7 +14,10 @@ import (
 func main() {
 	// A 45×45 memristive crossbar with 15×15 ECC blocks and 2 processing
 	// crossbars — the smallest geometry with a 3×3 grid of blocks.
-	m := core.NewProtectedMachine(45, 15, 2)
+	m, err := core.NewProtectedMachine(45, 15, 2)
+	if err != nil {
+		panic(err)
+	}
 
 	// Store random data through the controller write path; check bits are
 	// maintained along the writes, as in a conventional ECC memory.

@@ -29,7 +29,10 @@ func main() {
 	fmt.Printf("query 0x%03X → matcher: %d NOR gates, %d cycles, SIMD over %d rows\n\n",
 		query, mp.GateCycles, mp.Latency(), n)
 
-	m := core.NewProtectedMachine(n, 15, 2)
+	m, err := core.NewProtectedMachine(n, 15, 2)
+	if err != nil {
+		panic(err)
+	}
 
 	// Store keys: three rows intentionally hold the query value.
 	rng := rand.New(rand.NewSource(5))

@@ -31,13 +31,13 @@ import (
 
 // NewProtectedMachine returns a crossbar PIM unit with the proposed
 // diagonal-ECC mechanism attached (n×n array, m×m blocks, k processing
-// crossbars).
-func NewProtectedMachine(n, m, k int) *machine.Machine {
+// crossbars). Invalid geometry is reported as an error.
+func NewProtectedMachine(n, m, k int) (*machine.Machine, error) {
 	return machine.New(machine.Config{N: n, M: m, K: k, ECCEnabled: true})
 }
 
 // NewBaselineMachine returns the unprotected control design.
-func NewBaselineMachine(n int) *machine.Machine {
+func NewBaselineMachine(n int) (*machine.Machine, error) {
 	return machine.New(machine.Config{N: n, ECCEnabled: false})
 }
 

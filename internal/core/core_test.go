@@ -7,7 +7,10 @@ import (
 )
 
 func TestNewProtectedMachine(t *testing.T) {
-	m := NewProtectedMachine(45, 15, 2)
+	m, err := NewProtectedMachine(45, 15, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if m.CMEM() == nil {
 		t.Fatal("protected machine lacks a CMEM")
 	}
@@ -25,7 +28,10 @@ func TestNewProtectedMachine(t *testing.T) {
 }
 
 func TestNewBaselineMachine(t *testing.T) {
-	m := NewBaselineMachine(45)
+	m, err := NewBaselineMachine(45)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if m.CMEM() != nil {
 		t.Fatal("baseline machine has a CMEM")
 	}

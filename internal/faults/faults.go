@@ -137,3 +137,28 @@ func (in *Injector) InjectExactly(x *xbar.Crossbar, n int) []Flip {
 func (in *Injector) UniformCell(r, c int) (int, int) {
 	return in.rng.Intn(r), in.rng.Intn(c)
 }
+
+// DeriveSeed mixes a campaign base seed with a (bank, crossbar) position
+// into an independent per-crossbar stream seed (splitmix64 finalizer).
+// Deterministic in its arguments, so a fleet campaign reproduces exactly
+// regardless of how crossbars are scheduled across workers, and nearby
+// positions get uncorrelated streams.
+func DeriveSeed(base int64, bank, crossbar int) int64 {
+	// Two full mixing rounds: base alone, then the position XORed into the
+	// mixed base. A single additive round lets (base, crossbar) deltas
+	// cancel, correlating neighbors.
+	x := splitmix64(uint64(base))
+	x = splitmix64(x ^ uint64(uint32(bank))<<32 ^ uint64(uint32(crossbar)))
+	return int64(x)
+}
+
+// splitmix64 is the SplitMix64 finalizer: a bijective 64-bit mixer.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

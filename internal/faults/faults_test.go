@@ -131,3 +131,27 @@ func TestUniformCellInRange(t *testing.T) {
 		}
 	}
 }
+
+func TestDeriveSeedDeterministic(t *testing.T) {
+	if DeriveSeed(42, 3, 7) != DeriveSeed(42, 3, 7) {
+		t.Fatal("DeriveSeed not deterministic")
+	}
+}
+
+func TestDeriveSeedSeparatesStreams(t *testing.T) {
+	// Nearby positions and bases must yield distinct seeds: a fleet gives
+	// every crossbar its own stream, and collisions would correlate the
+	// soft errors of neighboring crossbars.
+	seen := make(map[int64][3]int64)
+	for base := int64(0); base < 4; base++ {
+		for bank := 0; bank < 16; bank++ {
+			for xb := 0; xb < 16; xb++ {
+				s := DeriveSeed(base, bank, xb)
+				if prev, dup := seen[s]; dup {
+					t.Fatalf("seed collision: (%d,%d,%d) and %v → %d", base, bank, xb, prev, s)
+				}
+				seen[s] = [3]int64{base, int64(bank), int64(xb)}
+			}
+		}
+	}
+}

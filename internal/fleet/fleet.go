@@ -1,0 +1,242 @@
+// Package fleet executes workloads across a fleet of protected crossbar
+// machines organized as a full mMPU (internal/mmpu): the paper evaluates
+// its diagonal-ECC mechanism at the scale of a 1GB memory built from
+// thousands of n×n crossbars (Fig 6), and this package is the engine that
+// actually runs multi-bank traffic against that organization.
+//
+// Execution is sharded per bank: banks are partitioned across workers
+// (mmpu.ShardBanks), one goroutine per shard, each owning every crossbar
+// of its banks — so no machine is ever shared between goroutines and no
+// locking is needed. Job batches flow to shards over channels; each shard
+// tallies a local Result and the engine merges them.
+//
+// Determinism is a hard guarantee: a Workload's plan is a pure function of
+// (organization, seed), per-crossbar randomness comes from seeds derived
+// with faults.DeriveSeed, jobs for one crossbar execute in plan order, and
+// Result.Merge is commutative — so the same run produces an identical
+// Result under any worker count.
+package fleet
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"repro/internal/bitmat"
+	"repro/internal/faults"
+	"repro/internal/machine"
+	"repro/internal/mmpu"
+	"repro/internal/netlist"
+	"repro/internal/synth"
+)
+
+// Config sizes a fleet run.
+type Config struct {
+	Org        mmpu.Organization
+	M          int  // ECC block side
+	K          int  // processing crossbars per machine
+	ECCEnabled bool // false = the paper's unprotected baseline
+
+	Workers   int   // shard count; <=0 uses GOMAXPROCS, capped at Banks
+	Seed      int64 // campaign base seed
+	BatchSize int   // jobs per channel send; <=0 uses 16
+
+	// KernelWidth selects the SIMD kernel: a ripple-carry adder of this
+	// width, SIMPLER-mapped into one crossbar row. <=0 uses 8 bits (fits
+	// the 45-cell minimum geometry).
+	KernelWidth int
+}
+
+// EffectiveWorkers resolves the shard count actually used: Workers,
+// defaulted to GOMAXPROCS and capped at the bank count (a bank is never
+// split across shards).
+func (c Config) EffectiveWorkers() int {
+	w := c.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > c.Org.Banks {
+		w = c.Org.Banks
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// machineConfig is the per-crossbar machine geometry.
+func (c Config) machineConfig() machine.Config {
+	return machine.Config{N: c.Org.CrossbarN, M: c.M, K: c.K, ECCEnabled: c.ECCEnabled}
+}
+
+// AdderKernel builds the fleet's SIMD kernel: a width-bit ripple-carry
+// adder lowered to NOR and SIMPLER-mapped into a rowSize-cell row.
+func AdderKernel(width, rowSize int) (*synth.Mapping, error) {
+	b := netlist.NewBuilder(fmt.Sprintf("fleetadder%d", width))
+	a := b.InputBus(width)
+	x := b.InputBus(width)
+	carry := b.Const(false)
+	for i := 0; i < width; i++ {
+		axb := b.Xor(a[i], x[i])
+		b.Output(b.Xor(axb, carry))
+		carry = b.Or(b.And(a[i], x[i]), b.And(axb, carry))
+	}
+	b.Output(carry)
+	return synth.Map(b.Build().LowerToNOR(), rowSize)
+}
+
+// xbarState is a worker's lazily-created per-crossbar execution state.
+type xbarState struct {
+	m   *machine.Machine
+	inj *faults.Injector // fault-burst stream, seeded per crossbar
+	rng *rand.Rand       // load-pattern stream, seeded per crossbar
+}
+
+// Run executes the workload across the fleet and returns the merged
+// result. With the same configuration, workload, and seed the Result is
+// identical for every worker count.
+func Run(cfg Config, w Workload) (Result, error) {
+	if err := cfg.Org.Validate(); err != nil {
+		return Result{}, err
+	}
+	mcfg := cfg.machineConfig()
+	if err := mcfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	width := cfg.KernelWidth
+	if width <= 0 {
+		width = 8
+	}
+	kernel, err := AdderKernel(width, cfg.Org.CrossbarN)
+	if err != nil {
+		return Result{}, fmt.Errorf("fleet: kernel does not fit crossbar: %w", err)
+	}
+
+	jobs := w.Plan(cfg.Org, cfg.Seed)
+	for i, j := range jobs {
+		if j.Bank < 0 || j.Bank >= cfg.Org.Banks || j.Crossbar < 0 || j.Crossbar >= cfg.Org.PerBank {
+			return Result{}, fmt.Errorf("fleet: job %d addresses (bank %d, crossbar %d) outside %dx%d organization",
+				i, j.Bank, j.Crossbar, cfg.Org.Banks, cfg.Org.PerBank)
+		}
+	}
+
+	workers := cfg.EffectiveWorkers()
+	batch := cfg.BatchSize
+	if batch <= 0 {
+		batch = 16
+	}
+
+	// bankShard maps each bank to the one shard that owns it.
+	bankShard := make([]int, cfg.Org.Banks)
+	for s, banks := range cfg.Org.ShardBanks(workers) {
+		for _, b := range banks {
+			bankShard[b] = s
+		}
+	}
+
+	chans := make([]chan []Job, workers)
+	results := make([]Result, workers)
+	var wg sync.WaitGroup
+	for s := 0; s < workers; s++ {
+		chans[s] = make(chan []Job, 4)
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			results[s] = runShard(cfg, mcfg, kernel, chans[s])
+		}(s)
+	}
+
+	// Feed job batches to the owning shards in plan order, preserving
+	// per-crossbar ordering (all of a bank's jobs go to one shard).
+	pending := make([][]Job, workers)
+	for _, j := range jobs {
+		s := bankShard[j.Bank]
+		pending[s] = append(pending[s], j)
+		if len(pending[s]) >= batch {
+			chans[s] <- pending[s]
+			pending[s] = nil
+		}
+	}
+	for s := 0; s < workers; s++ {
+		if len(pending[s]) > 0 {
+			chans[s] <- pending[s]
+		}
+		close(chans[s])
+	}
+	wg.Wait()
+
+	total := Result{Scenario: w.Name(), PerBank: make([]BankTally, cfg.Org.Banks)}
+	for _, r := range results {
+		total = total.Merge(r)
+	}
+	return total, nil
+}
+
+// runShard owns a subset of banks: it executes every job batch sent to it,
+// creating machines lazily, and tallies a shard-local result.
+func runShard(cfg Config, mcfg machine.Config, kernel *synth.Mapping, in <-chan []Job) Result {
+	res := Result{PerBank: make([]BankTally, cfg.Org.Banks)}
+	states := make(map[int]*xbarState)
+	for batch := range in {
+		for _, job := range batch {
+			id := cfg.Org.CrossbarID(job.Bank, job.Crossbar)
+			st := states[id]
+			if st == nil {
+				// mcfg was validated in Run, so MustNew cannot panic here.
+				st = &xbarState{
+					m:   machine.MustNew(mcfg),
+					inj: faults.NewInjector(0, faults.DeriveSeed(cfg.Seed, job.Bank, job.Crossbar)),
+					rng: rand.New(rand.NewSource(faults.DeriveSeed(cfg.Seed^0x10ad, job.Bank, job.Crossbar))),
+				}
+				states[id] = st
+			}
+			execJob(cfg, kernel, st, job, &res)
+		}
+	}
+	res.CrossbarsTouched = len(states)
+	for _, st := range states {
+		res.Machine = res.Machine.Add(st.m.Stats())
+	}
+	return res
+}
+
+// execJob runs one job's ops in order on its crossbar.
+func execJob(cfg Config, kernel *synth.Mapping, st *xbarState, job Job, res *Result) {
+	bank := &res.PerBank[job.Bank]
+	res.Jobs++
+	bank.Jobs++
+	for _, op := range job.Ops {
+		res.Ops++
+		bank.Ops++
+		switch op.Kind {
+		case OpSIMD:
+			// Geometry is pre-validated; ExecuteSIMD cannot fail here.
+			if err := st.m.ExecuteSIMD(kernel, st.m.MEM().AllRows()); err != nil {
+				panic(err)
+			}
+			res.SIMDOps++
+		case OpScrub:
+			c, u := st.m.Scrub()
+			res.Scrubs++
+			res.Corrected += int64(c)
+			res.Uncorrectable += int64(u)
+			bank.Corrected += int64(c)
+			bank.Uncorrectable += int64(u)
+		case OpLoad:
+			n := cfg.Org.CrossbarN
+			row := bitmat.NewVec(n)
+			for i := 0; i < n; i++ {
+				row.Set(i, st.rng.Intn(2) == 0)
+			}
+			st.m.LoadRow(((op.Row%n)+n)%n, row)
+			res.Loads++
+		case OpFaultBurst:
+			st.inj.SER = op.SER
+			flips := st.inj.Inject(st.m.MEM(), op.Hours)
+			res.FaultBursts++
+			res.Injected += int64(len(flips))
+			bank.Injected += int64(len(flips))
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package fleet
+
+import "repro/internal/machine"
+
+// BankTally is the per-bank slice of a fleet result, letting skewed
+// scenarios (hot-bank traffic, localized fault storms) show where the
+// activity and the ECC work actually landed.
+type BankTally struct {
+	Jobs          int64
+	Ops           int64
+	Injected      int64
+	Corrected     int64
+	Uncorrectable int64
+}
+
+// Add returns the field-wise sum of two tallies.
+func (t BankTally) Add(o BankTally) BankTally {
+	return BankTally{
+		Jobs:          t.Jobs + o.Jobs,
+		Ops:           t.Ops + o.Ops,
+		Injected:      t.Injected + o.Injected,
+		Corrected:     t.Corrected + o.Corrected,
+		Uncorrectable: t.Uncorrectable + o.Uncorrectable,
+	}
+}
+
+// Result aggregates a fleet run. Every field is a pure function of the
+// organization, scenario, and seed — never of scheduling — so runs with
+// different worker counts produce identical Results. Wall-clock timing is
+// deliberately excluded; measure it around Run.
+type Result struct {
+	Scenario string
+
+	Jobs int64 // jobs executed
+	Ops  int64 // total ops across all jobs
+
+	SIMDOps     int64 // SIMD executions
+	Scrubs      int64 // periodic full-crossbar checks
+	Loads       int64 // row loads through the write path
+	FaultBursts int64 // soft-error exposure windows
+
+	Injected      int64 // soft errors injected by fault bursts
+	Corrected     int64 // corrections applied by scrubs
+	Uncorrectable int64 // uncorrectable blocks flagged by scrubs
+
+	// CrossbarsTouched counts distinct crossbars that executed at least
+	// one job within one Run (shards own disjoint crossbar sets). Merging
+	// results of separate Runs sums the counts — over repeated passes it
+	// reads as crossbar-activations, not distinct crossbars.
+	CrossbarsTouched int
+
+	Machine machine.Stats // merged per-machine statistics
+	PerBank []BankTally   // indexed by bank
+}
+
+// Merge combines two results field-wise. Merge is commutative and
+// associative (per-bank slices align by index), so shard aggregation order
+// does not affect the outcome.
+func (r Result) Merge(o Result) Result {
+	m := Result{
+		Scenario:         r.Scenario,
+		Jobs:             r.Jobs + o.Jobs,
+		Ops:              r.Ops + o.Ops,
+		SIMDOps:          r.SIMDOps + o.SIMDOps,
+		Scrubs:           r.Scrubs + o.Scrubs,
+		Loads:            r.Loads + o.Loads,
+		FaultBursts:      r.FaultBursts + o.FaultBursts,
+		Injected:         r.Injected + o.Injected,
+		Corrected:        r.Corrected + o.Corrected,
+		Uncorrectable:    r.Uncorrectable + o.Uncorrectable,
+		CrossbarsTouched: r.CrossbarsTouched + o.CrossbarsTouched,
+		Machine:          r.Machine.Add(o.Machine),
+	}
+	if m.Scenario == "" {
+		m.Scenario = o.Scenario
+	}
+	n := len(r.PerBank)
+	if len(o.PerBank) > n {
+		n = len(o.PerBank)
+	}
+	if n > 0 {
+		m.PerBank = make([]BankTally, n)
+		copy(m.PerBank, r.PerBank)
+		for i, t := range o.PerBank {
+			m.PerBank[i] = m.PerBank[i].Add(t)
+		}
+	}
+	return m
+}

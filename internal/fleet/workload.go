@@ -1,0 +1,227 @@
+package fleet
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/mmpu"
+)
+
+// OpKind enumerates the primitive operations a fleet job can issue against
+// one crossbar.
+type OpKind int
+
+const (
+	// OpSIMD executes the run's SIMPLER-mapped kernel across all rows of
+	// the crossbar (MAGIC row parallelism), with the ECC input-check and
+	// critical-operation protocol when protection is on.
+	OpSIMD OpKind = iota
+	// OpScrub runs the periodic full-crossbar ECC check.
+	OpScrub
+	// OpLoad writes one pseudo-random row through the controller write
+	// path (check bits maintained along the write).
+	OpLoad
+	// OpFaultBurst exposes the crossbar to soft errors at an elevated SER
+	// for a window of time.
+	OpFaultBurst
+)
+
+// Op is one primitive operation.
+type Op struct {
+	Kind  OpKind
+	Row   int     // OpLoad: target row (taken modulo the crossbar side)
+	SER   float64 // OpFaultBurst: rate during the burst [FIT/bit]
+	Hours float64 // OpFaultBurst: exposure window length
+}
+
+// Job is a batch of ops bound for one crossbar. Jobs addressed to the same
+// crossbar execute in plan order; jobs addressed to different crossbars may
+// run concurrently.
+type Job struct {
+	Bank, Crossbar int
+	Ops            []Op
+}
+
+// Workload produces the deterministic job stream of a scenario. Plan must
+// be a pure function of the organization and seed — the engine replays the
+// same plan across any worker count and demands identical Results.
+type Workload interface {
+	Name() string
+	Plan(org mmpu.Organization, seed int64) []Job
+}
+
+// --- built-in scenarios ------------------------------------------------------
+
+// Uniform streams the same number of SIMD executions to every crossbar —
+// the evenly-loaded memory every scaling estimate assumes.
+type Uniform struct {
+	OpsPerCrossbar int // default 1
+}
+
+// Name implements Workload.
+func (u Uniform) Name() string { return "uniform" }
+
+// Plan implements Workload.
+func (u Uniform) Plan(org mmpu.Organization, seed int64) []Job {
+	per := u.OpsPerCrossbar
+	if per <= 0 {
+		per = 1
+	}
+	jobs := make([]Job, 0, org.Crossbars())
+	org.ForEachCrossbar(func(bank, xb int) {
+		ops := make([]Op, per)
+		for i := range ops {
+			ops[i] = Op{Kind: OpSIMD}
+		}
+		jobs = append(jobs, Job{Bank: bank, Crossbar: xb, Ops: ops})
+	})
+	return jobs
+}
+
+// HotBank draws each job's bank from a Zipfian distribution, concentrating
+// traffic on a few hot banks — the skewed access pattern under which
+// reliability-mechanism overheads stop hiding behind idle banks.
+type HotBank struct {
+	Jobs      int     // total jobs (default: 4 per crossbar)
+	OpsPerJob int     // SIMD ops per job (default 1)
+	Skew      float64 // Zipf exponent s > 1 (default 1.5)
+}
+
+// Name implements Workload.
+func (h HotBank) Name() string { return "hotbank" }
+
+// Plan implements Workload.
+func (h HotBank) Plan(org mmpu.Organization, seed int64) []Job {
+	total := h.Jobs
+	if total <= 0 {
+		total = 4 * org.Crossbars()
+	}
+	per := h.OpsPerJob
+	if per <= 0 {
+		per = 1
+	}
+	s := h.Skew
+	if s <= 1 {
+		s = 1.5
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var zipf *rand.Zipf
+	if org.Banks > 1 {
+		zipf = rand.NewZipf(rng, s, 1, uint64(org.Banks-1))
+	}
+	jobs := make([]Job, 0, total)
+	for j := 0; j < total; j++ {
+		bank := 0
+		if zipf != nil {
+			bank = int(zipf.Uint64())
+		}
+		xb := rng.Intn(org.PerBank)
+		ops := make([]Op, per)
+		for i := range ops {
+			ops[i] = Op{Kind: OpSIMD}
+		}
+		jobs = append(jobs, Job{Bank: bank, Crossbar: xb, Ops: ops})
+	}
+	return jobs
+}
+
+// MixedScrub interleaves compute with the periodic scrub on every crossbar:
+// each round loads a fresh row, executes SIMD work, then runs the check —
+// the steady-state duty cycle of a protected memory.
+type MixedScrub struct {
+	Rounds       int // rounds per crossbar (default 1)
+	SIMDPerRound int // SIMD ops per round (default 2)
+}
+
+// Name implements Workload.
+func (ms MixedScrub) Name() string { return "mixedscrub" }
+
+// Plan implements Workload.
+func (ms MixedScrub) Plan(org mmpu.Organization, seed int64) []Job {
+	rounds := ms.Rounds
+	if rounds <= 0 {
+		rounds = 1
+	}
+	per := ms.SIMDPerRound
+	if per <= 0 {
+		per = 2
+	}
+	jobs := make([]Job, 0, org.Crossbars()*rounds)
+	org.ForEachCrossbar(func(bank, xb int) {
+		for r := 0; r < rounds; r++ {
+			ops := make([]Op, 0, per+2)
+			ops = append(ops, Op{Kind: OpLoad, Row: r})
+			for i := 0; i < per; i++ {
+				ops = append(ops, Op{Kind: OpSIMD})
+			}
+			ops = append(ops, Op{Kind: OpScrub})
+			jobs = append(jobs, Job{Bank: bank, Crossbar: xb, Ops: ops})
+		}
+	})
+	return jobs
+}
+
+// FaultStorm exposes every crossbar to bursts of a strongly elevated SER,
+// each followed by a scrub — the stress regime that drives the correction
+// and uncorrectable counters the Fig 6 reliability model reasons about.
+// Injection randomness is drawn per crossbar from seeds derived with
+// faults.DeriveSeed, so the storm replays exactly under any worker count.
+type FaultStorm struct {
+	Bursts int     // bursts per crossbar (default 1)
+	SER    float64 // burst rate [FIT/bit] (default 1e6 — an accelerated test)
+	Hours  float64 // exposure per burst (default 1h)
+}
+
+// Name implements Workload.
+func (fs FaultStorm) Name() string { return "faultstorm" }
+
+// Plan implements Workload.
+func (fs FaultStorm) Plan(org mmpu.Organization, seed int64) []Job {
+	bursts := fs.Bursts
+	if bursts <= 0 {
+		bursts = 1
+	}
+	ser := fs.SER
+	if ser <= 0 {
+		ser = 1e6
+	}
+	hours := fs.Hours
+	if hours <= 0 {
+		hours = 1
+	}
+	jobs := make([]Job, 0, org.Crossbars())
+	org.ForEachCrossbar(func(bank, xb int) {
+		ops := make([]Op, 0, 2*bursts)
+		for b := 0; b < bursts; b++ {
+			ops = append(ops,
+				Op{Kind: OpFaultBurst, SER: ser, Hours: hours},
+				Op{Kind: OpScrub})
+		}
+		jobs = append(jobs, Job{Bank: bank, Crossbar: xb, Ops: ops})
+	})
+	return jobs
+}
+
+// ScenarioNames lists the built-in scenarios for CLI usage text.
+func ScenarioNames() []string {
+	return []string{"uniform", "hotbank", "mixedscrub", "faultstorm"}
+}
+
+// ScenarioByName returns a built-in scenario sized by an intensity knob:
+// SIMD ops per crossbar for uniform, total jobs for hotbank, rounds per
+// crossbar for mixedscrub (each round is one load, SIMDPerRound SIMD ops,
+// and one scrub), bursts per crossbar for faultstorm. Zero picks each
+// scenario's default.
+func ScenarioByName(name string, intensity int) (Workload, error) {
+	switch name {
+	case "uniform":
+		return Uniform{OpsPerCrossbar: intensity}, nil
+	case "hotbank":
+		return HotBank{Jobs: intensity}, nil
+	case "mixedscrub":
+		return MixedScrub{Rounds: intensity}, nil
+	case "faultstorm":
+		return FaultStorm{Bursts: intensity}, nil
+	}
+	return nil, fmt.Errorf("fleet: unknown scenario %q (have %v)", name, ScenarioNames())
+}

@@ -11,7 +11,7 @@ func TestSIMDColsExecution(t *testing.T) {
 	// Fig 1b end-to-end: the adder program in a column, SIMD across all
 	// 45 columns, with continuous ECC maintenance in the transposed
 	// orientation.
-	m := New(testCfg)
+	m := MustNew(testCfg)
 	mp := adder8(t)
 
 	rng := rand.New(rand.NewSource(21))
@@ -49,7 +49,7 @@ func TestSIMDColsExecution(t *testing.T) {
 }
 
 func TestSIMDColsInputFaultCorrected(t *testing.T) {
-	m := New(testCfg)
+	m := MustNew(testCfg)
 	mp := adder8(t)
 	rng := rand.New(rand.NewSource(22))
 	inputs := make(map[int][]bool, testCfg.N)
@@ -97,12 +97,12 @@ func TestOrientationSymmetry(t *testing.T) {
 		lane[i] = in
 	}
 
-	mr := New(testCfg)
+	mr := MustNew(testCfg)
 	mr.LoadInputs(mp, lane)
 	if err := mr.ExecuteSIMD(mp, mr.MEM().AllRows()); err != nil {
 		t.Fatal(err)
 	}
-	mc := New(testCfg)
+	mc := MustNew(testCfg)
 	mc.LoadInputsCols(mp, lane)
 	if err := mc.ExecuteSIMDCols(mp, mc.MEM().AllCols()); err != nil {
 		t.Fatal(err)
@@ -130,7 +130,7 @@ func TestOrientationSymmetry(t *testing.T) {
 }
 
 func TestSIMDColsOversizedMapping(t *testing.T) {
-	m := New(Config{N: 45, M: 15, K: 2, ECCEnabled: true})
+	m := MustNew(Config{N: 45, M: 15, K: 2, ECCEnabled: true})
 	mp := adder8(t) // rowSize 45 — fine
 	_ = mp
 	big := *mp

@@ -43,16 +43,38 @@ type Machine struct {
 	uncorrectable int
 }
 
-// New builds a machine with an all-zero memory.
-func New(cfg Config) *Machine {
+// Validate checks the configuration is buildable.
+func (cfg Config) Validate() error {
+	if cfg.N <= 0 {
+		return fmt.Errorf("machine: non-positive crossbar side %d", cfg.N)
+	}
 	if cfg.ECCEnabled {
 		if err := (cmem.Config{N: cfg.N, M: cfg.M, K: cfg.K}).Validate(); err != nil {
-			panic(err)
+			return fmt.Errorf("machine: %w", err)
 		}
+	}
+	return nil
+}
+
+// New builds a machine with an all-zero memory. The configuration may come
+// from user input (CLI flags, fleet descriptions), so invalid geometry is
+// reported as an error rather than a panic.
+func New(cfg Config) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	m := &Machine{cfg: cfg, mem: xbar.New(cfg.N, cfg.N)}
 	if cfg.ECCEnabled {
 		m.cm = cmem.New(cmem.Config{N: cfg.N, M: cfg.M, K: cfg.K})
+	}
+	return m, nil
+}
+
+// MustNew is New for known-good configurations; it panics on error.
+func MustNew(cfg Config) *Machine {
+	m, err := New(cfg)
+	if err != nil {
+		panic(err)
 	}
 	return m
 }
@@ -66,13 +88,27 @@ func (m *Machine) MEM() *xbar.Crossbar { return m.mem }
 // CMEM exposes the check memory, or nil for a baseline machine.
 func (m *Machine) CMEM() *cmem.CMEM { return m.cm }
 
-// Stats summarizes machine activity.
+// Stats summarizes machine activity. Stats from different machines can be
+// combined with Add, so a fleet of crossbars aggregates into one total.
 type Stats struct {
 	MEMCycles     int
 	CriticalOps   int
 	InputChecks   int
 	Corrections   int
 	Uncorrectable int
+}
+
+// Add returns the field-wise sum of two stats. It is commutative and
+// associative, so aggregation order (e.g. across concurrent shards) does
+// not affect the result.
+func (s Stats) Add(o Stats) Stats {
+	return Stats{
+		MEMCycles:     s.MEMCycles + o.MEMCycles,
+		CriticalOps:   s.CriticalOps + o.CriticalOps,
+		InputChecks:   s.InputChecks + o.InputChecks,
+		Corrections:   s.Corrections + o.Corrections,
+		Uncorrectable: s.Uncorrectable + o.Uncorrectable,
+	}
 }
 
 // Stats returns accumulated statistics.

@@ -63,7 +63,7 @@ func checkAllRows(t *testing.T, m *Machine, mp *synth.Mapping, inputs map[int][]
 
 func TestSIMDExecutionAllRows(t *testing.T) {
 	// Fig 1a end-to-end: 45 independent 8-bit additions in one pass.
-	m := New(testCfg)
+	m := MustNew(testCfg)
 	mp := adder8(t)
 	inputs := loadRandomInputs(t, m, mp, 1)
 	if err := m.ExecuteSIMD(mp, m.MEM().AllRows()); err != nil {
@@ -81,7 +81,7 @@ func TestSIMDExecutionAllRows(t *testing.T) {
 func TestBaselineMachineAlsoComputes(t *testing.T) {
 	cfg := testCfg
 	cfg.ECCEnabled = false
-	m := New(cfg)
+	m := MustNew(cfg)
 	mp := adder8(t)
 	inputs := loadRandomInputs(t, m, mp, 2)
 	if err := m.ExecuteSIMD(mp, m.MEM().AllRows()); err != nil {
@@ -97,7 +97,7 @@ func TestInputFaultCorrectedBeforeExecution(t *testing.T) {
 	// E6 headline: a soft error in a function input is detected and
 	// corrected by the pre-execution check, so every row still computes
 	// the right answer.
-	m := New(testCfg)
+	m := MustNew(testCfg)
 	mp := adder8(t)
 	inputs := loadRandomInputs(t, m, mp, 3)
 
@@ -120,7 +120,7 @@ func TestInputFaultCorruptsBaseline(t *testing.T) {
 	// affected row's result — the failure mode motivating the paper.
 	cfg := testCfg
 	cfg.ECCEnabled = false
-	m := New(cfg)
+	m := MustNew(cfg)
 	mp := adder8(t)
 	inputs := loadRandomInputs(t, m, mp, 3)
 
@@ -142,7 +142,7 @@ func TestInputFaultCorruptsBaseline(t *testing.T) {
 }
 
 func TestMultipleInputFaultsDifferentBlocksCorrected(t *testing.T) {
-	m := New(testCfg)
+	m := MustNew(testCfg)
 	mp := adder8(t)
 	inputs := loadRandomInputs(t, m, mp, 4)
 	// One fault per block-row of input block-column 0.
@@ -159,7 +159,7 @@ func TestMultipleInputFaultsDifferentBlocksCorrected(t *testing.T) {
 }
 
 func TestScrubRepairsIdleData(t *testing.T) {
-	m := New(testCfg)
+	m := MustNew(testCfg)
 	mp := adder8(t)
 	inputs := loadRandomInputs(t, m, mp, 5)
 	_ = inputs
@@ -175,7 +175,7 @@ func TestScrubRepairsIdleData(t *testing.T) {
 }
 
 func TestScrubRepairsCheckBitFault(t *testing.T) {
-	m := New(testCfg)
+	m := MustNew(testCfg)
 	mp := adder8(t)
 	loadRandomInputs(t, m, mp, 6)
 	m.InjectCheckFault(shifter.Leading, 4, 1, 2)
@@ -189,7 +189,7 @@ func TestScrubRepairsCheckBitFault(t *testing.T) {
 }
 
 func TestScrubFlagsUncorrectableBlock(t *testing.T) {
-	m := New(testCfg)
+	m := MustNew(testCfg)
 	mp := adder8(t)
 	loadRandomInputs(t, m, mp, 7)
 	// Two faults in one block with disjoint diagonals.
@@ -204,7 +204,7 @@ func TestScrubFlagsUncorrectableBlock(t *testing.T) {
 func TestPartialRowMask(t *testing.T) {
 	// Execute in only half the rows; others must be untouched outside the
 	// working region.
-	m := New(testCfg)
+	m := MustNew(testCfg)
 	mp := adder8(t)
 	inputs := loadRandomInputs(t, m, mp, 8)
 	rows := m.MEM().RowMask()
@@ -242,7 +242,7 @@ func TestPartialRowMask(t *testing.T) {
 }
 
 func TestCMEMStaysInSyncThroughLoadRows(t *testing.T) {
-	m := New(testCfg)
+	m := MustNew(testCfg)
 	rng := rand.New(rand.NewSource(9))
 	for i := 0; i < 30; i++ {
 		v := bitmat.NewVec(testCfg.N)
@@ -257,7 +257,7 @@ func TestCMEMStaysInSyncThroughLoadRows(t *testing.T) {
 }
 
 func TestExecuteRejectsOversizedMapping(t *testing.T) {
-	m := New(testCfg)
+	m := MustNew(testCfg)
 	b := netlist.NewBuilder("wide")
 	in := b.InputBus(4)
 	b.Output(b.Nor(in[0], in[1]))
@@ -271,7 +271,7 @@ func TestExecuteRejectsOversizedMapping(t *testing.T) {
 }
 
 func TestStatsAccumulation(t *testing.T) {
-	m := New(testCfg)
+	m := MustNew(testCfg)
 	mp := adder8(t)
 	loadRandomInputs(t, m, mp, 10)
 	if err := m.ExecuteSIMD(mp, m.MEM().AllRows()); err != nil {
@@ -287,7 +287,7 @@ func TestStatsAccumulation(t *testing.T) {
 }
 
 func TestECCDetectsUncorrectableInputCorruption(t *testing.T) {
-	m := New(testCfg)
+	m := MustNew(testCfg)
 	mp := adder8(t)
 	loadRandomInputs(t, m, mp, 11)
 	// Two faults in one input block: flagged, not silently accepted.
@@ -304,7 +304,7 @@ func TestECCDetectsUncorrectableInputCorruption(t *testing.T) {
 func TestConsistencyIsNontrivial(t *testing.T) {
 	// Sanity for CheckConsistent itself: a deliberately skewed check bit
 	// must break consistency.
-	m := New(testCfg)
+	m := MustNew(testCfg)
 	mp := adder8(t)
 	loadRandomInputs(t, m, mp, 12)
 	if !m.CheckConsistent() {
@@ -319,7 +319,7 @@ func TestConsistencyIsNontrivial(t *testing.T) {
 func TestEndToEndWithECCvsParamsBuild(t *testing.T) {
 	// After a full execute, CMEM must equal ecc.Build of the final image
 	// (reconciliation + critical updates together cover everything).
-	m := New(testCfg)
+	m := MustNew(testCfg)
 	mp := adder8(t)
 	loadRandomInputs(t, m, mp, 13)
 	if err := m.ExecuteSIMD(mp, m.MEM().AllRows()); err != nil {
@@ -328,5 +328,46 @@ func TestEndToEndWithECCvsParamsBuild(t *testing.T) {
 	want := ecc.Build(ecc.Params{N: testCfg.N, M: testCfg.M}, m.MEM().Mat())
 	if !m.CMEM().Image().Equal(want) {
 		t.Fatal("CMEM image diverged from rebuilt check bits")
+	}
+}
+
+func TestNewRejectsInvalidConfig(t *testing.T) {
+	bad := []Config{
+		{N: 0, ECCEnabled: false},              // empty crossbar
+		{N: 45, M: 14, K: 2, ECCEnabled: true}, // even block side
+		{N: 45, M: 7, K: 2, ECCEnabled: true},  // m does not divide n
+		{N: 45, M: 15, K: 0, ECCEnabled: true}, // no processing crossbars
+	}
+	for _, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Fatalf("config %+v accepted", cfg)
+		}
+	}
+	if m, err := New(testCfg); err != nil || m == nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+}
+
+func TestMustNewPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew did not panic on invalid config")
+		}
+	}()
+	MustNew(Config{N: 45, M: 14, K: 2, ECCEnabled: true})
+}
+
+func TestStatsAdd(t *testing.T) {
+	a := Stats{MEMCycles: 1, CriticalOps: 2, InputChecks: 3, Corrections: 4, Uncorrectable: 5}
+	b := Stats{MEMCycles: 10, CriticalOps: 20, InputChecks: 30, Corrections: 40, Uncorrectable: 50}
+	want := Stats{MEMCycles: 11, CriticalOps: 22, InputChecks: 33, Corrections: 44, Uncorrectable: 55}
+	if got := a.Add(b); got != want {
+		t.Fatalf("a.Add(b) = %+v, want %+v", got, want)
+	}
+	if a.Add(b) != b.Add(a) {
+		t.Fatal("Add not commutative")
+	}
+	if (Stats{}).Add(a) != a {
+		t.Fatal("zero Stats is not the identity")
 	}
 }

@@ -21,7 +21,7 @@ func TestStressCampaign(t *testing.T) {
 	}
 	const rounds = 40
 	rng := rand.New(rand.NewSource(2024))
-	m := New(testCfg)
+	m := MustNew(testCfg)
 	mp := adder8(t)
 
 	// Track expected input words per row (the protected data).
@@ -81,7 +81,7 @@ func TestStressCampaign(t *testing.T) {
 // machine sequentially, confirming the working-region reconciliation
 // composes across functions.
 func TestBackToBackExecutions(t *testing.T) {
-	m := New(testCfg)
+	m := MustNew(testCfg)
 
 	build := func(f func(b *netlist.Builder, in []int) []int, nin int) *synth.Mapping {
 		b := netlist.NewBuilder("fn")
@@ -139,7 +139,7 @@ func TestBackToBackExecutions(t *testing.T) {
 // default.
 func TestWiderGeometry(t *testing.T) {
 	cfg := Config{N: 75, M: 15, K: 3, ECCEnabled: true}
-	m := New(cfg)
+	m := MustNew(cfg)
 	b := netlist.NewBuilder("adder16")
 	a := b.InputBus(16)
 	x := b.InputBus(16)
@@ -190,7 +190,7 @@ func TestWiderGeometry(t *testing.T) {
 // maintenance uses the same critical-update path the executor uses
 // (catching any asymmetry between orientations).
 func TestLoadRowUpdatesThroughProtocol(t *testing.T) {
-	m := New(testCfg)
+	m := MustNew(testCfg)
 	rng := rand.New(rand.NewSource(66))
 	for i := 0; i < 60; i++ {
 		v := bitmat.NewVec(testCfg.N)

@@ -75,3 +75,51 @@ func (o Organization) FlatIndex(a Address) int64 {
 	xb := int64(a.Bank)*int64(o.PerBank) + int64(a.Crossbar)
 	return xb*per + int64(a.Row)*int64(o.CrossbarN) + int64(a.Col)
 }
+
+// CrossbarID returns the flat crossbar index of (bank, crossbar-in-bank),
+// banks outermost — the ordering Locate uses.
+func (o Organization) CrossbarID(bank, xb int) int { return bank*o.PerBank + xb }
+
+// CrossbarAt is the inverse of CrossbarID.
+func (o Organization) CrossbarAt(id int) (bank, xb int) {
+	return id / o.PerBank, id % o.PerBank
+}
+
+// ForEachCrossbar invokes fn for every crossbar in flat order.
+func (o Organization) ForEachCrossbar(fn func(bank, xb int)) {
+	for b := 0; b < o.Banks; b++ {
+		for x := 0; x < o.PerBank; x++ {
+			fn(b, x)
+		}
+	}
+}
+
+// ShardBanks partitions the bank indices into `shards` balanced contiguous
+// groups for per-bank worker pools: every bank appears in exactly one
+// shard, so one worker owns all crossbars of its banks and no locking is
+// needed. More shards than banks yields trailing empty shards.
+func (o Organization) ShardBanks(shards int) [][]int {
+	if shards <= 0 {
+		shards = 1
+	}
+	out := make([][]int, shards)
+	base, extra := o.Banks/shards, o.Banks%shards
+	next := 0
+	for s := 0; s < shards; s++ {
+		n := base
+		if s < extra {
+			n++
+		}
+		for i := 0; i < n; i++ {
+			out[s] = append(out[s], next)
+			next++
+		}
+	}
+	return out
+}
+
+// Custom returns an organization with explicit bank/crossbar counts (no
+// capacity target), for fleet simulations at arbitrary scale.
+func Custom(n, banks, perBank int) Organization {
+	return Organization{CrossbarN: n, Banks: banks, PerBank: perBank}
+}

@@ -74,6 +74,94 @@ func TestLocateFieldsConsistent(t *testing.T) {
 	}
 }
 
+// TestLocateBoundaryCrossings pins the addresses straddling crossbar and
+// bank boundaries: the last bit of one unit and the first bit of the next
+// must land in adjacent physical locations and round-trip exactly.
+func TestLocateBoundaryCrossings(t *testing.T) {
+	org := Organization{CrossbarN: 4, Banks: 3, PerBank: 2}
+	per := int64(org.CrossbarN) * int64(org.CrossbarN)
+
+	cases := []struct {
+		bit  int64
+		want Address
+	}{
+		{per - 1, Address{Bank: 0, Crossbar: 0, Row: 3, Col: 3}},            // last bit of crossbar 0
+		{per, Address{Bank: 0, Crossbar: 1, Row: 0, Col: 0}},                // first bit of crossbar 1
+		{2*per - 1, Address{Bank: 0, Crossbar: 1, Row: 3, Col: 3}},          // last bit of bank 0
+		{2 * per, Address{Bank: 1, Crossbar: 0, Row: 0, Col: 0}},            // first bit of bank 1
+		{org.DataBits() - 1, Address{Bank: 2, Crossbar: 1, Row: 3, Col: 3}}, // last bit of memory
+	}
+	for _, c := range cases {
+		a, err := org.Locate(c.bit)
+		if err != nil {
+			t.Fatalf("bit %d: %v", c.bit, err)
+		}
+		if a != c.want {
+			t.Fatalf("bit %d → %+v, want %+v", c.bit, a, c.want)
+		}
+		if back := org.FlatIndex(a); back != c.bit {
+			t.Fatalf("bit %d round-tripped to %d", c.bit, back)
+		}
+	}
+}
+
+func TestCrossbarIDRoundTrip(t *testing.T) {
+	org := Custom(8, 5, 7)
+	seen := make(map[int]bool)
+	org.ForEachCrossbar(func(bank, xb int) {
+		id := org.CrossbarID(bank, xb)
+		if id < 0 || id >= org.Crossbars() {
+			t.Fatalf("id %d out of range", id)
+		}
+		if seen[id] {
+			t.Fatalf("id %d visited twice", id)
+		}
+		seen[id] = true
+		b, x := org.CrossbarAt(id)
+		if b != bank || x != xb {
+			t.Fatalf("id %d → (%d,%d), want (%d,%d)", id, b, x, bank, xb)
+		}
+	})
+	if len(seen) != org.Crossbars() {
+		t.Fatalf("visited %d crossbars, want %d", len(seen), org.Crossbars())
+	}
+}
+
+func TestShardBanksPartition(t *testing.T) {
+	org := Custom(8, 10, 1)
+	for _, shards := range []int{1, 2, 3, 7, 10, 13} {
+		got := org.ShardBanks(shards)
+		if len(got) != shards {
+			t.Fatalf("shards=%d: %d groups", shards, len(got))
+		}
+		var all []int
+		min, max := org.Banks, 0
+		for _, g := range got {
+			if len(g) < min {
+				min = len(g)
+			}
+			if len(g) > max {
+				max = len(g)
+			}
+			all = append(all, g...)
+		}
+		if len(all) != org.Banks {
+			t.Fatalf("shards=%d: %d banks covered", shards, len(all))
+		}
+		for i, b := range all {
+			if b != i {
+				t.Fatalf("shards=%d: bank sequence broken at %d: %v", shards, i, all)
+			}
+		}
+		if shards <= org.Banks && max-min > 1 {
+			t.Fatalf("shards=%d: unbalanced group sizes [%d,%d]", shards, min, max)
+		}
+	}
+	if got := org.ShardBanks(0); len(got) != 1 || len(got[0]) != org.Banks {
+		t.Fatalf("ShardBanks(0) = %v", got)
+	}
+}
+
 func TestValidateRejectsUndersized(t *testing.T) {
 	bad := Organization{CrossbarN: 8, Banks: 1, PerBank: 1, TotalBytes: 1 << 30}
 	if bad.Validate() == nil {

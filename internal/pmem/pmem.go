@@ -39,9 +39,13 @@ func New(cfg Config) (*Memory, error) {
 	}
 	m := &Memory{cfg: cfg, xbs: make([]*machine.Machine, cfg.Org.Crossbars())}
 	for i := range m.xbs {
-		m.xbs[i] = machine.New(machine.Config{
+		xb, err := machine.New(machine.Config{
 			N: cfg.Org.CrossbarN, M: cfg.M, K: cfg.K, ECCEnabled: cfg.ECCEnabled,
 		})
+		if err != nil {
+			return nil, err
+		}
+		m.xbs[i] = xb
 	}
 	return m, nil
 }
