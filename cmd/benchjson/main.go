@@ -1,0 +1,148 @@
+// Command benchjson runs the repository benchmark suite (the E1–E7
+// experiments plus the substrate microbenchmarks) and writes a
+// machine-readable perf snapshot to BENCH_<date>.json, giving the repo a
+// benchmark trajectory: each snapshot records ns/op, B/op, allocs/op and
+// any custom metrics per benchmark, with enough environment metadata to
+// compare runs.
+//
+// Usage:
+//
+//	go run ./cmd/benchjson [-bench regex] [-benchtime 3x] [-pkg ./...] [-out FILE]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Result is one benchmark measurement.
+type Result struct {
+	Name       string             `json:"name"`
+	Pkg        string             `json:"pkg"`
+	Iterations int                `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	BytesPerOp float64            `json:"bytes_per_op"`
+	AllocsOp   float64            `json:"allocs_per_op"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Snapshot is the full perf record written to BENCH_<date>.json.
+type Snapshot struct {
+	Date      string   `json:"date"`
+	GoVersion string   `json:"go_version"`
+	GOOS      string   `json:"goos"`
+	GOARCH    string   `json:"goarch"`
+	CPU       string   `json:"cpu,omitempty"`
+	BenchTime string   `json:"benchtime"`
+	Bench     string   `json:"bench"`
+	Results   []Result `json:"results"`
+}
+
+var (
+	benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+(.*)$`)
+	// procSuffix is the -GOMAXPROCS suffix go test appends to benchmark
+	// names on multi-core hosts; it must be stripped so snapshots taken
+	// on different machines join by name.
+	procSuffix = regexp.MustCompile(`-\d+$`)
+)
+
+func main() {
+	bench := flag.String("bench", ".", "benchmark regex passed to go test -bench")
+	benchtime := flag.String("benchtime", "3x", "value passed to go test -benchtime")
+	pkgs := flag.String("pkg", "./...", "package pattern to benchmark")
+	out := flag.String("out", "", "output file (default BENCH_<date>.json)")
+	flag.Parse()
+
+	date := time.Now().Format("2006-01-02")
+	path := *out
+	if path == "" {
+		path = fmt.Sprintf("BENCH_%s.json", date)
+	}
+
+	cmd := exec.Command("go", "test", "-run", "^$",
+		"-bench", *bench, "-benchmem", "-benchtime", *benchtime, *pkgs)
+	raw, err := cmd.CombinedOutput()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: go test failed: %v\n%s", err, raw)
+		os.Exit(1)
+	}
+
+	snap := Snapshot{
+		Date:      date,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		BenchTime: *benchtime,
+		Bench:     *bench,
+	}
+	snap.CPU, snap.Results = parse(string(raw))
+
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(snap); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("benchjson: wrote %d results to %s\n", len(snap.Results), path)
+}
+
+// parse extracts benchmark results from `go test -bench` output.
+func parse(out string) (cpu string, results []Result) {
+	pkg := ""
+	for _, line := range strings.Split(out, "\n") {
+		line = strings.TrimRight(line, "\r")
+		if s, ok := strings.CutPrefix(line, "pkg: "); ok {
+			pkg = s
+			continue
+		}
+		if s, ok := strings.CutPrefix(line, "cpu: "); ok {
+			cpu = s
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		iters, _ := strconv.Atoi(m[2])
+		r := Result{Name: procSuffix.ReplaceAllString(m[1], ""), Pkg: pkg, Iterations: iters}
+		fields := strings.Fields(m[3])
+		for i := 0; i+1 < len(fields); i += 2 {
+			val, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				r.NsPerOp = val
+			case "B/op":
+				r.BytesPerOp = val
+			case "allocs/op":
+				r.AllocsOp = val
+			default:
+				if r.Metrics == nil {
+					r.Metrics = make(map[string]float64)
+				}
+				r.Metrics[unit] = val
+			}
+		}
+		results = append(results, r)
+	}
+	return cpu, results
+}

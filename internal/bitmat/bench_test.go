@@ -1,0 +1,93 @@
+package bitmat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Microbenchmarks for the word-parallel substrate. The paper's premise is
+// that one MAGIC cycle touches a whole crossbar line, so these primitives
+// bound the simulation throughput of everything above them. Geometries are
+// chosen to be word-unaligned (1020 = 15×68, the paper case study) so the
+// shift-and-stitch paths are exercised, not just the aligned fast path.
+
+func benchVec(n int, seed int64) *Vec {
+	v := NewVec(n)
+	rng := rand.New(rand.NewSource(seed))
+	for i := range v.w {
+		v.w[i] = rng.Uint64()
+	}
+	v.trim()
+	return v
+}
+
+func BenchmarkBitmatRotateLeft(b *testing.B) {
+	v := benchVec(1020, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v.RotateLeft(i%997 + 1)
+	}
+}
+
+func BenchmarkBitmatSlice(b *testing.B) {
+	v := benchVec(1020, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v.Slice(7, 1013)
+	}
+}
+
+func BenchmarkBitmatSetSlice(b *testing.B) {
+	v := benchVec(1020, 3)
+	src := benchVec(1006, 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v.SetSlice(7, src)
+	}
+}
+
+func BenchmarkBitmatTranspose(b *testing.B) {
+	m := NewMat(1020, 1020)
+	m.Randomize(rand.New(rand.NewSource(5)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Transpose()
+	}
+}
+
+func BenchmarkBitmatCol(b *testing.B) {
+	m := NewMat(1020, 1020)
+	m.Randomize(rand.New(rand.NewSource(6)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Col(i % 1020)
+	}
+}
+
+func BenchmarkBitmatBlock(b *testing.B) {
+	m := NewMat(1020, 1020)
+	m.Randomize(rand.New(rand.NewSource(7)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Block(15, 30, 255, 255)
+	}
+}
+
+func BenchmarkBitmatOnesIteration(b *testing.B) {
+	v := benchVec(1020, 8)
+	sink := 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, idx := range v.OnesIndices() {
+			sink += idx
+		}
+	}
+	_ = sink
+}

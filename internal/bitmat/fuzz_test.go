@@ -1,0 +1,95 @@
+package bitmat
+
+import (
+	"testing"
+)
+
+// FuzzVecOpsEquivalence drives the word-parallel primitives against their
+// bit-serial references over fuzzer-chosen (geometry, payload, mask, op)
+// tuples, including aliased receivers. Lengths are folded into
+// [1, 129] so the word-boundary cases (63/64/65/127/128/129) stay in
+// reach of the fuzzer; payload bytes fill the vector cyclically.
+func FuzzVecOpsEquivalence(f *testing.F) {
+	for _, n := range []int{1, 63, 64, 65, 127, 129} {
+		f.Add(uint16(n), uint16(3), uint16(7), []byte{0xA5, 0x3C}, []byte{0xFF, 0x0F})
+		f.Add(uint16(n), uint16(n), uint16(0), []byte{0x00}, []byte{0xFF})
+		f.Add(uint16(n), uint16(1), uint16(n), []byte{0xFF, 0x81, 0x42}, []byte{0x55})
+	}
+
+	f.Fuzz(func(t *testing.T, nRaw, kRaw, offRaw uint16, payload, maskBytes []byte) {
+		n := int(nRaw)%129 + 1
+		v := vecFromBytes(n, payload)
+		mask := vecFromBytes(n, maskBytes)
+
+		// RotateLeft, with negative and out-of-range amounts.
+		k := int(kRaw) - 512
+		if got, want := v.RotateLeft(k), rotateLeftRef(v, k); !got.Equal(want) {
+			t.Fatalf("RotateLeft(n=%d, k=%d):\n got %s\nwant %s", n, k, got, want)
+		}
+
+		// Slice over a fuzzer-chosen window.
+		lo := int(offRaw) % (n + 1)
+		hi := lo + int(kRaw)%(n+1-lo)
+		if got, want := v.Slice(lo, hi), sliceRef(v, lo, hi); !got.Equal(want) {
+			t.Fatalf("Slice(n=%d, [%d,%d)):\n got %s\nwant %s", n, lo, hi, got, want)
+		}
+
+		// Aliased CopyRange: move [lo,hi) to a fuzzer-chosen offset in place.
+		cnt := hi - lo
+		dstLo := int(kRaw) % (n + 1 - cnt)
+		got, want := v.Clone(), v.Clone()
+		got.CopyRange(dstLo, got, lo, cnt)
+		copyRangeRef(want, dstLo, want, lo, cnt)
+		if !got.Equal(want) {
+			t.Fatalf("aliased CopyRange(n=%d, dstLo=%d, srcLo=%d, cnt=%d):\n got %s\nwant %s",
+				n, dstLo, lo, cnt, got, want)
+		}
+
+		// MaskedMerge, plain and with the operand aliasing the receiver.
+		a := vecFromBytes(n, append(maskBytes, payload...))
+		got, want = v.Clone(), v.Clone()
+		got.MaskedMerge(a, mask)
+		maskedMergeRef(want, a, mask)
+		if !got.Equal(want) {
+			t.Fatalf("MaskedMerge(n=%d):\n got %s\nwant %s", n, got, want)
+		}
+		got, want = v.Clone(), v.Clone()
+		got.MaskedMerge(got, mask)
+		maskedMergeRef(want, want, mask)
+		if !got.Equal(want) {
+			t.Fatalf("self MaskedMerge(n=%d):\n got %s\nwant %s", n, got, want)
+		}
+
+		// NextOne across the whole index range.
+		for i := 0; i <= n; i++ {
+			if g, w := mask.NextOne(i), nextOneRef(mask, i); g != w {
+				t.Fatalf("NextOne(n=%d, %d) = %d, want %d", n, i, g, w)
+			}
+		}
+
+		// Transpose of an n×m matrix built from the payload.
+		m := int(offRaw)%129 + 1
+		mt := NewMat(n, m)
+		for r := 0; r < n; r++ {
+			mt.SetRow(r, vecFromBytes(m, append(payload, byte(r))))
+		}
+		if g, w := mt.Transpose(), transposeRef(mt); !g.Equal(w) {
+			t.Fatalf("Transpose(%dx%d) mismatch", n, m)
+		}
+	})
+}
+
+// vecFromBytes builds an n-bit vector by tiling the payload bytes (an
+// empty payload gives the zero vector).
+func vecFromBytes(n int, payload []byte) *Vec {
+	v := NewVec(n)
+	if len(payload) == 0 {
+		return v
+	}
+	for i := 0; i < n; i++ {
+		if payload[(i/8)%len(payload)]>>(uint(i)&7)&1 != 0 {
+			v.Set(i, true)
+		}
+	}
+	return v
+}

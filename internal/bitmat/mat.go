@@ -6,7 +6,10 @@ import (
 	"strings"
 )
 
-// Mat is a dense bit matrix stored row-major, one packed Vec per row.
+// Mat is a dense bit matrix stored row-major. All rows share one flat
+// word array (each row Vec is a view into it), so building a matrix costs
+// O(1) allocations and row walks are cache-sequential instead of chasing
+// one heap object per row.
 type Mat struct {
 	rows, cols int
 	r          []*Vec
@@ -18,8 +21,12 @@ func NewMat(rows, cols int) *Mat {
 		panic("bitmat: negative matrix dimension")
 	}
 	m := &Mat{rows: rows, cols: cols, r: make([]*Vec, rows)}
-	for i := range m.r {
-		m.r[i] = NewVec(cols)
+	wpr := (cols + 63) / 64
+	flat := make([]uint64, rows*wpr)
+	vs := make([]Vec, rows)
+	for i := range vs {
+		vs[i] = Vec{n: cols, w: flat[i*wpr : (i+1)*wpr : (i+1)*wpr]}
+		m.r[i] = &vs[i]
 	}
 	return m
 }
@@ -54,6 +61,12 @@ func (m *Mat) checkRow(r int) {
 	}
 }
 
+func (m *Mat) checkCol(c int) {
+	if c < 0 || c >= m.cols {
+		panic(fmt.Sprintf("bitmat: column %d out of range [0,%d)", c, m.cols))
+	}
+}
+
 // Row returns the live row vector (mutations are visible in the matrix).
 func (m *Mat) Row(r int) *Vec {
 	m.checkRow(r)
@@ -68,20 +81,28 @@ func (m *Mat) SetRow(r int, src *Vec) {
 
 // Col returns a copy of column c as a vector of length Rows.
 func (m *Mat) Col(c int) *Vec {
+	m.checkCol(c)
 	out := NewVec(m.rows)
+	wi, sh := c>>6, uint(c&63)
 	for r := 0; r < m.rows; r++ {
-		out.Set(r, m.Get(r, c))
+		out.w[r>>6] |= (m.r[r].w[wi] >> sh & 1) << uint(r&63)
 	}
 	return out
 }
 
 // SetCol writes src (length Rows) into column c.
 func (m *Mat) SetCol(c int, src *Vec) {
+	m.checkCol(c)
 	if src.Len() != m.rows {
 		panic("bitmat: SetCol length mismatch")
 	}
+	wi, bit := c>>6, uint64(1)<<uint(c&63)
 	for r := 0; r < m.rows; r++ {
-		m.Set(r, c, src.Get(r))
+		if src.w[r>>6]>>uint(r&63)&1 != 0 {
+			m.r[r].w[wi] |= bit
+		} else {
+			m.r[r].w[wi] &^= bit
+		}
 	}
 }
 
@@ -130,16 +151,52 @@ func (m *Mat) Popcount() int {
 	return c
 }
 
-// Transpose returns a new cols×rows matrix with axes swapped.
+// Transpose returns a new cols×rows matrix with axes swapped. It works in
+// 64×64 tiles: each tile is loaded as 64 words, transposed in registers
+// with the log₂64-step swap network, and stored as whole words — O(n²/64)
+// word operations instead of one Get/Set round trip per set bit.
 func (m *Mat) Transpose() *Mat {
 	out := NewMat(m.cols, m.rows)
-	for r := 0; r < m.rows; r++ {
-		row := m.r[r]
-		for _, c := range row.OnesIndices() {
-			out.Set(c, r, true)
+	var tile [64]uint64
+	for tr := 0; tr < m.rows; tr += 64 {
+		th := m.rows - tr
+		if th > 64 {
+			th = 64
+		}
+		for tc := 0; tc < m.cols; tc += 64 {
+			tw := m.cols - tc
+			if tw > 64 {
+				tw = 64
+			}
+			wi := tc >> 6
+			for i := 0; i < th; i++ {
+				tile[i] = m.r[tr+i].w[wi]
+			}
+			for i := th; i < 64; i++ {
+				tile[i] = 0
+			}
+			transpose64(&tile)
+			wo := tr >> 6
+			for i := 0; i < tw; i++ {
+				out.r[tc+i].w[wo] = tile[i]
+			}
 		}
 	}
 	return out
+}
+
+// transpose64 transposes a 64×64 bit block held as 64 row words (bit c of
+// word r is cell (r,c)) using the recursive block-swap network.
+func transpose64(a *[64]uint64) {
+	j := uint(32)
+	mask := uint64(0x00000000FFFFFFFF)
+	for ; j != 0; j, mask = j>>1, mask^(mask<<(j>>1)) {
+		for k := uint(0); k < 64; k = (k + j + 1) &^ j {
+			t := (a[k]>>j ^ a[k+j]) & mask
+			a[k+j] ^= t
+			a[k] ^= t << j
+		}
+	}
 }
 
 // Block returns a copy of the h×w submatrix whose top-left corner is (r0,c0).
@@ -149,9 +206,7 @@ func (m *Mat) Block(r0, c0, h, w int) *Mat {
 	}
 	out := NewMat(h, w)
 	for r := 0; r < h; r++ {
-		for c := 0; c < w; c++ {
-			out.Set(r, c, m.Get(r0+r, c0+c))
-		}
+		copyBits(out.r[r].w, 0, m.r[r0+r].w, c0, w)
 	}
 	return out
 }
@@ -162,9 +217,7 @@ func (m *Mat) SetBlock(r0, c0 int, src *Mat) {
 		panic("bitmat: SetBlock out of range")
 	}
 	for r := 0; r < src.rows; r++ {
-		for c := 0; c < src.cols; c++ {
-			m.Set(r0+r, c0+c, src.Get(r, c))
-		}
+		copyBits(m.r[r0+r].w, c0, src.r[r].w, 0, src.cols)
 	}
 }
 
@@ -189,7 +242,7 @@ func (m *Mat) LeadingDiagonal(d int) *Vec {
 	out := NewVec(n)
 	for r := 0; r < n; r++ {
 		c := ((d-r)%n + n) % n
-		out.Set(r, m.Get(r, c))
+		out.w[r>>6] |= (m.r[r].w[c>>6] >> uint(c&63) & 1) << uint(r&63)
 	}
 	return out
 }
@@ -205,7 +258,7 @@ func (m *Mat) CounterDiagonal(d int) *Vec {
 	out := NewVec(n)
 	for r := 0; r < n; r++ {
 		c := ((r-d)%n + n) % n
-		out.Set(r, m.Get(r, c))
+		out.w[r>>6] |= (m.r[r].w[c>>6] >> uint(c&63) & 1) << uint(r&63)
 	}
 	return out
 }

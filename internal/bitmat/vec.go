@@ -226,7 +226,9 @@ func (v *Vec) Equal(o *Vec) bool {
 	return true
 }
 
-// OnesIndices returns the indices of all set bits in ascending order.
+// OnesIndices returns the indices of all set bits in ascending order. It
+// allocates the result slice; hot loops should use ForEachOne or NextOne
+// instead.
 func (v *Vec) OnesIndices() []int {
 	var out []int
 	for wi, w := range v.w {
@@ -239,6 +241,98 @@ func (v *Vec) OnesIndices() []int {
 	return out
 }
 
+// ForEachOne calls fn for each set bit index in ascending order, without
+// allocating.
+func (v *Vec) ForEachOne(fn func(int)) {
+	for wi, w := range v.w {
+		for w != 0 {
+			fn(wi*64 + bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+}
+
+// NextOne returns the smallest set bit index ≥ i, or -1 if there is none.
+// Iterate all set bits allocation-free with
+//
+//	for i := v.NextOne(0); i >= 0; i = v.NextOne(i + 1) { ... }
+func (v *Vec) NextOne(i int) int {
+	if i < 0 {
+		i = 0
+	}
+	if i >= v.n {
+		return -1
+	}
+	wi := i >> 6
+	w := v.w[wi] &^ (1<<uint(i&63) - 1)
+	for {
+		if w != 0 {
+			return wi*64 + bits.TrailingZeros64(w)
+		}
+		wi++
+		if wi >= len(v.w) {
+			return -1
+		}
+		w = v.w[wi]
+	}
+}
+
+// Uint64At returns the k (0 ≤ k ≤ 64) bits starting at offset lo, packed
+// into the low bits of the result — a window read that never allocates.
+func (v *Vec) Uint64At(lo, k int) uint64 {
+	if k < 0 || k > 64 || lo < 0 || lo+k > v.n {
+		panic(fmt.Sprintf("bitmat: bad Uint64At(%d,%d) of %d", lo, k, v.n))
+	}
+	if k == 0 {
+		return 0
+	}
+	return extractBits(v.w, lo, k)
+}
+
+// MaskedMerge sets v = (a & mask) | (v &^ mask): bits selected by mask are
+// taken from a, the rest keep their current value. This is the single
+// primitive behind masked gate execution — a whole-line operation merged
+// into the destination under a selection mask. Operands may alias v.
+func (v *Vec) MaskedMerge(a, mask *Vec) {
+	v.sameLen(a)
+	v.sameLen(mask)
+	for i := range v.w {
+		m := mask.w[i]
+		v.w[i] = a.w[i]&m | v.w[i]&^m
+	}
+}
+
+// extractBits returns the k (1..64) bits of src starting at bit lo, in the
+// low bits of the result. Bits past the end of src read as zero.
+func extractBits(src []uint64, lo, k int) uint64 {
+	wi, b := lo>>6, uint(lo&63)
+	w := src[wi] >> b
+	if b != 0 && int(b)+k > 64 && wi+1 < len(src) {
+		w |= src[wi+1] << (64 - b)
+	}
+	return w & maskLow(k)
+}
+
+// copyBits copies n bits from src starting at bit srcLo into dst starting
+// at bit dstLo, proceeding one destination word per step (shift-and-stitch
+// rather than per-bit Get/Set). dst and src must not be overlapping views
+// of the same array unless the offsets are equal; callers resolve aliasing.
+func copyBits(dst []uint64, dstLo int, src []uint64, srcLo, n int) {
+	for n > 0 {
+		dw, db := dstLo>>6, dstLo&63
+		chunk := 64 - db
+		if chunk > n {
+			chunk = n
+		}
+		b := extractBits(src, srcLo, chunk)
+		m := maskLow(chunk) << uint(db)
+		dst[dw] = dst[dw]&^m | b<<uint(db)
+		dstLo += chunk
+		srcLo += chunk
+		n -= chunk
+	}
+}
+
 // RotateLeft returns a copy of v rotated left by k positions (element i of
 // the result is element (i+k) mod n of v). k may be negative or exceed n.
 func (v *Vec) RotateLeft(k int) *Vec {
@@ -248,9 +342,8 @@ func (v *Vec) RotateLeft(k int) *Vec {
 		return out
 	}
 	k = ((k % n) + n) % n
-	for i := 0; i < n; i++ {
-		out.Set(i, v.Get((i+k)%n))
-	}
+	copyBits(out.w, 0, v.w, k, n-k)
+	copyBits(out.w, n-k, v.w, 0, k)
 	return out
 }
 
@@ -260,20 +353,29 @@ func (v *Vec) Slice(lo, hi int) *Vec {
 		panic(fmt.Sprintf("bitmat: bad slice [%d,%d) of %d", lo, hi, v.n))
 	}
 	out := NewVec(hi - lo)
-	for i := lo; i < hi; i++ {
-		out.Set(i-lo, v.Get(i))
-	}
+	copyBits(out.w, 0, v.w, lo, hi-lo)
 	return out
 }
 
-// SetSlice writes src into v starting at offset lo.
+// SetSlice writes src into v starting at offset lo. If src is v itself the
+// result is as if src had been copied first.
 func (v *Vec) SetSlice(lo int, src *Vec) {
 	if lo < 0 || lo+src.n > v.n {
 		panic(fmt.Sprintf("bitmat: bad SetSlice at %d len %d into %d", lo, src.n, v.n))
 	}
-	for i := 0; i < src.n; i++ {
-		v.Set(lo+i, src.Get(i))
+	v.CopyRange(lo, src, 0, src.n)
+}
+
+// CopyRange copies n bits from src starting at srcLo into v starting at
+// dstLo. If src is v itself the result is as if src had been copied first.
+func (v *Vec) CopyRange(dstLo int, src *Vec, srcLo, n int) {
+	if n < 0 || srcLo < 0 || srcLo+n > src.n || dstLo < 0 || dstLo+n > v.n {
+		panic(fmt.Sprintf("bitmat: bad CopyRange(%d, src[%d:%d+%d]) into %d", dstLo, srcLo, srcLo, n, v.n))
 	}
+	if v == src && dstLo != srcLo {
+		src = src.Clone()
+	}
+	copyBits(v.w, dstLo, src.w, srcLo, n)
 }
 
 // Uint64 returns the low 64 bits of the vector as an integer (bit i of the

@@ -82,6 +82,13 @@ type CMEM struct {
 	pcs      []*ProcessingCrossbar
 	checking *xbar.Crossbar // 1×2n syndrome row
 	xferCyc  int            // connection-unit / shifter transfer cycles
+
+	// Scratch state for the hot operations (a CMEM serves one MEM and is
+	// driven sequentially, so reuse is safe): routed/check-bit staging
+	// vectors, the XOR3 parity accumulator, and the all-columns PC mask.
+	routeScratch *bitmat.Vec
+	accScratch   *bitmat.Vec
+	allCols      *bitmat.Vec
 }
 
 // New builds an all-zero CMEM (correct for an all-zero MEM).
@@ -99,7 +106,12 @@ func New(cfg Config) *CMEM {
 		counter:  make([]*xbar.Crossbar, cfg.M),
 		pcs:      make([]*ProcessingCrossbar, cfg.K),
 		checking: xbar.New(1, 2*cfg.N),
+
+		routeScratch: bitmat.NewVec(cfg.N),
+		accScratch:   bitmat.NewVec(cfg.N),
+		allCols:      bitmat.NewVec(cfg.N),
 	}
+	c.allCols.Fill(true)
 	for d := 0; d < cfg.M; d++ {
 		c.lead[d] = xbar.New(s, s)
 		c.counter[d] = xbar.New(s, s)
@@ -190,28 +202,26 @@ func (c *CMEM) Stats() Stats {
 
 // --- check-bit crossbar vector access (through the connection unit) -------
 
-// checkVec reads, for a row-parallel op on block-column bc, the n check
-// bits {family, d, br, bc} for all d and br, packed d-major (index
+// checkVecInto reads, for a row-parallel op on block-column bc, the n check
+// bits {family, d, br, bc} for all d and br into dst, packed d-major (index
 // d·(n/m)+br) — the order the shifters produce. Costs one read cycle per
 // check-bit crossbar (they are read in parallel; the clock advance is
 // modeled on each crossbar independently).
-func (c *CMEM) checkVec(f shifter.Family, o shifter.Orientation, blockIdx int) *bitmat.Vec {
+func (c *CMEM) checkVecInto(dst *bitmat.Vec, f shifter.Family, o shifter.Orientation, blockIdx int) {
 	xs := c.family(f)
 	g := c.geom.BlocksPerSide()
-	out := bitmat.NewVec(c.cfg.N)
 	for d := 0; d < c.cfg.M; d++ {
-		for i := 0; i < g; i++ {
-			var bit bool
-			if o == shifter.RowParallel {
-				bit = xs[d].Get(i, blockIdx) // column blockIdx, rows = block-rows
-			} else {
-				bit = xs[d].Get(blockIdx, i) // row blockIdx, cols = block-cols
+		if o == shifter.RowParallel {
+			// Column blockIdx, rows = block-rows: a strided gather.
+			for i := 0; i < g; i++ {
+				dst.Set(d*g+i, xs[d].Get(i, blockIdx))
 			}
-			out.Set(d*g+i, bit)
+		} else {
+			// Row blockIdx, cols = block-cols: one word-level range copy.
+			dst.CopyRange(d*g, xs[d].Mat().Row(blockIdx), 0, g)
 		}
 		xs[d].Tick() // one access cycle per crossbar
 	}
-	return out
 }
 
 // writeCheckVec writes the packed d-major vector back (dual of checkVec).
@@ -239,15 +249,9 @@ func (c *CMEM) family(f shifter.Family) []*xbar.Crossbar {
 }
 
 // routePacked runs a MEM-order vector through the shifter and packs the m
-// diagonal vectors d-major into one n-bit vector.
+// diagonal vectors d-major into the CMEM's routing scratch vector (valid
+// until the next routePacked call).
 func (c *CMEM) routePacked(data *bitmat.Vec, shift int, f shifter.Family, o shifter.Orientation) *bitmat.Vec {
-	diag := c.sh.Route(data, shift, f, o)
-	g := c.geom.BlocksPerSide()
-	out := bitmat.NewVec(c.cfg.N)
-	for d := 0; d < c.cfg.M; d++ {
-		for i := 0; i < g; i++ {
-			out.Set(d*g+i, diag[d].Get(i))
-		}
-	}
-	return out
+	c.sh.RoutePacked(c.routeScratch, data, shift, f, o)
+	return c.routeScratch
 }

@@ -50,22 +50,21 @@ func (c *CMEM) UpdateCritical(pcID int, u CriticalUpdate) {
 		if f == shifter.Counter {
 			strip = pc.counter
 		}
-		oldR := c.routePacked(u.Old, shift, f, u.Orientation)
-		newR := c.routePacked(u.New, shift, f, u.Orientation)
-		check := c.checkVec(f, u.Orientation, blockIdx)
-
 		// Transfers into the PC: old data, new data, check bits. Each is a
 		// parallel line transfer through the shifters (MAGIC-NOT-like, one
-		// cycle each).
-		strip.WriteRow(xbar.XOR3RowA, oldR)
-		strip.WriteRow(xbar.XOR3RowB, newR)
-		strip.WriteRow(xbar.XOR3RowC, check)
+		// cycle each). Routing stages through a single scratch vector, so
+		// each routed line is written to the strip before the next route.
+		strip.WriteRow(xbar.XOR3RowA, c.routePacked(u.Old, shift, f, u.Orientation))
+		strip.WriteRow(xbar.XOR3RowB, c.routePacked(u.New, shift, f, u.Orientation))
+		c.checkVecInto(c.routeScratch, f, u.Orientation, blockIdx)
+		strip.WriteRow(xbar.XOR3RowC, c.routeScratch)
 		c.xferCyc += 3
 
-		strip.XOR3Cols(0, strip.AllCols())
+		strip.XOR3Cols(0, c.allCols)
 
-		// Write-back through the connection unit.
-		c.writeCheckVec(f, u.Orientation, blockIdx, strip.Mat().Row(xbar.XOR3RowOut).Clone())
+		// Write-back through the connection unit (read-only, so the live
+		// strip row needs no defensive copy).
+		c.writeCheckVec(f, u.Orientation, blockIdx, strip.Mat().Row(xbar.XOR3RowOut))
 		c.xferCyc++
 	}
 }
@@ -94,13 +93,14 @@ func (c *CMEM) CheckLine(mem *xbar.Crossbar, o shifter.Orientation, blockIdx int
 	pc := c.pcs[pcID]
 
 	// Recompute parities per family by accumulating the m routed lines.
-	syn := make(map[shifter.Family]*bitmat.Vec)
+	var synLead, synCounter *bitmat.Vec
 	for _, f := range []shifter.Family{shifter.Leading, shifter.Counter} {
 		strip := pc.lead
 		if f == shifter.Counter {
 			strip = pc.counter
 		}
-		acc := bitmat.NewVec(c.cfg.N) // parity accumulator (starts zero)
+		acc := c.accScratch // parity accumulator (starts zero)
+		acc.Zero()
 		for l := 0; l < m; l++ {
 			var line *bitmat.Vec
 			if o == shifter.ColParallel {
@@ -119,25 +119,28 @@ func (c *CMEM) CheckLine(mem *xbar.Crossbar, o shifter.Orientation, blockIdx int
 			// the cycle model below accounts for.
 			strip.WriteRow(xbar.XOR3RowA, acc)
 			strip.WriteRow(xbar.XOR3RowB, routed)
-			strip.ClearRowInCols(xbar.XOR3RowC, strip.AllCols())
-			strip.XOR3Cols(0, strip.AllCols())
-			acc = strip.Mat().Row(xbar.XOR3RowOut).Clone()
+			strip.ClearRowInCols(xbar.XOR3RowC, c.allCols)
+			strip.XOR3Cols(0, c.allCols)
+			acc.CopyFrom(strip.Mat().Row(xbar.XOR3RowOut))
 		}
 		// Fold in the stored check bits: syndrome = parity ⊕ check.
-		check := c.checkVec(f, o, blockIdx)
+		c.checkVecInto(c.routeScratch, f, o, blockIdx)
 		strip.WriteRow(xbar.XOR3RowA, acc)
-		strip.WriteRow(xbar.XOR3RowB, check)
-		strip.ClearRowInCols(xbar.XOR3RowC, strip.AllCols())
-		strip.XOR3Cols(0, strip.AllCols())
-		syn[f] = strip.Mat().Row(xbar.XOR3RowOut).Clone()
+		strip.WriteRow(xbar.XOR3RowB, c.routeScratch)
+		strip.ClearRowInCols(xbar.XOR3RowC, c.allCols)
+		strip.XOR3Cols(0, c.allCols)
+		if f == shifter.Leading {
+			synLead = strip.Mat().Row(xbar.XOR3RowOut).Clone()
+		} else {
+			synCounter = strip.Mat().Row(xbar.XOR3RowOut).Clone()
+		}
 	}
 
 	// Transfer syndromes to the checking crossbar (leading family in cells
-	// [0,n), counter in [n,2n)) and zero-compare per block.
-	for i := 0; i < c.cfg.N; i++ {
-		c.checking.Set(0, i, syn[shifter.Leading].Get(i))
-		c.checking.Set(0, c.cfg.N+i, syn[shifter.Counter].Get(i))
-	}
+	// [0,n), counter in [n,2n)) as two word-level range copies.
+	checkRow := c.checking.Mat().Row(0)
+	checkRow.CopyRange(0, synLead, 0, c.cfg.N)
+	checkRow.CopyRange(c.cfg.N, synCounter, 0, c.cfg.N)
 	c.checking.Tick() // syndrome transfer cycle
 	// Zero-compare of each block's 2m syndrome bits via a MAGIC NOR
 	// reduction tree; modeled as ceil(log2(2m))+1 cycles.
@@ -152,8 +155,8 @@ func (c *CMEM) CheckLine(mem *xbar.Crossbar, o shifter.Orientation, blockIdx int
 		lead := bitmat.NewVec(m)
 		counter := bitmat.NewVec(m)
 		for d := 0; d < m; d++ {
-			lead.Set(d, syn[shifter.Leading].Get(d*g+b))
-			counter.Set(d, syn[shifter.Counter].Get(d*g+b))
+			lead.Set(d, synLead.Get(d*g+b))
+			counter.Set(d, synCounter.Get(d*g+b))
 		}
 		if !lead.Any() && !counter.Any() {
 			continue

@@ -2,6 +2,7 @@ package ecc
 
 import (
 	"fmt"
+	mathbits "math/bits"
 
 	"repro/internal/bitmat"
 )
@@ -42,10 +43,8 @@ func Build(p Params, mem *bitmat.Mat) *CheckBits {
 		panic(fmt.Sprintf("ecc: memory is %dx%d, geometry wants %dx%d", mem.Rows(), mem.Cols(), p.N, p.N))
 	}
 	for r := 0; r < p.N; r++ {
-		row := mem.Row(r)
-		for _, c := range row.OnesIndices() {
-			cb.flipFor(r, c)
-		}
+		r := r
+		mem.Row(r).ForEachOne(func(c int) { cb.flipFor(r, c) })
 	}
 	return cb
 }
@@ -97,9 +96,7 @@ func (cb *CheckBits) UpdateColumnWrite(c int, oldCol, newCol, rows *bitmat.Vec) 
 	delta := bitmat.NewVec(oldCol.Len())
 	delta.Xor(oldCol, newCol)
 	delta.And(delta, rows)
-	for _, r := range delta.OnesIndices() {
-		cb.flipFor(r, c)
-	}
+	delta.ForEachOne(func(r int) { cb.flipFor(r, c) })
 }
 
 // UpdateRowWrite is the row-parallel dual of UpdateColumnWrite: row r was
@@ -108,9 +105,7 @@ func (cb *CheckBits) UpdateRowWrite(r int, oldRow, newRow, cols *bitmat.Vec) {
 	delta := bitmat.NewVec(oldRow.Len())
 	delta.Xor(oldRow, newRow)
 	delta.And(delta, cols)
-	for _, c := range delta.OnesIndices() {
-		cb.flipFor(r, c)
-	}
+	delta.ForEachOne(func(c int) { cb.flipFor(r, c) })
 }
 
 // ResetBlock zeroes the check bits of block (br,bc) — the corner-case
@@ -156,11 +151,19 @@ func (cb *CheckBits) Syndrome(mem *bitmat.Mat, br, bc int) (lead, counter *bitma
 		lead.Set(d, cb.lead[d].Get(br, bc))
 		counter.Set(d, cb.counter[d].Get(br, bc))
 	}
+	// Walk each block row in word windows and visit only the set bits.
 	r0, c0 := br*p.M, bc*p.M
 	for lr := 0; lr < p.M; lr++ {
 		row := mem.Row(r0 + lr)
-		for lc := 0; lc < p.M; lc++ {
-			if row.Get(c0 + lc) {
+		for base := 0; base < p.M; base += 64 {
+			k := p.M - base
+			if k > 64 {
+				k = 64
+			}
+			w := row.Uint64At(c0+base, k)
+			for w != 0 {
+				lc := base + mathbits.TrailingZeros64(w)
+				w &= w - 1
 				lead.Flip(p.LeadIdx(lr, lc))
 				counter.Flip(p.CounterIdx(lr, lc))
 			}

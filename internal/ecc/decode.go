@@ -53,18 +53,17 @@ type Diagnosis struct {
 // CMEM controller evaluates after the checking crossbar flags a non-zero
 // syndrome (Section IV-A4).
 func Decode(p Params, lead, counter *bitmat.Vec) Diagnosis {
-	li := lead.OnesIndices()
-	ci := counter.OnesIndices()
+	ln, cn := lead.Popcount(), counter.Popcount()
 	switch {
-	case len(li) == 0 && len(ci) == 0:
+	case ln == 0 && cn == 0:
 		return Diagnosis{Kind: NoError}
-	case len(li) == 1 && len(ci) == 1:
-		lr, lc := p.Intersect(li[0], ci[0])
+	case ln == 1 && cn == 1:
+		lr, lc := p.Intersect(lead.NextOne(0), counter.NextOne(0))
 		return Diagnosis{Kind: DataError, LR: lr, LC: lc}
-	case len(li) == 1 && len(ci) == 0:
-		return Diagnosis{Kind: LeadCheckError, Diag: li[0]}
-	case len(li) == 0 && len(ci) == 1:
-		return Diagnosis{Kind: CounterCheckError, Diag: ci[0]}
+	case ln == 1 && cn == 0:
+		return Diagnosis{Kind: LeadCheckError, Diag: lead.NextOne(0)}
+	case ln == 0 && cn == 1:
+		return Diagnosis{Kind: CounterCheckError, Diag: counter.NextOne(0)}
 	default:
 		return Diagnosis{Kind: Uncorrectable}
 	}

@@ -22,9 +22,8 @@ func NewHorizontalCode(mem *bitmat.Mat, w int) *HorizontalCode {
 	}
 	h := &HorizontalCode{N: mem.Cols(), W: w, check: bitmat.NewMat(mem.Rows(), mem.Cols()/w)}
 	for r := 0; r < mem.Rows(); r++ {
-		for _, c := range mem.Row(r).OnesIndices() {
-			h.check.Flip(r, c/w)
-		}
+		r := r
+		mem.Row(r).ForEachOne(func(c int) { h.check.Flip(r, c/w) })
 	}
 	return h
 }
@@ -33,9 +32,7 @@ func NewHorizontalCode(mem *bitmat.Mat, w int) *HorizontalCode {
 func (h *HorizontalCode) Verify(mem *bitmat.Mat) bool {
 	for r := 0; r < mem.Rows(); r++ {
 		got := bitmat.NewVec(h.check.Cols())
-		for _, c := range mem.Row(r).OnesIndices() {
-			got.Flip(c / h.W)
-		}
+		mem.Row(r).ForEachOne(func(c int) { got.Flip(c / h.W) })
 		if !got.Equal(h.check.Row(r)) {
 			return false
 		}

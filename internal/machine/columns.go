@@ -90,8 +90,20 @@ func (m *Machine) writeRowUniform(r int, v bool, cols *bitmat.Vec, criticalStep 
 		old = m.mem.Mat().Row(r).Clone()
 		m.mem.Tick()
 	}
-	for _, c := range cols.OnesIndices() {
-		m.mem.Set(r, c, v)
+	// Masked word fill: drive the constant into the selected columns of
+	// the row in whole-word operations (Set bypasses gate bookkeeping, so
+	// writing the live row directly is equivalent to the per-cell loop).
+	row := m.mem.Mat().Row(r)
+	if cols.Len() == row.Len() {
+		if v {
+			row.Or(row, cols)
+		} else {
+			row.AndNot(row, cols)
+		}
+	} else {
+		for c := cols.NextOne(0); c >= 0; c = cols.NextOne(c + 1) {
+			m.mem.Set(r, c, v)
+		}
 	}
 	m.mem.Tick()
 	if critical {

@@ -280,7 +280,7 @@ func (m *Machine) writeColumn(c int, v bool, rows *bitmat.Vec, criticalStep bool
 		old = m.mem.Mat().Col(c)
 		m.mem.Tick()
 	}
-	for _, r := range rows.OnesIndices() {
+	for r := rows.NextOne(0); r >= 0; r = rows.NextOne(r + 1) {
 		m.mem.Set(r, c, v)
 	}
 	m.mem.Tick() // one write-driver cycle

@@ -104,21 +104,39 @@ func (s *Shifter) sourceOffset(d, shift int, f Family, o Orientation) int {
 // diagonal-order vectors d_0..d_{m−1}, each of length n/m, where
 // out[d][g] is the data bit of group (block) g lying on diagonal d.
 func (s *Shifter) Route(data *bitmat.Vec, shift int, f Family, o Orientation) []*bitmat.Vec {
+	out := make([]*bitmat.Vec, s.M)
+	g := s.Groups()
+	packed := bitmat.NewVec(s.N)
+	s.RoutePacked(packed, data, shift, f, o)
+	for d := 0; d < s.M; d++ {
+		out[d] = packed.Slice(d*g, (d+1)*g)
+	}
+	return out
+}
+
+// RoutePacked is the allocation-free core of Route: it writes the m
+// diagonal-order vectors d-major into dst (bit d·groups+g of dst is the
+// data bit of group g on diagonal d) — exactly the packing the check-bit
+// crossbars consume, with no intermediate per-diagonal vectors. dst must
+// not alias data (the permutation is applied while reading).
+func (s *Shifter) RoutePacked(dst, data *bitmat.Vec, shift int, f Family, o Orientation) {
+	if dst == data {
+		panic("shifter: RoutePacked destination must not alias the data vector")
+	}
 	if data.Len() != s.N {
 		panic(fmt.Sprintf("shifter: vector length %d, want %d", data.Len(), s.N))
 	}
+	if dst.Len() != s.N {
+		panic(fmt.Sprintf("shifter: packed destination length %d, want %d", dst.Len(), s.N))
+	}
 	shift = ((shift % s.M) + s.M) % s.M
-	out := make([]*bitmat.Vec, s.M)
 	g := s.Groups()
 	for d := 0; d < s.M; d++ {
-		v := bitmat.NewVec(g)
 		off := s.sourceOffset(d, shift, f, o)
 		for grp := 0; grp < g; grp++ {
-			v.Set(grp, data.Get(grp*s.M+off))
+			dst.Set(d*g+grp, data.Get(grp*s.M+off))
 		}
-		out[d] = v
 	}
-	return out
 }
 
 // Unroute is the inverse of Route: it reassembles the MEM-order vector

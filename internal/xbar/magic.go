@@ -72,11 +72,19 @@ func (x *Crossbar) ClearRowInCols(r int, cols *bitmat.Vec) {
 	x.checkRow(r)
 	x.stats.Cycles++
 	x.stats.Writes++
-	for _, c := range cols.OnesIndices() {
-		x.mem.Set(r, c, false)
-		x.init.Set(r, c, false)
+	mr, ir := x.mem.Row(r), x.init.Row(r)
+	if cols.Len() == x.cols {
+		mr.AndNot(mr, cols)
+		ir.AndNot(ir, cols)
+	} else { // short selection mask: per-bit fallback
+		for c := cols.NextOne(0); c >= 0; c = cols.NextOne(c + 1) {
+			mr.Set(c, false)
+			ir.Set(c, false)
+		}
 	}
-	x.sampleWatches()
+	if x.watch != nil {
+		x.sampleWatches()
+	}
 }
 
 // CopyRowToRow copies src row to dst row across the selected columns using

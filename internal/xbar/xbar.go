@@ -41,15 +41,23 @@ type Crossbar struct {
 	stats      Stats
 	trace      *traceRing          // nil unless EnableTrace was called
 	watch      map[[2]int][]sample // nil unless WatchCell was called
+
+	// Scratch vectors for word-parallel gate execution; owned by the
+	// crossbar so the hot paths are allocation-free. A crossbar is not
+	// safe for concurrent use (it never was — every op mutates stats).
+	rowScratch *bitmat.Vec // length cols: whole-row NOR/NOT result
+	colFill    *bitmat.Vec // length cols: column-index fill mask
 }
 
 // New returns a crossbar with all memristors in HRS ('0'), uninitialized.
 func New(rows, cols int) *Crossbar {
 	return &Crossbar{
-		rows: rows,
-		cols: cols,
-		mem:  bitmat.NewMat(rows, cols),
-		init: bitmat.NewMat(rows, cols),
+		rows:       rows,
+		cols:       cols,
+		mem:        bitmat.NewMat(rows, cols),
+		init:       bitmat.NewMat(rows, cols),
+		rowScratch: bitmat.NewVec(cols),
+		colFill:    bitmat.NewVec(cols),
 	}
 }
 
@@ -74,7 +82,9 @@ func (x *Crossbar) ResetStats() { x.stats = Stats{} }
 // (used to model stalls imposed by an external controller).
 func (x *Crossbar) Tick() {
 	x.stats.Cycles++
-	x.sampleWatches()
+	if x.watch != nil {
+		x.sampleWatches()
+	}
 }
 
 // Get reads the logical state of memristor (r,c) without consuming a cycle
@@ -122,50 +132,76 @@ func (x *Crossbar) AllCols() *bitmat.Vec {
 // InitColumnsInRows initializes (sets to LRS, '1') the memristors at the
 // given column indices in every selected row. All named cells initialize in
 // parallel in a single cycle, matching MAGIC's batched initialization.
+// Implemented as a masked word fill: the column indices become a fill mask
+// OR-ed into every selected row.
 func (x *Crossbar) InitColumnsInRows(cols []int, rows *bitmat.Vec) {
 	x.stats.Cycles++
 	x.stats.Inits++
-	for _, r := range rows.OnesIndices() {
-		for _, c := range cols {
-			x.mem.Set(r, c, true)
-			x.init.Set(r, c, true)
-		}
+	x.colFill.Zero()
+	for _, c := range cols {
+		x.colFill.Set(c, true)
 	}
-	x.record(OpInit, -1, -1, -1, rows)
-	x.sampleWatches()
+	for r := rows.NextOne(0); r >= 0; r = rows.NextOne(r + 1) {
+		mr, ir := x.mem.Row(r), x.init.Row(r)
+		mr.Or(mr, x.colFill)
+		ir.Or(ir, x.colFill)
+	}
+	if x.trace != nil {
+		x.record(OpInit, -1, -1, -1, rows)
+	}
+	if x.watch != nil {
+		x.sampleWatches()
+	}
 }
 
 // InitRowsInCols initializes the memristors at the given row indices in
-// every selected column, in one cycle.
+// every selected column, in one cycle: each named row is a single masked
+// word fill under the column-selection mask.
 func (x *Crossbar) InitRowsInCols(rowIdx []int, cols *bitmat.Vec) {
 	x.stats.Cycles++
 	x.stats.Inits++
-	for _, c := range cols.OnesIndices() {
-		for _, r := range rowIdx {
-			x.mem.Set(r, c, true)
-			x.init.Set(r, c, true)
+	for _, r := range rowIdx {
+		x.checkRow(r)
+		mr, ir := x.mem.Row(r), x.init.Row(r)
+		if cols.Len() == x.cols {
+			mr.Or(mr, cols)
+			ir.Or(ir, cols)
+		} else { // short selection mask: per-bit fallback
+			for c := cols.NextOne(0); c >= 0; c = cols.NextOne(c + 1) {
+				mr.Set(c, true)
+				ir.Set(c, true)
+			}
 		}
 	}
-	x.record(OpInit, -1, -1, -1, cols)
-	x.sampleWatches()
+	if x.trace != nil {
+		x.record(OpInit, -1, -1, -1, cols)
+	}
+	if x.watch != nil {
+		x.sampleWatches()
+	}
 }
 
 // --- In-row gates (parallel across rows, Fig 1a) ---------------------------
 
 // NORRows executes out = NOR(a, b) within each selected row, where a, b and
 // out are column indices. One clock cycle regardless of how many rows are
-// selected.
+// selected. Each gate touches three bits of one row, so the loop walks the
+// selection mask allocation-free rather than materializing an index slice.
 func (x *Crossbar) NORRows(a, b, out int, rows *bitmat.Vec) {
 	x.checkCol(a)
 	x.checkCol(b)
 	x.checkCol(out)
 	x.stats.Cycles++
 	x.stats.NORs++
-	for _, r := range rows.OnesIndices() {
-		x.gate(r, a, r, b, r, out)
+	for r := rows.NextOne(0); r >= 0; r = rows.NextOne(r + 1) {
+		x.gateRow(r, a, b, out)
 	}
-	x.record(OpNORRows, a, b, out, rows)
-	x.sampleWatches()
+	if x.trace != nil {
+		x.record(OpNORRows, a, b, out, rows)
+	}
+	if x.watch != nil {
+		x.sampleWatches()
+	}
 }
 
 // NOTRows executes out = NOT(a) within each selected row. In MAGIC, NOT is
@@ -175,28 +211,40 @@ func (x *Crossbar) NOTRows(a, out int, rows *bitmat.Vec) {
 	x.checkCol(out)
 	x.stats.Cycles++
 	x.stats.NORs++
-	for _, r := range rows.OnesIndices() {
-		x.gate(r, a, r, a, r, out)
+	for r := rows.NextOne(0); r >= 0; r = rows.NextOne(r + 1) {
+		x.gateRow(r, a, a, out)
 	}
-	x.record(OpNOTRows, a, -1, out, rows)
-	x.sampleWatches()
+	if x.trace != nil {
+		x.record(OpNOTRows, a, -1, out, rows)
+	}
+	if x.watch != nil {
+		x.sampleWatches()
+	}
 }
 
 // --- In-column gates (parallel across columns, Fig 1b) ---------------------
 
 // NORCols executes out = NOR(a, b) within each selected column, where a, b
 // and out are row indices. One clock cycle total.
+//
+// This is the word-parallel hot path: the whole-row NOR of rows a and b is
+// computed into a scratch vector and merged into row out under the
+// column-selection mask — a handful of word operations for any number of
+// selected columns, mirroring the single-cycle parallelism of the gate
+// itself.
 func (x *Crossbar) NORCols(a, b, out int, cols *bitmat.Vec) {
 	x.checkRow(a)
 	x.checkRow(b)
 	x.checkRow(out)
 	x.stats.Cycles++
 	x.stats.NORs++
-	for _, c := range cols.OnesIndices() {
-		x.gate(a, c, b, c, out, c)
+	x.gateCols(a, b, out, cols)
+	if x.trace != nil {
+		x.record(OpNORCols, a, b, out, cols)
 	}
-	x.record(OpNORCols, a, b, out, cols)
-	x.sampleWatches()
+	if x.watch != nil {
+		x.sampleWatches()
+	}
 }
 
 // NOTCols executes out = NOT(a) within each selected column.
@@ -205,11 +253,55 @@ func (x *Crossbar) NOTCols(a, out int, cols *bitmat.Vec) {
 	x.checkRow(out)
 	x.stats.Cycles++
 	x.stats.NORs++
-	for _, c := range cols.OnesIndices() {
-		x.gate(a, c, a, c, out, c)
+	x.gateCols(a, a, out, cols)
+	if x.trace != nil {
+		x.record(OpNOTCols, a, -1, out, cols)
 	}
-	x.record(OpNOTCols, a, -1, out, cols)
-	x.sampleWatches()
+	if x.watch != nil {
+		x.sampleWatches()
+	}
+}
+
+// gateCols executes out-row = NOR(row a, row b) in every column selected by
+// cols: three whole-row word operations (NOR, masked merge, init clear)
+// instead of one Get/Set round trip per selected column. NOT(a) is
+// NOR(a,a). In strict mode the gate panics before mutating anything if any
+// selected output cell is uninitialized.
+func (x *Crossbar) gateCols(a, b, out int, cols *bitmat.Vec) {
+	if cols.Len() != x.cols { // short selection mask: per-bit fallback
+		for c := cols.NextOne(0); c >= 0; c = cols.NextOne(c + 1) {
+			x.gate(a, c, b, c, out, c)
+		}
+		return
+	}
+	initOut := x.init.Row(out)
+	if x.strict {
+		// Violation mask: selected columns whose output is uninitialized.
+		v := x.rowScratch
+		v.AndNot(cols, initOut)
+		if c := v.NextOne(0); c >= 0 {
+			panic(fmt.Sprintf("xbar: gate output (%d,%d) not initialized", out, c))
+		}
+	}
+	s := x.rowScratch
+	s.Nor(x.mem.Row(a), x.mem.Row(b))
+	x.mem.Row(out).MaskedMerge(s, cols)
+	initOut.AndNot(initOut, cols) // outputs consumed; re-init before reuse
+	x.stats.GateCount += cols.Popcount()
+}
+
+// gateRow applies one in-row NOR: within row r, out-col = NOR(a-col,
+// b-col). The row vectors are looked up once and the three bit accesses go
+// through them directly.
+func (x *Crossbar) gateRow(r, a, b, out int) {
+	mr := x.mem.Row(r)
+	ir := x.init.Row(r)
+	if x.strict && !ir.Get(out) {
+		panic(fmt.Sprintf("xbar: gate output (%d,%d) not initialized", r, out))
+	}
+	mr.Set(out, !(mr.Get(a) || mr.Get(b)))
+	ir.Set(out, false) // output consumed; must re-init before reuse
+	x.stats.GateCount++
 }
 
 // gate applies a single NOR between (ra,ca),(rb,cb) into (ro,co).
@@ -231,7 +323,14 @@ func (x *Crossbar) ReadRow(r int) *bitmat.Vec {
 	x.checkRow(r)
 	x.stats.Cycles++
 	x.stats.Reads++
-	x.record(OpRead, -1, -1, r, nil)
+	if x.trace != nil {
+		x.record(OpRead, -1, -1, r, nil)
+	}
+	// Reads consume a cycle like any other operation, so watched cells
+	// must be sampled here too or read-heavy schedules lose VCD samples.
+	if x.watch != nil {
+		x.sampleWatches()
+	}
 	return x.mem.Row(r).Clone()
 }
 
@@ -241,12 +340,14 @@ func (x *Crossbar) WriteRow(r int, v *bitmat.Vec) {
 	x.checkRow(r)
 	x.stats.Cycles++
 	x.stats.Writes++
-	x.record(OpWrite, -1, -1, r, nil)
-	x.mem.SetRow(r, v)
-	for c := 0; c < x.cols; c++ {
-		x.init.Set(r, c, false)
+	if x.trace != nil {
+		x.record(OpWrite, -1, -1, r, nil)
 	}
-	x.sampleWatches()
+	x.mem.SetRow(r, v)
+	x.init.Row(r).Zero()
+	if x.watch != nil {
+		x.sampleWatches()
+	}
 }
 
 // Write stores a single bit through the write drivers (one cycle).
@@ -257,7 +358,9 @@ func (x *Crossbar) Write(r, c int, b bool) {
 	x.stats.Writes++
 	x.mem.Set(r, c, b)
 	x.init.Set(r, c, false)
-	x.sampleWatches()
+	if x.watch != nil {
+		x.sampleWatches()
+	}
 }
 
 func (x *Crossbar) checkRow(r int) {
