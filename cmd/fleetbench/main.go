@@ -8,6 +8,8 @@
 //	fleetbench -scenario uniform -banks 8 -perbank 4 -workers 4
 //	fleetbench -scenario hotbank -intensity 256
 //	fleetbench -scenario faultstorm -duration 3s -ecc=true
+//	fleetbench -scenario faultstorm -ser 2e5 -hours 2 -seed 7   # reproducible storm
+//	fleetbench -scenario campaign -model stuck1 -ser 1e5
 //	fleetbench -scenario uniform -ecc=false        # unprotected baseline
 package main
 
@@ -18,6 +20,8 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/campaign"
+	"repro/internal/faults"
 	"repro/internal/fleet"
 	"repro/internal/mmpu"
 )
@@ -32,15 +36,23 @@ func main() {
 	scenario := flag.String("scenario", "uniform",
 		"workload scenario: "+strings.Join(fleet.ScenarioNames(), ", "))
 	intensity := flag.Int("intensity", 0,
-		"scenario intensity (uniform: ops/crossbar, hotbank: total jobs, mixedscrub: rounds/crossbar, faultstorm: bursts/crossbar; 0 = default)")
+		"scenario intensity (uniform: ops/crossbar, hotbank: total jobs, mixedscrub: rounds/crossbar, faultstorm: bursts/crossbar, campaign: rounds/crossbar; 0 = default)")
 	workers := flag.Int("workers", 0, "worker shards (0 = GOMAXPROCS, capped at banks)")
-	seed := flag.Int64("seed", 1, "campaign base seed")
+	seed := flag.Int64("seed", 1, "campaign base seed (runs replay exactly from this)")
+	ser := flag.Float64("ser", 0,
+		"faultstorm/campaign injection rate [FIT/bit; FIT/line for the lines model] (0 = scenario default)")
+	hours := flag.Float64("hours", 0, "faultstorm/campaign exposure per burst/round (0 = scenario default)")
+	model := flag.String("model", "",
+		"campaign fault model: "+strings.Join(faults.ModelNames(), ", ")+" (default transient)")
+	skew := flag.Float64("skew", 0, "campaign per-crossbar rate-skew exponent")
 	width := flag.Int("width", 8, "SIMD kernel: adder width")
 	duration := flag.Duration("duration", 0,
 		"keep re-running (fresh derived seed each pass) until this much time has elapsed; 0 = one pass")
 	flag.Parse()
 
-	w, err := fleet.ScenarioByName(*scenario, *intensity)
+	w, err := fleet.ScenarioWithOptions(*scenario, fleet.ScenarioOptions{
+		Intensity: *intensity, SER: *ser, Hours: *hours, Model: *model, Skew: *skew,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -86,5 +98,15 @@ func main() {
 	for b, t := range total.PerBank {
 		bar := strings.Repeat("#", int(64*t.Jobs/max(total.Jobs, 1)))
 		fmt.Printf("    bank %2d %6d jobs %s\n", b, t.Jobs, bar)
+	}
+
+	if total.CampaignRounds > 0 {
+		tl := total.Campaign
+		fmt.Printf("\n  campaign adjudication (%d rounds, %d faults):\n", tl.Rounds, tl.Injected)
+		for o := 0; o < campaign.NumOutcomes; o++ {
+			fmt.Printf("    %-22s %d\n", campaign.Outcome(o).String(), tl.Counts[o])
+		}
+		fmt.Printf("    ref checks %d (mismatches %d) — conformant: %v\n",
+			tl.RefChecks, tl.RefMismatches, tl.Conformant())
 	}
 }

@@ -1,0 +1,378 @@
+package campaign
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/bitmat"
+	"repro/internal/faults"
+	"repro/internal/machine"
+	"repro/internal/netlist"
+	"repro/internal/synth"
+	"repro/internal/xbar"
+)
+
+var testMachine = machine.Config{N: 45, M: 15, K: 2, ECCEnabled: true}
+
+// fixedFaults injects the same fault list every round — the controlled
+// adversary for exact-outcome assertions.
+type fixedFaults struct{ faults []faults.Fault }
+
+func (m fixedFaults) Name() string { return "fixed" }
+func (m fixedFaults) Apply(x *xbar.Crossbar, stuck *faults.StuckSet, _ *rand.Rand, _ float64) []faults.Fault {
+	for _, f := range m.faults {
+		switch f.Kind {
+		case faults.Stuck0, faults.Stuck1:
+			if stuck.Add(f.Row, f.Col, f.Kind == faults.Stuck1) {
+				x.Set(f.Row, f.Col, f.Kind == faults.Stuck1)
+			}
+			continue
+		default:
+			f.Cells(func(r, c int) { x.Flip(r, c) })
+		}
+	}
+	return m.faults
+}
+
+func newRunner(t *testing.T, cfg Config, seed int64) *Runner {
+	t.Helper()
+	r, err := New(cfg, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestSingleFlipAlwaysCorrected: a lone flip anywhere is repaired and the
+// verdict agrees with the bit-serial reference, round after round.
+func TestSingleFlipAlwaysCorrected(t *testing.T) {
+	for _, cell := range [][2]int{{0, 0}, {3, 20}, {44, 44}, {22, 7}} {
+		r := newRunner(t, Config{
+			Machine: testMachine, Verify: true,
+			Model: fixedFaults{[]faults.Fault{{Kind: faults.TransientFlip, Row: cell[0], Col: cell[1], Span: 1}}},
+		}, 9)
+		for round := 0; round < 20; round++ {
+			rep := r.Round()
+			if rep.Injected != 1 {
+				t.Fatalf("cell %v round %d: injected %d, want 1", cell, round, rep.Injected)
+			}
+			if rep.Counts[Corrected] != 1 {
+				t.Fatalf("cell %v round %d: counts %+v, want 1 corrected", cell, round, rep.Counts)
+			}
+		}
+		tl := r.Tally()
+		if !tl.Conformant() || tl.RefChecks == 0 {
+			t.Fatalf("cell %v: tally not conformant: %+v", cell, tl)
+		}
+		if tl.Positions[Corrected] == nil {
+			t.Fatal("no position histogram recorded")
+		}
+		pos := (cell[0]%15)*15 + cell[1]%15
+		if tl.Positions[Corrected][pos] != 20 {
+			t.Fatalf("cell %v: position %d histogram = %d, want 20", cell, pos, tl.Positions[Corrected][pos])
+		}
+	}
+}
+
+// TestDoubleFlipSameBlockDetectedNeverMiscorrected: two errors in one
+// block must flag uncorrectable — and must never be "repaired" into
+// silent corruption.
+func TestDoubleFlipSameBlockDetected(t *testing.T) {
+	r := newRunner(t, Config{
+		Machine: testMachine, Verify: true,
+		Model: fixedFaults{[]faults.Fault{
+			{Kind: faults.TransientFlip, Row: 16, Col: 16, Span: 1},
+			{Kind: faults.TransientFlip, Row: 18, Col: 22, Span: 1},
+		}},
+	}, 4)
+	for round := 0; round < 10; round++ {
+		rep := r.Round()
+		if rep.Counts[DetectedUncorrectable] != 2 {
+			t.Fatalf("round %d: counts %+v, want 2 detected-uncorrectable", round, rep.Counts)
+		}
+	}
+	tl := r.Tally()
+	if tl.Counts[SilentCorruption] != 0 || tl.Counts[Miscorrected] != 0 || tl.RefMismatches != 0 {
+		t.Fatalf("double flips escaped detection: %+v", tl)
+	}
+}
+
+// TestDoubleFlipDifferentBlocksBothCorrected: one error per block is
+// within the code's envelope even when two blocks are hit at once.
+func TestDoubleFlipDifferentBlocksBothCorrected(t *testing.T) {
+	r := newRunner(t, Config{
+		Machine: testMachine, Verify: true,
+		Model: fixedFaults{[]faults.Fault{
+			{Kind: faults.TransientFlip, Row: 2, Col: 2, Span: 1},
+			{Kind: faults.TransientFlip, Row: 30, Col: 40, Span: 1},
+		}},
+	}, 4)
+	rep := r.Round()
+	if rep.Counts[Corrected] != 2 {
+		t.Fatalf("counts %+v, want 2 corrected", rep.Counts)
+	}
+}
+
+// TestStuckCellLifecycle: a permanently stuck cell re-asserts after every
+// repair and overwrite, so it is re-adjudicated every round. A lone stuck
+// cell is at most a single error per block, so it is never flagged
+// uncorrectable — but unlike transients it is NOT always conformant: host
+// writes through the delta-update protocol can launder the check bits into
+// agreeing with the defect (see TestStuckWriteLaunderingEscapesECC).
+func TestStuckCellLifecycle(t *testing.T) {
+	r := newRunner(t, Config{
+		Machine: testMachine, Verify: true,
+		Model: fixedFaults{[]faults.Fault{{Kind: faults.Stuck1, Row: 7, Col: 9, Span: 1}}},
+	}, 31)
+	const rounds = 40
+	for i := 0; i < rounds; i++ {
+		if rep := r.Round(); rep.Injected != 1 {
+			t.Fatalf("round %d: injected %d, want the 1 stuck cell", i, rep.Injected)
+		}
+	}
+	tl := r.Tally()
+	if tl.Injected != rounds {
+		t.Fatalf("injected %d, want %d", tl.Injected, rounds)
+	}
+	if tl.Counts[DetectedUncorrectable] != 0 {
+		t.Fatalf("a single stuck cell was flagged uncorrectable: %+v", tl.Counts)
+	}
+	// Most rounds the defect disagrees with all-fresh data and the scrub
+	// repairs the image.
+	if tl.Counts[Corrected] == 0 {
+		t.Fatalf("stuck cell never corrected: %+v", tl.Counts)
+	}
+	if tl.RefMismatches != 0 {
+		t.Fatalf("machine diagnosis diverged from the bit-serial reference: %+v", tl)
+	}
+	if tl.ByKind[faults.Stuck1] != rounds {
+		t.Fatalf("kind histogram %+v, want %d stuck1", tl.ByKind, rounds)
+	}
+}
+
+// TestStuckCellMaskedWhenDataMatches: when the stored data equals the
+// stuck value the defect is invisible — adjudicated masked.
+func TestStuckCellMaskedWhenDataMatches(t *testing.T) {
+	r := newRunner(t, Config{
+		Machine: testMachine, Verify: true, Loads: -1,
+		Model: fixedFaults{[]faults.Fault{{Kind: faults.Stuck1, Row: 7, Col: 9, Span: 1}}},
+	}, 3)
+	// Pre-seed both machines with a 1 at the stuck location.
+	row := bitmat.NewVec(45)
+	row.Set(9, true)
+	r.golden.LoadRow(7, row)
+	r.faulty.LoadRow(7, row)
+	rep := r.Round()
+	if rep.Injected != 1 || rep.Counts[Masked] != 1 {
+		t.Fatalf("report %+v, want the stuck cell masked", rep)
+	}
+}
+
+// TestStuckWriteLaunderingEscapesECC pins the taxonomy's headline finding:
+// a write of the non-stuck value through the continuous delta-update
+// protocol reads the stuck cell as "old", folds a phantom delta into the
+// check bits, and leaves them consistent with the DEFECT instead of the
+// data — true silent corruption that per-block parity cannot see. The
+// campaign engine classifies it correctly (and the bit-serial reference
+// agrees the block looks clean).
+func TestStuckWriteLaunderingEscapesECC(t *testing.T) {
+	r := newRunner(t, Config{
+		Machine: testMachine, Verify: true, Loads: -1,
+		Model: fixedFaults{[]faults.Fault{{Kind: faults.Stuck1, Row: 7, Col: 9, Span: 1}}},
+	}, 3)
+	// Round 1: data is 0, defect forces 1, checkbits say 0 → corrected.
+	rep := r.Round()
+	if rep.Counts[Corrected] != 1 {
+		t.Fatalf("round 1 %+v, want the stuck cell corrected", rep)
+	}
+	// Host rewrites the row with zeros. The faulty machine's write path
+	// reads old=1 (the re-asserted defect), new=0, and XORs the phantom
+	// 1→0 delta into the check bits — which now encode "1" again.
+	zeros := bitmat.NewVec(45)
+	r.golden.LoadRow(7, zeros)
+	r.faulty.LoadRow(7, zeros)
+	// Round 2: the defect re-asserts 1, matching the laundered check bits.
+	// Zero syndrome, data wrong: silent corruption, correctly adjudicated.
+	rep = r.Round()
+	if rep.Counts[SilentCorruption] != 1 {
+		t.Fatalf("round 2 %+v, want silent corruption from write laundering", rep)
+	}
+	if tl := r.Tally(); tl.RefMismatches != 0 {
+		t.Fatalf("reference decoder disagreed: %+v", tl)
+	}
+}
+
+// TestFullLineFaultDetected: a wordline burst flips one cell per leading
+// diagonal in each block it crosses — always detected, never miscorrected.
+func TestFullLineFaultDetected(t *testing.T) {
+	r := newRunner(t, Config{
+		Machine: testMachine, Verify: true,
+		Model: fixedFaults{[]faults.Fault{{Kind: faults.RowLine, Row: 17, Col: 0, Span: 45}}},
+	}, 6)
+	rep := r.Round()
+	if rep.Injected != 45 {
+		t.Fatalf("injected %d, want 45", rep.Injected)
+	}
+	if rep.Counts[DetectedUncorrectable] != 45 {
+		t.Fatalf("counts %+v, want all 45 detected-uncorrectable", rep.Counts)
+	}
+	if !r.Tally().Conformant() {
+		t.Fatalf("line campaign not conformant: %+v", r.Tally())
+	}
+}
+
+// TestBaselineSilentlyCorrupts: with ECC off, every lasting flip is silent
+// corruption — the unprotected baseline the paper improves on.
+func TestBaselineSilentlyCorrupts(t *testing.T) {
+	cfg := Config{
+		Machine: machine.Config{N: 45, ECCEnabled: false},
+		Model:   fixedFaults{[]faults.Fault{{Kind: faults.TransientFlip, Row: 10, Col: 10, Span: 1}}},
+		Verify:  true,
+	}
+	r := newRunner(t, cfg, 2)
+	for i := 0; i < 5; i++ {
+		r.Round()
+	}
+	tl := r.Tally()
+	if tl.Counts[SilentCorruption] != 5 {
+		t.Fatalf("baseline counts %+v, want 5 silent corruptions", tl.Counts)
+	}
+	if tl.Conformant() {
+		t.Fatal("unprotected baseline reported as conformant")
+	}
+	if tl.M != 0 || tl.Positions[SilentCorruption] != nil {
+		t.Fatal("baseline campaign recorded block positions without a block geometry")
+	}
+}
+
+// TestRandomizedTransientCampaignConformant: the statistical campaign at a
+// single-error-per-block rate upholds the guarantee — no silent
+// corruption, no miscorrection, verdicts agree with the reference.
+func TestRandomizedTransientCampaignConformant(t *testing.T) {
+	r := newRunner(t, Config{
+		Machine: testMachine, Verify: true,
+		Model: faults.Transient{SER: 3e5}, // p ≈ 3e-4/bit/round
+		Hours: 1,
+	}, 1234)
+	for i := 0; i < 300; i++ {
+		r.Round()
+	}
+	tl := r.Tally()
+	if tl.Injected == 0 {
+		t.Fatal("campaign injected nothing — raise SER")
+	}
+	if !tl.Conformant() {
+		t.Fatalf("transient campaign violated the guarantee: %+v", tl)
+	}
+	if tl.Counts[Corrected] == 0 {
+		t.Fatalf("nothing corrected: %+v", tl.Counts)
+	}
+	if got := tl.Counts[Corrected] + tl.Counts[Masked] + tl.Counts[DetectedUncorrectable]; got != tl.Injected {
+		t.Fatalf("outcomes %+v do not account for all %d faults", tl.Counts, tl.Injected)
+	}
+}
+
+// TestKernelCampaignConformant: interleaving SIMD execution with the
+// inject→scrub window keeps the guarantee (injection happens between
+// executions, when every block is re-protected).
+func TestKernelCampaignConformant(t *testing.T) {
+	b := netlist.NewBuilder("adder4")
+	a := b.InputBus(4)
+	x := b.InputBus(4)
+	carry := b.Const(false)
+	for i := 0; i < 4; i++ {
+		axb := b.Xor(a[i], x[i])
+		b.Output(b.Xor(axb, carry))
+		carry = b.Or(b.And(a[i], x[i]), b.And(axb, carry))
+	}
+	b.Output(carry)
+	kernel, err := synth.Map(b.Build().LowerToNOR(), 45)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := newRunner(t, Config{
+		Machine: testMachine, Verify: true, Kernel: kernel,
+		Model: faults.Transient{SER: 3e5},
+	}, 77)
+	for i := 0; i < 40; i++ {
+		r.Round()
+	}
+	tl := r.Tally()
+	if tl.Injected == 0 {
+		t.Fatal("kernel campaign injected nothing")
+	}
+	if !tl.Conformant() {
+		t.Fatalf("kernel campaign violated the guarantee: %+v", tl)
+	}
+}
+
+// TestRunnerDeterministic: identical (config, seed) replays identically.
+func TestRunnerDeterministic(t *testing.T) {
+	run := func(seed int64) Tally {
+		r := newRunner(t, Config{
+			Machine: testMachine, Verify: true,
+			Model: faults.LineCluster{SER: 2e6, Span: 5},
+		}, seed)
+		for i := 0; i < 30; i++ {
+			r.Round()
+		}
+		return r.Tally()
+	}
+	if a, b := run(5), run(5); !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed diverged:\n%+v\n%+v", a, b)
+	}
+	if a, b := run(5), run(6); reflect.DeepEqual(a, b) {
+		t.Fatal("different seeds produced identical campaigns")
+	}
+}
+
+func TestTallyAdd(t *testing.T) {
+	a := Tally{Rounds: 1, Injected: 2, M: 15}
+	a.Counts[Corrected] = 2
+	a.Positions[Corrected] = make([]int64, 225)
+	a.Positions[Corrected][7] = 2
+	b := Tally{Rounds: 3, Injected: 1, RefChecks: 4}
+	b.Counts[Masked] = 1
+
+	ab, ba := a.Add(b), b.Add(a)
+	if !reflect.DeepEqual(ab, ba) {
+		t.Fatalf("Add not commutative:\n%+v\n%+v", ab, ba)
+	}
+	if ab.Rounds != 4 || ab.Injected != 3 || ab.M != 15 || ab.Counts[Corrected] != 2 || ab.Counts[Masked] != 1 {
+		t.Fatalf("bad merge: %+v", ab)
+	}
+	if ab.Positions[Corrected][7] != 2 {
+		t.Fatal("position histogram lost in merge")
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("merging different geometries did not panic")
+		}
+	}()
+	c := Tally{M: 9}
+	a.Add(c)
+}
+
+func TestNewRejectsBadConfig(t *testing.T) {
+	if _, err := New(Config{Machine: testMachine}, 1); err == nil {
+		t.Fatal("nil model accepted")
+	}
+	bad := testMachine
+	bad.M = 14
+	if _, err := New(Config{Machine: bad, Model: faults.Transient{SER: 1}}, 1); err == nil {
+		t.Fatal("invalid machine geometry accepted")
+	}
+}
+
+func TestOutcomeNames(t *testing.T) {
+	names := OutcomeNames()
+	if len(names) != NumOutcomes {
+		t.Fatalf("%d names for %d outcomes", len(names), NumOutcomes)
+	}
+	want := []string{"corrected", "detected-uncorrectable", "masked", "silent-corruption", "miscorrected"}
+	if !reflect.DeepEqual(names, want) {
+		t.Fatalf("names %v, want %v", names, want)
+	}
+}

@@ -1,0 +1,36 @@
+package campaign
+
+// The bit-serial golden reference for block diagnosis, in the spirit of
+// bitmat/ref.go and the xbar reference crossbar: obviously correct, allowed
+// to be slow, and used only to adversarially verify the fast path. The
+// production pipeline computes syndromes through shifters, XOR3 processing
+// crossbars, and word-parallel vector ops (cmem.CheckLine); this reference
+// walks the block one cell at a time straight from the code's definition —
+// cell (lr,lc) belongs to leading diagonal (lr+lc) mod m and counter
+// diagonal (lr−lc) mod m — so any divergence pins a bug in the pipeline,
+// not in the mathematics.
+
+import (
+	"repro/internal/bitmat"
+	"repro/internal/ecc"
+)
+
+// refCheckBlock recomputes the syndrome of block (br,bc) bit-serially from
+// a memory image and stored check bits, and decodes it.
+func refCheckBlock(p ecc.Params, mem *bitmat.Mat, cb *ecc.CheckBits, br, bc int) ecc.Diagnosis {
+	lead := bitmat.NewVec(p.M)
+	counter := bitmat.NewVec(p.M)
+	for d := 0; d < p.M; d++ {
+		lead.Set(d, cb.Lead(d, br, bc))
+		counter.Set(d, cb.Counter(d, br, bc))
+	}
+	for lr := 0; lr < p.M; lr++ {
+		for lc := 0; lc < p.M; lc++ {
+			if mem.Get(br*p.M+lr, bc*p.M+lc) {
+				lead.Flip(p.LeadIdx(lr, lc))
+				counter.Flip(p.CounterIdx(lr, lc))
+			}
+		}
+	}
+	return ecc.Decode(p, lead, counter)
+}

@@ -81,3 +81,83 @@ func FuzzDeltaUpdateEquivalence(f *testing.F) {
 		}
 	})
 }
+
+// FuzzECCRoundTripUnderFaults is the conformance fuzz target behind the
+// campaign engine's guarantee: on random memory images across word-
+// unaligned geometries, any single flip at any codeword position is
+// corrected exactly, and any double flip is detected — same-block doubles
+// are flagged uncorrectable with the memory left untouched (never
+// miscorrected into silent corruption), different-block doubles are two
+// independent single errors and both repaired.
+func FuzzECCRoundTripUnderFaults(f *testing.F) {
+	f.Add(int64(1), uint8(0), uint16(0), uint16(1), false)
+	f.Add(int64(2), uint8(1), uint16(224), uint16(225), true)
+	f.Add(int64(3), uint8(2), uint16(100), uint16(100), true)
+	f.Add(int64(4), uint8(3), uint16(44), uint16(1980), true)
+	f.Fuzz(func(t *testing.T, seed int64, geomSel uint8, p1Raw, p2Raw uint16, double bool) {
+		// Row lengths 45, 33, 27, 75 all straddle 64-bit word boundaries
+		// mid-block; 64 hits alignment edge cases on the word itself.
+		geoms := []Params{{N: 45, M: 15}, {N: 33, M: 11}, {N: 27, M: 9}, {N: 75, M: 15}, {N: 45, M: 9}}
+		p := geoms[int(geomSel)%len(geoms)]
+		mem := randomMemory(seed, p)
+		cb := Build(p, mem)
+		want := mem.Clone()
+
+		total := p.N * p.N
+		pos1 := int(p1Raw) % total
+		r1, c1 := pos1/p.N, pos1%p.N
+		mem.Flip(r1, c1)
+
+		if !double || int(p2Raw)%total == pos1 {
+			if double {
+				mem.Flip(r1, c1) // double hit on one cell: no error at all
+			}
+			rep := cb.Scrub(mem)
+			wantData := 1
+			if double {
+				wantData = 0
+			}
+			if rep.DataCorrected != wantData || rep.CheckCorrected != 0 || rep.Uncorrectable != 0 {
+				t.Fatalf("scrub report %+v, want %d data corrections only", rep, wantData)
+			}
+			if !mem.Equal(want) {
+				t.Fatal("single error not repaired exactly")
+			}
+			if !cb.Equal(Build(p, mem)) {
+				t.Fatal("check bits inconsistent after repair")
+			}
+			return
+		}
+
+		pos2 := int(p2Raw) % total
+		r2, c2 := pos2/p.N, pos2%p.N
+		mem.Flip(r2, c2)
+		sameBlock := r1/p.M == r2/p.M && c1/p.M == c2/p.M
+		rep := cb.Scrub(mem)
+		if sameBlock {
+			if rep.Uncorrectable != 1 || rep.DataCorrected != 0 || rep.CheckCorrected != 0 {
+				t.Fatalf("same-block double: report %+v, want exactly 1 uncorrectable", rep)
+			}
+			// Never miscorrected: the two flipped cells are untouched and
+			// no third cell was "repaired" into silent corruption.
+			check := mem.Clone()
+			check.Flip(r1, c1)
+			check.Flip(r2, c2)
+			if !check.Equal(want) {
+				t.Fatal("uncorrectable block was mutated — miscorrection")
+			}
+		} else {
+			if rep.DataCorrected != 2 || rep.Uncorrectable != 0 || rep.CheckCorrected != 0 {
+				t.Fatalf("cross-block double: report %+v, want 2 data corrections", rep)
+			}
+			if !mem.Equal(want) {
+				t.Fatal("cross-block double not fully repaired")
+			}
+		}
+		// Detection invariant: memory differs from truth after a scrub only
+		// if something was flagged uncorrectable.
+		if !mem.Equal(want) && rep.Uncorrectable == 0 {
+			t.Fatal("silent corruption: memory wrong and nothing flagged")
+		}
+	})
+}

@@ -50,31 +50,37 @@ func NewInjector(serFITPerBit float64, seed int64) *Injector {
 }
 
 // SampleCount draws the number of bit flips occurring in `bits` memristors
-// over `hours` hours. Each bit flips independently with probability
-// ErrorProbability; for the tiny per-bit probabilities involved the count
-// is binomial, sampled exactly bit-by-bit for small populations and via a
-// Poisson approximation (λ_total = bits·p, valid when p ≪ 1) for large
-// ones.
+// over `hours` hours at the injector's SER.
 func (in *Injector) SampleCount(bits int, hours float64) int {
-	p := ErrorProbability(in.SER, hours)
+	return sampleCount(in.rng, in.SER, bits, hours)
+}
+
+// sampleCount draws the number of fault events occurring across `bits`
+// independent sites over `hours` hours at rate ser [FIT/site]. Each site
+// fires with probability ErrorProbability; the count is binomial, sampled
+// exactly site-by-site for small populations and via a Poisson
+// approximation (λ_total = bits·p, valid when p ≪ 1) for large ones. It is
+// the shared sampling core of the Injector and every fault Model.
+func sampleCount(rng *rand.Rand, ser float64, bits int, hours float64) int {
+	p := ErrorProbability(ser, hours)
 	if p <= 0 || bits <= 0 {
 		return 0
 	}
 	if bits <= 4096 {
 		n := 0
 		for i := 0; i < bits; i++ {
-			if in.rng.Float64() < p {
+			if rng.Float64() < p {
 				n++
 			}
 		}
 		return n
 	}
-	return in.poisson(float64(bits) * p)
+	return poissonSample(rng, float64(bits)*p)
 }
 
-// poisson samples Poisson(mean) with Knuth's method for small means and a
-// normal approximation for large ones.
-func (in *Injector) poisson(mean float64) int {
+// poissonSample draws Poisson(mean) with Knuth's method for small means
+// and a normal approximation for large ones.
+func poissonSample(rng *rand.Rand, mean float64) int {
 	if mean <= 0 {
 		return 0
 	}
@@ -82,14 +88,14 @@ func (in *Injector) poisson(mean float64) int {
 		l := math.Exp(-mean)
 		k, p := 0, 1.0
 		for {
-			p *= in.rng.Float64()
+			p *= rng.Float64()
 			if p <= l {
 				return k
 			}
 			k++
 		}
 	}
-	n := int(math.Round(mean + math.Sqrt(mean)*in.rng.NormFloat64()))
+	n := int(math.Round(mean + math.Sqrt(mean)*rng.NormFloat64()))
 	if n < 0 {
 		n = 0
 	}
@@ -99,14 +105,13 @@ func (in *Injector) poisson(mean float64) int {
 // Inject flips soft-error bits in the crossbar corresponding to an exposure
 // of `hours` hours, returning the flipped locations. Locations are drawn
 // uniformly; a location hit twice flips twice (back to its original value),
-// matching independent physical events.
+// matching independent physical events. It is the Transient model driven by
+// the injector's stream.
 func (in *Injector) Inject(x *xbar.Crossbar, hours float64) []Flip {
-	n := in.SampleCount(x.Rows()*x.Cols(), hours)
-	flips := make([]Flip, 0, n)
-	for i := 0; i < n; i++ {
-		f := Flip{Row: in.rng.Intn(x.Rows()), Col: in.rng.Intn(x.Cols())}
-		x.Flip(f.Row, f.Col)
-		flips = append(flips, f)
+	faults := Transient{SER: in.SER}.Apply(x, nil, in.rng, hours)
+	flips := make([]Flip, len(faults))
+	for i, f := range faults {
+		flips[i] = Flip{Row: f.Row, Col: f.Col}
 	}
 	return flips
 }

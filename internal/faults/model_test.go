@@ -1,0 +1,205 @@
+package faults
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/xbar"
+)
+
+func TestModelByName(t *testing.T) {
+	for _, name := range ModelNames() {
+		m, err := ModelByName(name, 1e5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Name() != name {
+			t.Fatalf("%q resolved to %q", name, m.Name())
+		}
+	}
+	if _, err := ModelByName("nope", 1); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+	if _, err := ModelByName("transient", -1); err == nil {
+		t.Fatal("negative SER accepted")
+	}
+}
+
+// TestTransientMatchesInjector: the Transient model is the Injector's
+// uniform flip model — same seed, same stream, same flips.
+func TestTransientMatchesInjector(t *testing.T) {
+	x1, x2 := xbar.New(64, 64), xbar.New(64, 64)
+	in := NewInjector(5e5, 9)
+	flips := in.Inject(x1, 24)
+	faults := Transient{SER: 5e5}.Apply(x2, nil, rand.New(rand.NewSource(9)), 24)
+	if len(flips) != len(faults) {
+		t.Fatalf("injector made %d flips, model %d", len(flips), len(faults))
+	}
+	for i := range flips {
+		if flips[i].Row != faults[i].Row || flips[i].Col != faults[i].Col {
+			t.Fatalf("flip %d: injector %v, model %+v", i, flips[i], faults[i])
+		}
+	}
+	if !x1.Mat().Equal(x2.Mat()) {
+		t.Fatal("memories diverged")
+	}
+}
+
+// TestStuckAtReassertsAfterOverwrite is the satellite contract: a stuck
+// cell swallows every later write and re-asserts its stuck value.
+func TestStuckAtReassertsAfterOverwrite(t *testing.T) {
+	x := xbar.New(16, 16)
+	stuck := NewStuckSet()
+	rng := rand.New(rand.NewSource(3))
+	m := StuckAt{SER: 5e6, Value: true}
+	faults := m.Apply(x, stuck, rng, 24)
+	if len(faults) == 0 {
+		t.Fatal("no stuck cells injected — raise SER")
+	}
+	if stuck.Len() != len(faults) {
+		t.Fatalf("stuck set has %d cells, %d faults reported", stuck.Len(), len(faults))
+	}
+	for _, f := range faults {
+		if f.Kind != Stuck1 {
+			t.Fatalf("fault kind %v, want %v", f.Kind, Stuck1)
+		}
+		if !x.Get(f.Row, f.Col) {
+			t.Fatalf("cell (%d,%d) not forced to stuck value", f.Row, f.Col)
+		}
+		// Overwrite through the controller path; the defect must win.
+		x.Write(f.Row, f.Col, false)
+		if x.Get(f.Row, f.Col) {
+			t.Fatal("write did not land in the simulated array")
+		}
+	}
+	if changed := stuck.Reassert(x); changed != len(faults) {
+		t.Fatalf("reassert changed %d cells, want %d", changed, len(faults))
+	}
+	for _, f := range faults {
+		if !x.Get(f.Row, f.Col) {
+			t.Fatalf("cell (%d,%d) did not re-assert", f.Row, f.Col)
+		}
+	}
+	// Already-asserted cells are not rewritten.
+	if changed := stuck.Reassert(x); changed != 0 {
+		t.Fatalf("idempotent reassert changed %d cells", changed)
+	}
+}
+
+func TestStuckSetFirstDefectWins(t *testing.T) {
+	s := NewStuckSet()
+	if !s.Add(1, 2, true) {
+		t.Fatal("first add rejected")
+	}
+	if s.Add(1, 2, false) {
+		t.Fatal("second defect at same cell accepted")
+	}
+	if s.Len() != 1 || !s.Cells()[0].Value {
+		t.Fatalf("stuck set corrupted: %+v", s.Cells())
+	}
+}
+
+// TestLineClusterSpansExactlyOneLine is the satellite contract: every
+// clustered event stays within exactly one row or one column.
+func TestLineClusterSpansExactlyOneLine(t *testing.T) {
+	const rows, cols = 24, 40
+	for _, span := range []int{0, 1, 5, 1000} {
+		x := xbar.New(rows, cols)
+		rng := rand.New(rand.NewSource(11))
+		faults := LineCluster{SER: 2e7, Span: span}.Apply(x, nil, rng, 24)
+		if len(faults) == 0 {
+			t.Fatalf("span=%d: no line events — raise SER", span)
+		}
+		for _, f := range faults {
+			lineLen := cols
+			if f.Kind == ColLine {
+				lineLen = rows
+			} else if f.Kind != RowLine {
+				t.Fatalf("unexpected kind %v", f.Kind)
+			}
+			wantSpan := span
+			if span <= 0 || span > lineLen {
+				wantSpan = lineLen
+			}
+			if f.Span != wantSpan {
+				t.Fatalf("span=%d %v fault has span %d, want %d", span, f.Kind, f.Span, wantSpan)
+			}
+			cells := 0
+			f.Cells(func(r, c int) {
+				cells++
+				if r < 0 || r >= rows || c < 0 || c >= cols {
+					t.Fatalf("cell (%d,%d) out of bounds", r, c)
+				}
+				if f.Kind == RowLine && r != f.Row {
+					t.Fatalf("row-line fault left row %d for %d", f.Row, r)
+				}
+				if f.Kind == ColLine && c != f.Col {
+					t.Fatalf("col-line fault left column %d for %d", f.Col, c)
+				}
+			})
+			if cells != wantSpan {
+				t.Fatalf("fault visited %d cells, want %d", cells, wantSpan)
+			}
+		}
+	}
+}
+
+// TestSkewedScalesExposure: the skew wrapper multiplies effective exposure,
+// so mean injected counts scale with the factor.
+func TestSkewedScalesExposure(t *testing.T) {
+	mean := func(factor float64) float64 {
+		rng := rand.New(rand.NewSource(5))
+		total := 0
+		for i := 0; i < 300; i++ {
+			x := xbar.New(32, 32)
+			total += len(Skewed{Inner: Transient{SER: 1e5}, Factor: factor}.Apply(x, nil, rng, 24))
+		}
+		return float64(total) / 300
+	}
+	m1, m4 := mean(1), mean(4)
+	if m1 <= 0 {
+		t.Fatal("baseline injected nothing")
+	}
+	if ratio := m4 / m1; math.Abs(ratio-4) > 1 {
+		t.Fatalf("skew factor 4 scaled mean by %.2f, want ≈ 4", ratio)
+	}
+}
+
+// TestInjectPoissonPathStatistics is the satellite coverage for the large-
+// population Poisson path of Injector.Inject: on a crossbar big enough to
+// bypass exact binomial sampling, the injected count must match the
+// binomial mean and Poisson-like variance.
+func TestInjectPoissonPathStatistics(t *testing.T) {
+	const rows, cols = 128, 64 // 8192 bits > the 4096 exact-sampling cutoff
+	in := NewInjector(1e6, 77)
+	hours := 24.0
+	want := float64(rows*cols) * ErrorProbability(in.SER, hours) // ≈ 196
+	const trials = 400
+	counts := make([]float64, trials)
+	sum := 0.0
+	for i := range counts {
+		x := xbar.New(rows, cols)
+		flips := in.Inject(x, hours)
+		for _, f := range flips {
+			if f.Row < 0 || f.Row >= rows || f.Col < 0 || f.Col >= cols {
+				t.Fatalf("flip (%d,%d) out of range", f.Row, f.Col)
+			}
+		}
+		counts[i] = float64(len(flips))
+		sum += counts[i]
+	}
+	mean := sum / trials
+	if math.Abs(mean-want) > 0.1*want {
+		t.Fatalf("poisson-path mean %.1f, want ≈ %.1f", mean, want)
+	}
+	varSum := 0.0
+	for _, c := range counts {
+		varSum += (c - mean) * (c - mean)
+	}
+	variance := varSum / (trials - 1)
+	// Poisson variance equals its mean; allow generous sampling slack.
+	if variance < 0.5*want || variance > 1.6*want {
+		t.Fatalf("poisson-path variance %.1f, want ≈ %.1f", variance, want)
+	}
+}

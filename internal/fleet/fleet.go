@@ -24,6 +24,7 @@ import (
 	"sync"
 
 	"repro/internal/bitmat"
+	"repro/internal/campaign"
 	"repro/internal/faults"
 	"repro/internal/machine"
 	"repro/internal/mmpu"
@@ -87,10 +88,43 @@ func AdderKernel(width, rowSize int) (*synth.Mapping, error) {
 }
 
 // xbarState is a worker's lazily-created per-crossbar execution state.
+// The machine and the campaign runner are each created on first use, so a
+// campaign-only job stream does not pay for an idle protected machine and
+// vice versa.
 type xbarState struct {
-	m   *machine.Machine
-	inj *faults.Injector // fault-burst stream, seeded per crossbar
-	rng *rand.Rand       // load-pattern stream, seeded per crossbar
+	bank, xb int
+	m        *machine.Machine
+	inj      *faults.Injector // fault-burst stream, seeded per crossbar
+	rng      *rand.Rand       // load-pattern stream, seeded per crossbar
+	camp     *campaign.Runner // fault-campaign conformance state
+}
+
+// machine returns the crossbar's machine, creating it on first use. mcfg
+// was validated in Run, so MustNew cannot panic here.
+func (st *xbarState) machine(mcfg machine.Config) *machine.Machine {
+	if st.m == nil {
+		st.m = machine.MustNew(mcfg)
+	}
+	return st.m
+}
+
+// runner returns the crossbar's campaign runner, creating it on first use
+// from the op's model spec. Model names and rates were validated in Run.
+func (st *xbarState) runner(cfg Config, mcfg machine.Config, op Op) *campaign.Runner {
+	if st.camp == nil {
+		model, err := faults.ModelByName(op.Model, op.SER)
+		if err != nil {
+			panic(err)
+		}
+		r, err := campaign.New(campaign.Config{
+			Machine: mcfg, Model: model, Hours: op.Hours, Verify: true,
+		}, faults.DeriveSeed(cfg.Seed^0xca3b, st.bank, st.xb))
+		if err != nil {
+			panic(err)
+		}
+		st.camp = r
+	}
+	return st.camp
 }
 
 // Run executes the workload across the fleet and returns the merged
@@ -114,10 +148,31 @@ func Run(cfg Config, w Workload) (Result, error) {
 	}
 
 	jobs := w.Plan(cfg.Org, cfg.Seed)
+	// A crossbar's campaign runner is seeded once, from its first
+	// OpCampaign; defect state (stuck cells) persists across its rounds,
+	// so one crossbar cannot switch model or rate mid-campaign. Reject
+	// heterogeneous specs up front instead of silently ignoring them.
+	campaignSpec := make(map[int]Op)
 	for i, j := range jobs {
 		if j.Bank < 0 || j.Bank >= cfg.Org.Banks || j.Crossbar < 0 || j.Crossbar >= cfg.Org.PerBank {
 			return Result{}, fmt.Errorf("fleet: job %d addresses (bank %d, crossbar %d) outside %dx%d organization",
 				i, j.Bank, j.Crossbar, cfg.Org.Banks, cfg.Org.PerBank)
+		}
+		for _, op := range j.Ops {
+			if op.Kind != OpCampaign {
+				continue
+			}
+			if _, err := faults.ModelByName(op.Model, op.SER); err != nil {
+				return Result{}, fmt.Errorf("fleet: job %d: %w", i, err)
+			}
+			id := cfg.Org.CrossbarID(j.Bank, j.Crossbar)
+			spec := Op{Kind: OpCampaign, Model: op.Model, SER: op.SER, Hours: op.Hours}
+			if first, seen := campaignSpec[id]; !seen {
+				campaignSpec[id] = spec
+			} else if first != spec {
+				return Result{}, fmt.Errorf("fleet: job %d changes crossbar (%d,%d) campaign spec from %s/%g/%gh to %s/%g/%gh mid-run",
+					i, j.Bank, j.Crossbar, first.Model, first.SER, first.Hours, op.Model, op.SER, op.Hours)
+			}
 		}
 	}
 
@@ -183,26 +238,31 @@ func runShard(cfg Config, mcfg machine.Config, kernel *synth.Mapping, in <-chan 
 			id := cfg.Org.CrossbarID(job.Bank, job.Crossbar)
 			st := states[id]
 			if st == nil {
-				// mcfg was validated in Run, so MustNew cannot panic here.
 				st = &xbarState{
-					m:   machine.MustNew(mcfg),
+					bank: job.Bank, xb: job.Crossbar,
 					inj: faults.NewInjector(0, faults.DeriveSeed(cfg.Seed, job.Bank, job.Crossbar)),
 					rng: rand.New(rand.NewSource(faults.DeriveSeed(cfg.Seed^0x10ad, job.Bank, job.Crossbar))),
 				}
 				states[id] = st
 			}
-			execJob(cfg, kernel, st, job, &res)
+			execJob(cfg, mcfg, kernel, st, job, &res)
 		}
 	}
 	res.CrossbarsTouched = len(states)
 	for _, st := range states {
-		res.Machine = res.Machine.Add(st.m.Stats())
+		if st.m != nil {
+			res.Machine = res.Machine.Add(st.m.Stats())
+		}
+		if st.camp != nil {
+			res.Machine = res.Machine.Add(st.camp.Stats())
+			res.Campaign = res.Campaign.Add(st.camp.Tally())
+		}
 	}
 	return res
 }
 
 // execJob runs one job's ops in order on its crossbar.
-func execJob(cfg Config, kernel *synth.Mapping, st *xbarState, job Job, res *Result) {
+func execJob(cfg Config, mcfg machine.Config, kernel *synth.Mapping, st *xbarState, job Job, res *Result) {
 	bank := &res.PerBank[job.Bank]
 	res.Jobs++
 	bank.Jobs++
@@ -211,13 +271,14 @@ func execJob(cfg Config, kernel *synth.Mapping, st *xbarState, job Job, res *Res
 		bank.Ops++
 		switch op.Kind {
 		case OpSIMD:
+			m := st.machine(mcfg)
 			// Geometry is pre-validated; ExecuteSIMD cannot fail here.
-			if err := st.m.ExecuteSIMD(kernel, st.m.MEM().AllRows()); err != nil {
+			if err := m.ExecuteSIMD(kernel, m.MEM().AllRows()); err != nil {
 				panic(err)
 			}
 			res.SIMDOps++
 		case OpScrub:
-			c, u := st.m.Scrub()
+			c, u := st.machine(mcfg).Scrub()
 			res.Scrubs++
 			res.Corrected += int64(c)
 			res.Uncorrectable += int64(u)
@@ -229,14 +290,24 @@ func execJob(cfg Config, kernel *synth.Mapping, st *xbarState, job Job, res *Res
 			for i := 0; i < n; i++ {
 				row.Set(i, st.rng.Intn(2) == 0)
 			}
-			st.m.LoadRow(((op.Row%n)+n)%n, row)
+			st.machine(mcfg).LoadRow(((op.Row%n)+n)%n, row)
 			res.Loads++
 		case OpFaultBurst:
 			st.inj.SER = op.SER
-			flips := st.inj.Inject(st.m.MEM(), op.Hours)
+			m := st.machine(mcfg)
+			flips := st.inj.Inject(m.MEM(), op.Hours)
 			res.FaultBursts++
 			res.Injected += int64(len(flips))
 			bank.Injected += int64(len(flips))
+		case OpCampaign:
+			rep := st.runner(cfg, mcfg, op).Round()
+			res.CampaignRounds++
+			res.Injected += int64(rep.Injected)
+			bank.Injected += int64(rep.Injected)
+			res.Corrected += rep.Counts[campaign.Corrected]
+			bank.Corrected += rep.Counts[campaign.Corrected]
+			res.Uncorrectable += rep.Counts[campaign.DetectedUncorrectable]
+			bank.Uncorrectable += rep.Counts[campaign.DetectedUncorrectable]
 		}
 	}
 }

@@ -211,3 +211,121 @@ func TestWorkloadPlanIsPure(t *testing.T) {
 		}
 	}
 }
+
+// TestCampaignDeterministicAcrossWorkers is the satellite extension of the
+// worker-invariance contract to campaigns: with faults active, adjudicated
+// campaign results (outcome counts, position histograms, reference checks)
+// must merge identically for 1, 7, and 32 workers given the same base
+// seed, across every fault model in the taxonomy.
+func TestCampaignDeterministicAcrossWorkers(t *testing.T) {
+	org := mmpu.Custom(45, 32, 1) // 32 banks so a 32-worker run is 32 real shards
+	scenarios := []Workload{
+		Campaign{Rounds: 2, Model: "transient", SER: 3e5},
+		Campaign{Rounds: 2, Model: "stuck1", SER: 2e5},
+		Campaign{Rounds: 2, Model: "lines", SER: 1e4, Skew: 2},
+	}
+	for _, w := range scenarios {
+		w := w.(Campaign)
+		t.Run(w.Model, func(t *testing.T) {
+			cfg := Config{Org: org, M: 15, K: 2, ECCEnabled: true, Seed: 77, Workers: 1}
+			ref, err := Run(cfg, w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ref.CampaignRounds != int64(2*org.Crossbars()) {
+				t.Fatalf("campaign rounds = %d, want %d", ref.CampaignRounds, 2*org.Crossbars())
+			}
+			if ref.Campaign.Rounds != ref.CampaignRounds {
+				t.Fatalf("tally rounds %d != result rounds %d", ref.Campaign.Rounds, ref.CampaignRounds)
+			}
+			for _, workers := range []int{7, 32} {
+				cfg.Workers = workers
+				got, err := Run(cfg, w)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(ref, got) {
+					t.Fatalf("workers=%d diverged:\n  1: %+v\n  %d: %+v", workers, ref, workers, got)
+				}
+			}
+		})
+	}
+}
+
+// TestCampaignScenarioConformance: the fleet-wide transient campaign at a
+// single-error-per-block rate upholds the paper's guarantee on every
+// crossbar of the mMPU.
+func TestCampaignScenarioConformance(t *testing.T) {
+	res, err := Run(testCfg(3), Campaign{Rounds: 20, Model: "transient", SER: 3e5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl := res.Campaign
+	if tl.Injected == 0 {
+		t.Fatal("fleet campaign injected nothing — raise SER")
+	}
+	if !tl.Conformant() {
+		t.Fatalf("fleet campaign violated the ECC guarantee: %+v", tl)
+	}
+	if tl.RefChecks == 0 {
+		t.Fatal("no bit-serial reference checks ran")
+	}
+	if res.Injected != tl.Injected || res.Corrected != tl.Counts[0] {
+		t.Fatalf("result counters diverged from tally: %+v vs %+v", res, tl)
+	}
+	// Campaign machines contribute their hardware statistics.
+	if res.Machine.MEMCycles == 0 || res.Machine.Corrections == 0 {
+		t.Fatalf("no campaign machine activity recorded: %+v", res.Machine)
+	}
+}
+
+// TestCampaignSkewSpreadsExposure: with a strong skew exponent, some
+// crossbars see materially more exposure than others — visible as
+// per-bank injection imbalance under a one-crossbar-per-bank layout.
+func TestCampaignSkewSpreadsExposure(t *testing.T) {
+	org := mmpu.Custom(45, 16, 1)
+	cfg := Config{Org: org, M: 15, K: 2, ECCEnabled: true, Seed: 5, Workers: 4}
+	res, err := Run(cfg, Campaign{Rounds: 30, Model: "transient", SER: 1e6, Skew: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	min, max := res.PerBank[0].Injected, res.PerBank[0].Injected
+	for _, b := range res.PerBank {
+		if b.Injected < min {
+			min = b.Injected
+		}
+		if b.Injected > max {
+			max = b.Injected
+		}
+	}
+	if max < 2*min+2 {
+		t.Fatalf("skew produced no spread: min %d max %d", min, max)
+	}
+}
+
+// TestRunRejectsUnknownCampaignModel: bad model specs are caught up front
+// as errors, not mid-run panics in a shard.
+func TestRunRejectsUnknownCampaignModel(t *testing.T) {
+	if _, err := Run(testCfg(1), Campaign{Model: "gamma-ray"}); err == nil {
+		t.Fatal("unknown fault model accepted")
+	}
+}
+
+type twoSpecWorkload struct{}
+
+func (twoSpecWorkload) Name() string { return "twospec" }
+func (twoSpecWorkload) Plan(org mmpu.Organization, seed int64) []Job {
+	return []Job{{Bank: 0, Crossbar: 0, Ops: []Op{
+		{Kind: OpCampaign, Model: "transient", SER: 1e5, Hours: 1},
+		{Kind: OpCampaign, Model: "stuck1", SER: 1e7, Hours: 1},
+	}}}
+}
+
+// TestRunRejectsHeterogeneousCampaignSpec: a crossbar's campaign runner is
+// seeded once, so a plan that changes its model or rate mid-run is an
+// error, not a silently ignored spec.
+func TestRunRejectsHeterogeneousCampaignSpec(t *testing.T) {
+	if _, err := Run(testCfg(1), twoSpecWorkload{}); err == nil {
+		t.Fatal("mid-run campaign spec change accepted")
+	}
+}

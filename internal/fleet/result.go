@@ -1,6 +1,9 @@
 package fleet
 
-import "repro/internal/machine"
+import (
+	"repro/internal/campaign"
+	"repro/internal/machine"
+)
 
 // BankTally is the per-bank slice of a fleet result, letting skewed
 // scenarios (hot-bank traffic, localized fault storms) show where the
@@ -34,14 +37,15 @@ type Result struct {
 	Jobs int64 // jobs executed
 	Ops  int64 // total ops across all jobs
 
-	SIMDOps     int64 // SIMD executions
-	Scrubs      int64 // periodic full-crossbar checks
-	Loads       int64 // row loads through the write path
-	FaultBursts int64 // soft-error exposure windows
+	SIMDOps        int64 // SIMD executions
+	Scrubs         int64 // periodic full-crossbar checks
+	Loads          int64 // row loads through the write path
+	FaultBursts    int64 // soft-error exposure windows
+	CampaignRounds int64 // fault-campaign conformance rounds
 
-	Injected      int64 // soft errors injected by fault bursts
-	Corrected     int64 // corrections applied by scrubs
-	Uncorrectable int64 // uncorrectable blocks flagged by scrubs
+	Injected      int64 // soft errors injected by fault bursts and campaigns
+	Corrected     int64 // corrections applied by scrubs / adjudicated corrected
+	Uncorrectable int64 // uncorrectable blocks flagged / adjudicated detected-uncorrectable
 
 	// CrossbarsTouched counts distinct crossbars that executed at least
 	// one job within one Run (shards own disjoint crossbar sets). Merging
@@ -49,8 +53,9 @@ type Result struct {
 	// reads as crossbar-activations, not distinct crossbars.
 	CrossbarsTouched int
 
-	Machine machine.Stats // merged per-machine statistics
-	PerBank []BankTally   // indexed by bank
+	Machine  machine.Stats  // merged per-machine statistics
+	Campaign campaign.Tally // merged fault-campaign adjudications
+	PerBank  []BankTally    // indexed by bank
 }
 
 // Merge combines two results field-wise. Merge is commutative and
@@ -65,11 +70,13 @@ func (r Result) Merge(o Result) Result {
 		Scrubs:           r.Scrubs + o.Scrubs,
 		Loads:            r.Loads + o.Loads,
 		FaultBursts:      r.FaultBursts + o.FaultBursts,
+		CampaignRounds:   r.CampaignRounds + o.CampaignRounds,
 		Injected:         r.Injected + o.Injected,
 		Corrected:        r.Corrected + o.Corrected,
 		Uncorrectable:    r.Uncorrectable + o.Uncorrectable,
 		CrossbarsTouched: r.CrossbarsTouched + o.CrossbarsTouched,
 		Machine:          r.Machine.Add(o.Machine),
+		Campaign:         r.Campaign.Add(o.Campaign),
 	}
 	if m.Scenario == "" {
 		m.Scenario = o.Scenario

@@ -2,8 +2,10 @@ package fleet
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 
+	"repro/internal/faults"
 	"repro/internal/mmpu"
 )
 
@@ -24,15 +26,25 @@ const (
 	// OpFaultBurst exposes the crossbar to soft errors at an elevated SER
 	// for a window of time.
 	OpFaultBurst
+	// OpCampaign runs one fault-campaign conformance round
+	// (internal/campaign): inject per a named fault model, scrub, and
+	// adjudicate every fault against a golden reference machine.
+	OpCampaign
 )
 
 // Op is one primitive operation.
 type Op struct {
 	Kind  OpKind
 	Row   int     // OpLoad: target row (taken modulo the crossbar side)
-	SER   float64 // OpFaultBurst: rate during the burst [FIT/bit]
-	Hours float64 // OpFaultBurst: exposure window length
+	SER   float64 // OpFaultBurst/OpCampaign: injection rate [FIT/bit or FIT/line]
+	Hours float64 // OpFaultBurst/OpCampaign: exposure window length
+	Model string  // OpCampaign: fault model name (faults.ModelByName)
 }
+
+// Campaign ops carry the model spec on every op, but a crossbar's campaign
+// runner (and its persistent defect state) is seeded once from the first
+// such op — Run rejects plans that change a crossbar's (Model, SER, Hours)
+// spec mid-run rather than silently ignoring the change.
 
 // Job is a batch of ops bound for one crossbar. Jobs addressed to the same
 // crossbar execute in plan order; jobs addressed to different crossbars may
@@ -202,26 +214,104 @@ func (fs FaultStorm) Plan(org mmpu.Organization, seed int64) []Job {
 	return jobs
 }
 
+// Campaign is the fifth scenario family: the fault-campaign conformance
+// engine run fleet-wide. Every crossbar executes Rounds independent
+// inject→scrub→adjudicate trials (internal/campaign) under the named
+// fault model, with per-crossbar randomness derived from faults.DeriveSeed
+// so results merge identically under any worker count. Skew models
+// process variation: each crossbar's exposure is scaled by a deterministic
+// per-crossbar factor 2^u·Skew with u uniform on [−1,1], so some crossbars
+// see up to 2^Skew times the nominal rate.
+type Campaign struct {
+	Rounds int     // campaign rounds per crossbar (default 2)
+	Model  string  // fault model (faults.ModelByName; default "transient")
+	SER    float64 // injection rate [FIT/bit, FIT/line for "lines"] (default 1e5)
+	Hours  float64 // exposure per round (default 1)
+	Skew   float64 // per-crossbar rate-skew exponent (0 = uniform fleet)
+}
+
+// Name implements Workload.
+func (c Campaign) Name() string { return "campaign" }
+
+// Plan implements Workload.
+func (c Campaign) Plan(org mmpu.Organization, seed int64) []Job {
+	rounds := c.Rounds
+	if rounds <= 0 {
+		rounds = 2
+	}
+	model := c.Model
+	if model == "" {
+		model = "transient"
+	}
+	ser := c.SER
+	if ser <= 0 {
+		ser = 1e5
+	}
+	hours := c.Hours
+	if hours <= 0 {
+		hours = 1
+	}
+	jobs := make([]Job, 0, org.Crossbars())
+	org.ForEachCrossbar(func(bank, xb int) {
+		h := hours
+		if c.Skew > 0 {
+			h *= skewFactor(seed, bank, xb, c.Skew)
+		}
+		ops := make([]Op, rounds)
+		for i := range ops {
+			ops[i] = Op{Kind: OpCampaign, Model: model, SER: ser, Hours: h}
+		}
+		jobs = append(jobs, Job{Bank: bank, Crossbar: xb, Ops: ops})
+	})
+	return jobs
+}
+
+// skewFactor derives this crossbar's exposure multiplier 2^(u·skew),
+// u uniform on [−1,1] — a pure function of (seed, position), so plans stay
+// reproducible.
+func skewFactor(seed int64, bank, xb int, skew float64) float64 {
+	u := float64(uint64(faults.DeriveSeed(seed^0x5e11, bank, xb))>>11) / (1 << 53) // [0,1)
+	return math.Exp2((2*u - 1) * skew)
+}
+
 // ScenarioNames lists the built-in scenarios for CLI usage text.
 func ScenarioNames() []string {
-	return []string{"uniform", "hotbank", "mixedscrub", "faultstorm"}
+	return []string{"uniform", "hotbank", "mixedscrub", "faultstorm", "campaign"}
+}
+
+// ScenarioOptions tunes a named scenario beyond its intensity knob; zero
+// values pick each scenario's defaults.
+type ScenarioOptions struct {
+	Intensity int     // uniform: ops/crossbar, hotbank: jobs, mixedscrub: rounds, faultstorm: bursts, campaign: rounds
+	SER       float64 // faultstorm burst rate / campaign injection rate
+	Hours     float64 // faultstorm/campaign exposure per burst/round
+	Model     string  // campaign fault model
+	Skew      float64 // campaign per-crossbar rate skew
+}
+
+// ScenarioWithOptions resolves a built-in scenario with full tuning — the
+// CLI plumbing that makes fault runs reproducible from flags alone.
+func ScenarioWithOptions(name string, o ScenarioOptions) (Workload, error) {
+	switch name {
+	case "uniform":
+		return Uniform{OpsPerCrossbar: o.Intensity}, nil
+	case "hotbank":
+		return HotBank{Jobs: o.Intensity}, nil
+	case "mixedscrub":
+		return MixedScrub{Rounds: o.Intensity}, nil
+	case "faultstorm":
+		return FaultStorm{Bursts: o.Intensity, SER: o.SER, Hours: o.Hours}, nil
+	case "campaign":
+		return Campaign{Rounds: o.Intensity, Model: o.Model, SER: o.SER, Hours: o.Hours, Skew: o.Skew}, nil
+	}
+	return nil, fmt.Errorf("fleet: unknown scenario %q (have %v)", name, ScenarioNames())
 }
 
 // ScenarioByName returns a built-in scenario sized by an intensity knob:
 // SIMD ops per crossbar for uniform, total jobs for hotbank, rounds per
 // crossbar for mixedscrub (each round is one load, SIMDPerRound SIMD ops,
-// and one scrub), bursts per crossbar for faultstorm. Zero picks each
-// scenario's default.
+// and one scrub), bursts per crossbar for faultstorm, campaign rounds per
+// crossbar for campaign. Zero picks each scenario's default.
 func ScenarioByName(name string, intensity int) (Workload, error) {
-	switch name {
-	case "uniform":
-		return Uniform{OpsPerCrossbar: intensity}, nil
-	case "hotbank":
-		return HotBank{Jobs: intensity}, nil
-	case "mixedscrub":
-		return MixedScrub{Rounds: intensity}, nil
-	case "faultstorm":
-		return FaultStorm{Bursts: intensity}, nil
-	}
-	return nil, fmt.Errorf("fleet: unknown scenario %q (have %v)", name, ScenarioNames())
+	return ScenarioWithOptions(name, ScenarioOptions{Intensity: intensity})
 }

@@ -156,26 +156,60 @@ func (m *Machine) CheckConsistent() bool {
 	return m.cm.Image().Equal(want)
 }
 
+// Finding is one non-clean block from a detailed scrub: its block
+// coordinates and the diagnosis the controller acted on (single errors are
+// already repaired in place when the finding is returned).
+type Finding struct {
+	BR, BC int
+	Diag   ecc.Diagnosis
+}
+
+// DataCell returns the global coordinates of the repaired data cell; valid
+// only when Diag.Kind is ecc.DataError.
+func (f Finding) DataCell(m int) (r, c int) {
+	return f.BR*m + f.Diag.LR, f.BC*m + f.Diag.LC
+}
+
+// ScrubFindings performs the periodic full-memory ECC check and returns
+// every non-clean block with its diagnosis, in deterministic (block-row,
+// block-column) order — the evidence stream a fault-campaign adjudicator
+// matches against injected faults. Single errors are corrected in place;
+// uncorrectable blocks are flagged untouched.
+func (m *Machine) ScrubFindings() []Finding {
+	if m.cm == nil {
+		return nil
+	}
+	var out []Finding
+	blocks := m.cfg.N / m.cfg.M
+	for br := 0; br < blocks; br++ {
+		diags := m.cm.CheckLine(m.mem, shifter.ColParallel, br, br%m.cfg.K)
+		for bc := 0; bc < blocks; bc++ { // map iteration would be nondeterministic
+			d, ok := diags[bc]
+			if !ok {
+				continue
+			}
+			if d.Kind == ecc.Uncorrectable {
+				m.uncorrectable++
+			} else if d.Kind != ecc.NoError {
+				m.corrections++
+			}
+			out = append(out, Finding{BR: br, BC: bc, Diag: d})
+		}
+	}
+	return out
+}
+
 // Scrub performs the periodic full-memory ECC check: every block line is
 // verified and single errors are corrected. Returns the number of
 // corrections applied and of uncorrectable blocks found.
 func (m *Machine) Scrub() (corrected, uncorrectable int) {
-	if m.cm == nil {
-		return 0, 0
-	}
-	blocks := m.cfg.N / m.cfg.M
-	for br := 0; br < blocks; br++ {
-		diags := m.cm.CheckLine(m.mem, shifter.ColParallel, br, br%m.cfg.K)
-		for _, d := range diags {
-			if d.Kind == ecc.Uncorrectable {
-				uncorrectable++
-			} else if d.Kind != ecc.NoError {
-				corrected++
-			}
+	for _, f := range m.ScrubFindings() {
+		if f.Diag.Kind == ecc.Uncorrectable {
+			uncorrectable++
+		} else if f.Diag.Kind != ecc.NoError {
+			corrected++
 		}
 	}
-	m.corrections += corrected
-	m.uncorrectable += uncorrectable
 	return corrected, uncorrectable
 }
 
