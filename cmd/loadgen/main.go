@@ -1,0 +1,192 @@
+// Command loadgen drives the online protected-memory serving layer
+// (internal/serve) with synthetic client traffic and emits a JSON report
+// of throughput, latency quantiles, coalescing, and scrub/ECC activity.
+//
+// Traffic is generated as a deterministic trace — open-loop Poisson
+// arrivals or lockstep closed-loop clients, over uniform/zipf/scan
+// address mixes, optionally under a soft-error fault overlay — and
+// replayed in deterministic virtual time: the same flags reproduce the
+// same report byte for byte on any machine. -workers is the *modeled*
+// bank-worker count (the serving-layer scaling knob E9 sweeps): fewer
+// workers means banks share service clocks and queueing grows. Wall-clock
+// timing goes to stderr, never into the report.
+//
+// Examples:
+//
+//	loadgen -seed 1
+//	loadgen -mode closed -clients 64 -mix zipf
+//	loadgen -mix scan -width 30 -scrub-period 500
+//	loadgen -faults-ser 3e5 -scrub-period 200    # scrubs correct live soft errors
+//	loadgen -workers 1                           # one worker serving all banks
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/fleet"
+	"repro/internal/mmpu"
+	"repro/internal/pmem"
+	"repro/internal/serve"
+)
+
+// options collects every knob the report depends on.
+type options struct {
+	n, m, k        int
+	banks, perBank int
+	ecc            bool
+
+	mode, mix string
+	requests  int
+	clients   int
+	rate      float64
+	writeFrac float64
+	width     int
+
+	workers     int
+	batch       int
+	scrubPeriod int64
+	faultSER    float64
+	faultHours  float64
+	seed        int64
+}
+
+// report is the JSON document. Every field is deterministic from the
+// options — wall-clock time is deliberately excluded.
+type report struct {
+	Scenario  string  `json:"scenario"`
+	Mode      string  `json:"mode"`
+	Mix       string  `json:"mix"`
+	Seed      int64   `json:"seed"`
+	Requests  int     `json:"requests"`
+	Clients   int     `json:"clients"`
+	Width     int     `json:"width"`
+	WriteFrac float64 `json:"write_frac"`
+	Rate      float64 `json:"rate,omitempty"`
+	Workers   int     `json:"workers"`
+	Geometry  struct {
+		N, M, K, Banks, PerBank int
+		ECC                     bool
+	} `json:"geometry"`
+	ScrubPeriod int64   `json:"scrub_period,omitempty"`
+	FaultSER    float64 `json:"fault_ser,omitempty"`
+
+	Served struct {
+		Requests      int64 `json:"requests"`
+		Reads         int64 `json:"reads"`
+		Writes        int64 `json:"writes"`
+		Errors        int64 `json:"errors"`
+		Batches       int64 `json:"batches"`
+		Coalesced     int64 `json:"coalesced"`
+		Spanning      int64 `json:"spanning"`
+		Segments      int64 `json:"segments"`
+		Scrubs        int64 `json:"scrubs"`
+		Corrected     int64 `json:"corrected"`
+		Uncorrectable int64 `json:"uncorrectable"`
+		Injected      int64 `json:"injected"`
+	} `json:"served"`
+	LatencyTicks fleet.HistSummary `json:"latency_ticks"`
+	Ticks        int64             `json:"ticks"`
+	// ThroughputPerKilotick is served requests per 1000 model ticks —
+	// the deterministic throughput figure of the E9 table.
+	ThroughputPerKilotick float64          `json:"throughput_per_kilotick"`
+	PerWorkerTicks        []int64          `json:"per_worker_ticks"`
+	PerBank               []serve.BankLoad `json:"per_bank"`
+}
+
+// run executes the whole load generation and renders the report.
+// Split from main so the determinism test can call it twice.
+func run(o options) ([]byte, serve.Result, error) {
+	mem, err := pmem.New(pmem.Config{
+		Org: mmpu.Custom(o.n, o.banks, o.perBank), M: o.m, K: o.k, ECCEnabled: o.ecc,
+	})
+	if err != nil {
+		return nil, serve.Result{}, err
+	}
+	tr, err := serve.GenTrace(mem.Config().Org, serve.TraceOpts{
+		Mode: o.mode, Mix: o.mix, Requests: o.requests, Clients: o.clients,
+		Rate: o.rate, WriteFrac: o.writeFrac, Width: o.width, Seed: o.seed,
+	})
+	if err != nil {
+		return nil, serve.Result{}, err
+	}
+	res, err := serve.Replay(serve.ReplayConfig{
+		Mem: mem, Workers: o.workers, BatchSize: o.batch,
+		ScrubPeriod: o.scrubPeriod, FaultSER: o.faultSER, FaultHours: o.faultHours,
+		Seed: o.seed,
+	}, tr)
+	if err != nil {
+		return nil, serve.Result{}, err
+	}
+
+	var rep report
+	rep.Scenario = "loadgen"
+	rep.Mode, rep.Mix, rep.Seed = o.mode, o.mix, o.seed
+	rep.Requests, rep.Clients, rep.Width = o.requests, o.clients, o.width
+	rep.WriteFrac, rep.Rate = o.writeFrac, o.rate
+	rep.Workers = res.Workers
+	rep.Geometry.N, rep.Geometry.M, rep.Geometry.K = o.n, o.m, o.k
+	rep.Geometry.Banks, rep.Geometry.PerBank, rep.Geometry.ECC = o.banks, o.perBank, o.ecc
+	rep.ScrubPeriod, rep.FaultSER = o.scrubPeriod, o.faultSER
+	st := res.Stats
+	rep.Served.Requests, rep.Served.Reads, rep.Served.Writes = st.Requests, st.Reads, st.Writes
+	rep.Served.Errors, rep.Served.Batches = st.Errors, st.Batches
+	rep.Served.Coalesced, rep.Served.Spanning, rep.Served.Segments = st.Coalesced, st.Spanning, st.Segments
+	rep.Served.Scrubs, rep.Served.Corrected = st.Scrubs, st.Corrected
+	rep.Served.Uncorrectable, rep.Served.Injected = st.Uncorrectable, st.Injected
+	rep.LatencyTicks = st.Lat.Summary()
+	rep.Ticks = res.Ticks
+	if res.Ticks > 0 {
+		rep.ThroughputPerKilotick = float64(st.Requests) * 1000 / float64(res.Ticks)
+	}
+	rep.PerWorkerTicks = res.PerWorker
+	rep.PerBank = res.PerBank
+
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		return nil, serve.Result{}, err
+	}
+	return buf.Bytes(), res, nil
+}
+
+func main() {
+	var o options
+	flag.IntVar(&o.n, "n", 90, "crossbar side (multiple of m)")
+	flag.IntVar(&o.m, "m", 15, "ECC block side (odd)")
+	flag.IntVar(&o.k, "k", 2, "processing crossbars per machine")
+	flag.IntVar(&o.banks, "banks", 16, "number of banks")
+	flag.IntVar(&o.perBank, "perbank", 2, "crossbars per bank")
+	flag.BoolVar(&o.ecc, "ecc", true, "enable the diagonal-ECC mechanism")
+	flag.StringVar(&o.mode, "mode", "open", "client model: "+strings.Join(serve.ModeNames(), ", "))
+	flag.StringVar(&o.mix, "mix", "uniform", "address mix: "+strings.Join(serve.MixNames(), ", "))
+	flag.IntVar(&o.requests, "requests", 20000, "total requests")
+	flag.IntVar(&o.clients, "clients", 8, "client streams")
+	flag.Float64Var(&o.rate, "rate", 0.2, "open loop: mean arrivals per tick")
+	flag.Float64Var(&o.writeFrac, "writefrac", 0.5, "fraction of writes")
+	flag.IntVar(&o.width, "width", 32, "request width in bits (1..64)")
+	flag.IntVar(&o.workers, "workers", 0, "modeled bank workers (0 = one per bank); fewer workers = more queueing")
+	flag.IntVar(&o.batch, "batch", 32, "max requests coalesced per batch")
+	flag.Int64Var(&o.scrubPeriod, "scrub-period", 2000, "ticks between admitted crossbar scrubs per worker (0 = off); total scrub work scales with -workers")
+	flag.Float64Var(&o.faultSER, "faults-ser", 0, "fault overlay rate [FIT/bit] (0 = off)")
+	flag.Float64Var(&o.faultHours, "faults-hours", 1, "fault overlay exposure per scrub window [hours]")
+	flag.Int64Var(&o.seed, "seed", 1, "trace and fault seed (the report is reproducible from this)")
+	flag.Parse()
+
+	t0 := time.Now()
+	out, res, err := run(o)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	wall := time.Since(t0)
+	os.Stdout.Write(out)
+	fmt.Fprintf(os.Stderr, "loadgen: served %d requests in %v wall (%.0f req/s wall, makespan %d ticks)\n",
+		res.Stats.Requests, wall.Round(time.Millisecond), float64(res.Stats.Requests)/wall.Seconds(), res.Ticks)
+}

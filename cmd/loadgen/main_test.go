@@ -1,0 +1,93 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// smokeOpts is a small, fast configuration exercising scrubs, faults,
+// and coalescing together.
+func smokeOpts(workers int) options {
+	return options{
+		n: 90, m: 15, k: 2, banks: 8, perBank: 2, ecc: true,
+		mode: "open", mix: "scan", requests: 4000, clients: 4,
+		rate: 0.5, writeFrac: 0.5, width: 30,
+		workers: workers, batch: 32, scrubPeriod: 500,
+		faultSER: 3e5, faultHours: 1, seed: 1,
+	}
+}
+
+// TestReportDeterministicFromSeed: the same options render byte-identical
+// JSON — the property the CI smoke asserts on the built binary. Across
+// worker counts the report legitimately differs (workers is the modeled
+// queueing knob): only the served traffic is invariant, and throughput
+// must improve with more workers.
+func TestReportDeterministicFromSeed(t *testing.T) {
+	a, resA, err := run(smokeOpts(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := run(smokeOpts(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("same seed, different reports:\n%s\n---\n%s", a, b)
+	}
+	if resA.Stats.Requests != 4000 {
+		t.Fatalf("served %d of 4000", resA.Stats.Requests)
+	}
+	// Workers is the modeled scaling knob: the same traffic is served
+	// either way, and throughput improves with more workers.
+	var jc, jw map[string]any
+	if err := json.Unmarshal(a, &jc); err != nil {
+		t.Fatal(err)
+	}
+	w8, _, err := run(smokeOpts(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(w8, &jw); err != nil {
+		t.Fatal(err)
+	}
+	if jc["served"].(map[string]any)["requests"] != jw["served"].(map[string]any)["requests"] {
+		t.Fatal("served traffic depends on worker count")
+	}
+	if jw["throughput_per_kilotick"].(float64) <= jc["throughput_per_kilotick"].(float64) {
+		t.Fatalf("throughput at 8 workers (%v) not above 2 workers (%v)",
+			jw["throughput_per_kilotick"], jc["throughput_per_kilotick"])
+	}
+}
+
+// TestReportShape: the report carries the fields the E9 table reads.
+func TestReportShape(t *testing.T) {
+	out, _, err := run(smokeOpts(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep map[string]any
+	if err := json.Unmarshal(out, &rep); err != nil {
+		t.Fatal(err)
+	}
+	served := rep["served"].(map[string]any)
+	if served["requests"].(float64) != 4000 || served["errors"].(float64) != 0 {
+		t.Fatalf("served block wrong: %v", served)
+	}
+	if served["scrubs"].(float64) == 0 || served["corrected"].(float64) == 0 {
+		t.Fatalf("fault overlay inert: %v", served)
+	}
+	if served["coalesced"].(float64) == 0 {
+		t.Fatalf("scan mix never coalesced: %v", served)
+	}
+	lat := rep["latency_ticks"].(map[string]any)
+	if lat["count"].(float64) != 4000 || lat["p99"].(float64) < lat["p50"].(float64) {
+		t.Fatalf("latency digest wrong: %v", lat)
+	}
+	if rep["throughput_per_kilotick"].(float64) <= 0 {
+		t.Fatal("no throughput reported")
+	}
+	if len(rep["per_bank"].([]any)) != 8 {
+		t.Fatal("per-bank loads missing")
+	}
+}

@@ -1,0 +1,122 @@
+package fleet
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// TestHistMergeOrderIndependent is the histogram property the serving
+// layer's sharding depends on (mirroring the TestCampaignScenario
+// determinism pattern): scattering one observation stream across any
+// number of shard histograms and merging them back in any order yields
+// exactly the single-shard histogram.
+func TestHistMergeOrderIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	values := make([]int64, 5000)
+	for i := range values {
+		switch rng.Intn(3) {
+		case 0:
+			values[i] = rng.Int63n(16) // exact buckets
+		case 1:
+			values[i] = rng.Int63n(1 << 20)
+		default:
+			values[i] = rng.Int63() // full range
+		}
+	}
+	var single Hist
+	for _, v := range values {
+		single.Observe(v)
+	}
+	for _, shards := range []int{1, 2, 8, 32, 99} {
+		parts := make([]Hist, shards)
+		for _, v := range values {
+			parts[rng.Intn(shards)].Observe(v)
+		}
+		perm := rng.Perm(shards)
+		var merged Hist
+		for _, p := range perm {
+			merged = merged.Merge(parts[p])
+		}
+		if !reflect.DeepEqual(single, merged) {
+			t.Fatalf("shards=%d: merged histogram diverged from single-shard run", shards)
+		}
+		// Associativity: pairwise tree merge equals the linear fold.
+		for len(parts) > 1 {
+			var next []Hist
+			for i := 0; i < len(parts); i += 2 {
+				if i+1 < len(parts) {
+					next = append(next, parts[i].Merge(parts[i+1]))
+				} else {
+					next = append(next, parts[i])
+				}
+			}
+			parts = next
+		}
+		if !reflect.DeepEqual(single, parts[0]) {
+			t.Fatalf("shards=%d: tree merge diverged", shards)
+		}
+	}
+}
+
+// TestHistQuantileBounds: quantiles come back within one bucket of the
+// true order statistics, and the digest fields are exact where promised.
+func TestHistQuantileBounds(t *testing.T) {
+	var h Hist
+	const n = 10000
+	var sum int64
+	for i := int64(1); i <= n; i++ {
+		h.Observe(i)
+		sum += i
+	}
+	s := h.Summary()
+	if s.Count != n || s.Max != n || h.Sum != sum {
+		t.Fatalf("digest counts wrong: %+v", s)
+	}
+	checks := []struct {
+		q    float64
+		want int64
+	}{{0.5, n / 2}, {0.99, 99 * n / 100}, {0.999, 999 * n / 1000}}
+	for _, c := range checks {
+		got := h.Quantile(c.q)
+		if got < c.want || float64(got) > float64(c.want)*1.2 {
+			t.Fatalf("q=%g: got %d, want within [%d, %d]", c.q, got, c.want, c.want*12/10)
+		}
+	}
+	if h.Quantile(1) != n || h.Quantile(0) == 0 {
+		t.Fatalf("extreme quantiles: q1=%d q0=%d", h.Quantile(1), h.Quantile(0))
+	}
+}
+
+// TestHistZeroAndNegative: the zero value is usable and negatives clamp.
+func TestHistZeroAndNegative(t *testing.T) {
+	var h Hist
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram not zero")
+	}
+	h.Observe(-5)
+	if h.N != 1 || h.Max != 0 || h.Quantile(0.99) != 0 {
+		t.Fatalf("negative observation mishandled: %+v", h.Summary())
+	}
+}
+
+// TestHistBucketInverse: every bucket's upper bound maps back to itself,
+// and bucket indices are monotone in the value.
+func TestHistBucketInverse(t *testing.T) {
+	for i := 0; i < histBuckets; i++ {
+		if got := histBucket(histUpper(i)); got != i {
+			t.Fatalf("histBucket(histUpper(%d)) = %d", i, got)
+		}
+	}
+	prev := -1
+	for _, v := range []int64{0, 1, 7, 8, 15, 16, 100, 1 << 20, 1<<62 + 1, 1<<63 - 1} {
+		b := histBucket(v)
+		if b < prev {
+			t.Fatalf("bucket not monotone at %d", v)
+		}
+		prev = b
+		if up := histUpper(b); up < v {
+			t.Fatalf("upper(%d)=%d below value %d", b, up, v)
+		}
+	}
+}

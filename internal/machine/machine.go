@@ -135,6 +135,20 @@ func (m *Machine) LoadRow(r int, v *bitmat.Vec) {
 	}
 }
 
+// UpdateRow is the read-modify-write primitive of the serving layer: it
+// hands mutate a copy of MEM row r and, if mutate reports the row dirty,
+// commits it through the protected write path (one ECC delta update for
+// the whole mutation, however many bits changed). A clean row costs no
+// write and no ECC work. Reports whether the row was written.
+func (m *Machine) UpdateRow(r int, mutate func(*bitmat.Vec) bool) bool {
+	row := m.mem.Mat().Row(r).Clone()
+	if !mutate(row) {
+		return false
+	}
+	m.LoadRow(r, row)
+	return true
+}
+
 // InjectDataFault flips a memristor in MEM — a soft error.
 func (m *Machine) InjectDataFault(r, c int) { m.mem.Flip(r, c) }
 

@@ -433,3 +433,45 @@ func TestScrubFindingsLocateFaults(t *testing.T) {
 		t.Fatalf("stats %+v, want 1 correction and 2 uncorrectable flags", st)
 	}
 }
+
+func TestUpdateRowKeepsECCConsistent(t *testing.T) {
+	m := MustNew(testCfg)
+	wrote := m.UpdateRow(7, func(v *bitmat.Vec) bool {
+		v.Set(3, true)
+		v.Set(44, true)
+		v.Set(20, true)
+		return true
+	})
+	if !wrote {
+		t.Fatal("dirty mutation not written")
+	}
+	if !m.MEM().Get(7, 3) || !m.MEM().Get(7, 44) || !m.MEM().Get(7, 20) {
+		t.Fatal("mutation lost")
+	}
+	if !m.CheckConsistent() {
+		t.Fatal("check bits stale after UpdateRow")
+	}
+	// A multi-bit mutation commits as one protected write, not one per bit.
+	before := m.Stats()
+	m.UpdateRow(8, func(v *bitmat.Vec) bool { v.Fill(true); return true })
+	if !m.CheckConsistent() {
+		t.Fatal("check bits stale after full-row mutation")
+	}
+	if cycles := m.Stats().MEMCycles - before.MEMCycles; cycles > 8 {
+		t.Fatalf("full-row UpdateRow cost %d MEM cycles — not a single write", cycles)
+	}
+}
+
+func TestUpdateRowCleanSkipsWrite(t *testing.T) {
+	m := MustNew(testCfg)
+	before := m.Stats()
+	if m.UpdateRow(3, func(v *bitmat.Vec) bool { v.Set(1, true); return false }) {
+		t.Fatal("clean mutation reported written")
+	}
+	if m.MEM().Get(3, 1) {
+		t.Fatal("clean mutation leaked into memory")
+	}
+	if m.Stats() != before {
+		t.Fatal("clean UpdateRow consumed machine work")
+	}
+}

@@ -76,6 +76,62 @@ func (o Organization) FlatIndex(a Address) int64 {
 	return xb*per + int64(a.Row)*int64(o.CrossbarN) + int64(a.Col)
 }
 
+// BankBits returns one bank's data capacity in bits — the span of flat
+// addresses each bank owns (banks are outermost in the layout).
+func (o Organization) BankBits() int64 {
+	return int64(o.PerBank) * int64(o.CrossbarN) * int64(o.CrossbarN)
+}
+
+// BankOf returns the bank holding the given flat bit index.
+func (o Organization) BankOf(bit int64) (int, error) {
+	a, err := o.Locate(bit)
+	if err != nil {
+		return 0, err
+	}
+	return a.Bank, nil
+}
+
+// Segment is a contiguous run of bits that lies within a single crossbar
+// row — the unit at which a flat address range touches physical storage.
+type Segment struct {
+	Bank, Crossbar int   // crossbar within its bank
+	Row, Col       int   // start position within the crossbar
+	Bits           int   // run length; Col+Bits <= CrossbarN
+	Off            int64 // offset of the run within the requested range
+}
+
+// ForEachSegment decomposes the bit range [bit, bit+nbits) into its
+// crossbar-row segments, in address order, invoking fn for each. The
+// decomposition is exact: segments are disjoint, contiguous, and their
+// lengths sum to nbits. Iteration stops early if fn returns an error.
+func (o Organization) ForEachSegment(bit, nbits int64, fn func(Segment) error) error {
+	if nbits < 0 {
+		return fmt.Errorf("mmpu: negative range width %d", nbits)
+	}
+	if bit < 0 || bit+nbits > o.DataBits() {
+		return fmt.Errorf("mmpu: range [%d,%d) outside [0,%d)", bit, bit+nbits, o.DataBits())
+	}
+	var off int64
+	for off < nbits {
+		a, err := o.Locate(bit + off)
+		if err != nil {
+			return err
+		}
+		run := int64(o.CrossbarN - a.Col) // to the end of this row
+		if rem := nbits - off; run > rem {
+			run = rem
+		}
+		if err := fn(Segment{
+			Bank: a.Bank, Crossbar: a.Crossbar,
+			Row: a.Row, Col: a.Col, Bits: int(run), Off: off,
+		}); err != nil {
+			return err
+		}
+		off += run
+	}
+	return nil
+}
+
 // CrossbarID returns the flat crossbar index of (bank, crossbar-in-bank),
 // banks outermost — the ordering Locate uses.
 func (o Organization) CrossbarID(bank, xb int) int { return bank*o.PerBank + xb }

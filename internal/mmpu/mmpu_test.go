@@ -1,6 +1,7 @@
 package mmpu
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -169,5 +170,96 @@ func TestValidateRejectsUndersized(t *testing.T) {
 	}
 	if (Organization{}).Validate() == nil {
 		t.Fatal("zero organization accepted")
+	}
+}
+
+func TestForEachSegmentExactCover(t *testing.T) {
+	org := Organization{CrossbarN: 45, Banks: 2, PerBank: 2}
+	per := int64(45 * 45)
+	spans := []struct{ bit, nbits int64 }{
+		{0, 0},               // empty
+		{0, 1},               // single bit
+		{0, 45},              // exactly one row
+		{40, 10},             // crosses a row boundary
+		{per - 3, 7},         // crosses a crossbar boundary
+		{2*per - 5, 11},      // crosses the bank boundary
+		{0, 4 * per},         // the whole memory
+		{per - 1, 2*per + 2}, // spans three crossbars
+	}
+	for _, s := range spans {
+		var covered int64
+		prevEnd := s.bit
+		err := org.ForEachSegment(s.bit, s.nbits, func(seg Segment) error {
+			if seg.Bits <= 0 || seg.Col+seg.Bits > org.CrossbarN {
+				t.Fatalf("span %+v: bad segment %+v", s, seg)
+			}
+			start := org.FlatIndex(Address{Bank: seg.Bank, Crossbar: seg.Crossbar, Row: seg.Row, Col: seg.Col})
+			if start != s.bit+seg.Off {
+				t.Fatalf("span %+v: segment %+v starts at flat %d, want %d", s, seg, start, s.bit+seg.Off)
+			}
+			if start != prevEnd {
+				t.Fatalf("span %+v: gap before segment %+v (prev end %d)", s, seg, prevEnd)
+			}
+			prevEnd = start + int64(seg.Bits)
+			covered += int64(seg.Bits)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("span %+v: %v", s, err)
+		}
+		if covered != s.nbits {
+			t.Fatalf("span %+v: covered %d bits", s, covered)
+		}
+	}
+}
+
+func TestForEachSegmentRejectsBadRanges(t *testing.T) {
+	org := Organization{CrossbarN: 45, Banks: 2, PerBank: 2}
+	nop := func(Segment) error { return nil }
+	if err := org.ForEachSegment(-1, 4, nop); err == nil {
+		t.Fatal("negative start accepted")
+	}
+	if err := org.ForEachSegment(0, -1, nop); err == nil {
+		t.Fatal("negative width accepted")
+	}
+	if err := org.ForEachSegment(org.DataBits()-1, 2, nop); err == nil {
+		t.Fatal("overrunning range accepted")
+	}
+}
+
+func TestForEachSegmentStopsOnError(t *testing.T) {
+	org := Organization{CrossbarN: 45, Banks: 2, PerBank: 2}
+	calls := 0
+	sentinel := fmt.Errorf("stop")
+	err := org.ForEachSegment(40, 100, func(Segment) error {
+		calls++
+		return sentinel
+	})
+	if err != sentinel || calls != 1 {
+		t.Fatalf("err=%v calls=%d", err, calls)
+	}
+}
+
+func TestBankOf(t *testing.T) {
+	org := Organization{CrossbarN: 45, Banks: 2, PerBank: 2}
+	per := int64(45 * 45)
+	if b, err := org.BankOf(0); err != nil || b != 0 {
+		t.Fatalf("BankOf(0) = %d, %v", b, err)
+	}
+	if b, err := org.BankOf(2 * per); err != nil || b != 1 {
+		t.Fatalf("BankOf(2·per) = %d, %v", b, err)
+	}
+	if _, err := org.BankOf(org.DataBits()); err == nil {
+		t.Fatal("out-of-range bit accepted")
+	}
+}
+
+func TestBankBits(t *testing.T) {
+	org := Organization{CrossbarN: 45, Banks: 2, PerBank: 2}
+	if got := org.BankBits(); got != 2*45*45 {
+		t.Fatalf("BankBits = %d", got)
+	}
+	if org.BankBits()*int64(org.Banks) != org.DataBits() {
+		t.Fatal("banks do not tile the memory")
 	}
 }

@@ -5,15 +5,36 @@
 // than modeled: data lives across many crossbars, soft errors arrive per
 // the SER, periodic scrubs run, and the memory either survives (all
 // errors corrected) or reports uncorrectable damage.
+//
+// # Concurrency
+//
+// Memory is safe for concurrent use through its exported access methods:
+// every bank is guarded by its own mutex, so accesses to different banks
+// proceed in parallel (the serving layer's per-bank workers never
+// contend) while accesses to the same bank serialize. Range operations
+// spanning several banks lock one bank at a time, segment by segment in
+// ascending address order — each segment is applied atomically, the range
+// as a whole is not. Crossbar hands out the raw machine with no
+// synchronization; it is for single-threaded setup and inspection only.
 package pmem
 
 import (
+	"errors"
 	"fmt"
+	"sync"
 
+	"repro/internal/bitmat"
 	"repro/internal/faults"
 	"repro/internal/machine"
 	"repro/internal/mmpu"
 )
+
+// ErrRange flags an address or span outside the memory's data capacity.
+var ErrRange = errors.New("address out of range")
+
+// ErrSpan flags a malformed span: negative width, a word wider than 64
+// bits, or a source buffer too short for the requested bits.
+var ErrSpan = errors.New("malformed span")
 
 // Config sizes a protected memory.
 type Config struct {
@@ -25,8 +46,9 @@ type Config struct {
 
 // Memory is a bank-organized set of protected crossbars.
 type Memory struct {
-	cfg Config
-	xbs []*machine.Machine // flattened [bank*PerBank + crossbar]
+	cfg   Config
+	xbs   []*machine.Machine // flattened [bank*PerBank + crossbar]
+	banks []sync.Mutex       // one lock per bank, guarding its crossbars
 }
 
 // New builds the memory. All crossbars start zeroed with consistent ECC.
@@ -37,7 +59,11 @@ func New(cfg Config) (*Memory, error) {
 	if cfg.ECCEnabled && cfg.Org.CrossbarN%cfg.M != 0 {
 		return nil, fmt.Errorf("pmem: block side %d does not divide crossbar side %d", cfg.M, cfg.Org.CrossbarN)
 	}
-	m := &Memory{cfg: cfg, xbs: make([]*machine.Machine, cfg.Org.Crossbars())}
+	m := &Memory{
+		cfg:   cfg,
+		xbs:   make([]*machine.Machine, cfg.Org.Crossbars()),
+		banks: make([]sync.Mutex, cfg.Org.Banks),
+	}
 	for i := range m.xbs {
 		xb, err := machine.New(machine.Config{
 			N: cfg.Org.CrossbarN, M: cfg.M, K: cfg.K, ECCEnabled: cfg.ECCEnabled,
@@ -54,63 +80,176 @@ func New(cfg Config) (*Memory, error) {
 func (m *Memory) Config() Config { return m.cfg }
 
 // Crossbar returns the machine holding the given flat crossbar index.
+// The machine is returned without synchronization — callers own the
+// coordination (single-threaded setup, or an externally quiesced memory).
 func (m *Memory) Crossbar(i int) *machine.Machine { return m.xbs[i] }
 
-// locate maps a flat bit address to (crossbar, row, col).
-func (m *Memory) locate(bit int64) (xb *machine.Machine, row, col int, err error) {
+// at returns the machine at (bank, crossbar-in-bank).
+func (m *Memory) at(bank, xb int) *machine.Machine {
+	return m.xbs[m.cfg.Org.CrossbarID(bank, xb)]
+}
+
+// checkSpan validates the bit range [bit, bit+nbits) against the memory.
+func (m *Memory) checkSpan(bit, nbits int64) error {
+	if nbits < 0 {
+		return fmt.Errorf("pmem: span of %d bits at %d: %w", nbits, bit, ErrSpan)
+	}
+	if bit < 0 || bit+nbits > m.cfg.Org.DataBits() {
+		return fmt.Errorf("pmem: range [%d,%d) outside [0,%d): %w",
+			bit, bit+nbits, m.cfg.Org.DataBits(), ErrRange)
+	}
+	return nil
+}
+
+// locate maps a flat bit address to (crossbar, bank, row, col).
+func (m *Memory) locate(bit int64) (xb *machine.Machine, bank, row, col int, err error) {
+	if err := m.checkSpan(bit, 1); err != nil {
+		return nil, 0, 0, 0, err
+	}
 	a, err := m.cfg.Org.Locate(bit)
 	if err != nil {
-		return nil, 0, 0, err
+		return nil, 0, 0, 0, fmt.Errorf("pmem: locate bit %d: %w", bit, err)
 	}
-	return m.xbs[a.Bank*m.cfg.Org.PerBank+a.Crossbar], a.Row, a.Col, nil
+	return m.at(a.Bank, a.Crossbar), a.Bank, a.Row, a.Col, nil
+}
+
+// AccessRow locks the owning bank and passes a copy of the addressed
+// crossbar row to fn; if fn reports the row dirty, the row is committed
+// through the protected write path — one ECC delta update for the whole
+// coalesced mutation. It is the primitive the serving layer batches
+// same-row requests into.
+func (m *Memory) AccessRow(bank, xb, row int, fn func(v *bitmat.Vec) (dirty bool)) error {
+	if bank < 0 || bank >= m.cfg.Org.Banks || xb < 0 || xb >= m.cfg.Org.PerBank ||
+		row < 0 || row >= m.cfg.Org.CrossbarN {
+		return fmt.Errorf("pmem: row (bank %d, crossbar %d, row %d) outside organization: %w",
+			bank, xb, row, ErrRange)
+	}
+	m.banks[bank].Lock()
+	defer m.banks[bank].Unlock()
+	m.at(bank, xb).UpdateRow(row, fn)
+	return nil
 }
 
 // WriteBit stores one bit, keeping the owning crossbar's check bits
 // current (the write path computes ECC, as in conventional memories).
 func (m *Memory) WriteBit(bit int64, v bool) error {
-	xb, row, col, err := m.locate(bit)
+	xb, bank, row, col, err := m.locate(bit)
 	if err != nil {
 		return err
 	}
-	rowVec := xb.MEM().Mat().Row(row).Clone()
-	rowVec.Set(col, v)
-	xb.LoadRow(row, rowVec)
+	m.banks[bank].Lock()
+	defer m.banks[bank].Unlock()
+	xb.UpdateRow(row, func(r *bitmat.Vec) bool {
+		r.Set(col, v)
+		return true
+	})
 	return nil
 }
 
 // ReadBit returns one stored bit (no correction on the read path; the
 // scrub and pre-compute checks handle errors, per the paper's model).
 func (m *Memory) ReadBit(bit int64) (bool, error) {
-	xb, row, col, err := m.locate(bit)
+	xb, bank, row, col, err := m.locate(bit)
 	if err != nil {
 		return false, err
 	}
+	m.banks[bank].Lock()
+	defer m.banks[bank].Unlock()
 	return xb.MEM().Get(row, col), nil
 }
 
-// WriteWord stores up to 64 bits starting at a bit address.
-func (m *Memory) WriteWord(bit int64, w uint64, width int) error {
-	for i := 0; i < width; i++ {
-		if err := m.WriteBit(bit+int64(i), w&(1<<uint(i)) != 0); err != nil {
-			return err
-		}
+// checkWord validates a word access of the given width.
+func (m *Memory) checkWord(bit int64, width int) error {
+	if width < 0 || width > 64 {
+		return fmt.Errorf("pmem: word width %d not in [0,64]: %w", width, ErrSpan)
 	}
-	return nil
+	return m.checkSpan(bit, int64(width))
 }
 
-// ReadWord reads up to 64 bits starting at a bit address.
-func (m *Memory) ReadWord(bit int64, width int) (uint64, error) {
-	var w uint64
-	for i := 0; i < width; i++ {
-		b, err := m.ReadBit(bit + int64(i))
-		if err != nil {
-			return 0, err
-		}
-		if b {
-			w |= 1 << uint(i)
-		}
+// WriteWord stores up to 64 bits (LSB first) starting at a bit address.
+func (m *Memory) WriteWord(bit int64, w uint64, width int) error {
+	if err := m.checkWord(bit, width); err != nil {
+		return err
 	}
-	return w, nil
+	return m.writeSegments(bit, int64(width), []uint64{w})
+}
+
+// ReadWord reads up to 64 bits (LSB first) starting at a bit address.
+func (m *Memory) ReadWord(bit int64, width int) (uint64, error) {
+	if err := m.checkWord(bit, width); err != nil {
+		return 0, err
+	}
+	dst := []uint64{0}
+	if err := m.readSegments(bit, int64(width), dst); err != nil {
+		return 0, err
+	}
+	return dst[0], nil
+}
+
+// WriteRange stores nbits from src (LSB-first within each word) starting
+// at a bit address. The range may span rows, crossbars, and banks; each
+// crossbar-row segment commits as one protected write.
+func (m *Memory) WriteRange(bit int64, src []uint64, nbits int64) error {
+	if err := m.checkSpan(bit, nbits); err != nil {
+		return err
+	}
+	if int64(len(src))*64 < nbits {
+		return fmt.Errorf("pmem: %d source words hold fewer than %d bits: %w", len(src), nbits, ErrSpan)
+	}
+	return m.writeSegments(bit, nbits, src)
+}
+
+// ReadRange reads nbits starting at a bit address into a fresh LSB-first
+// word slice.
+func (m *Memory) ReadRange(bit int64, nbits int64) ([]uint64, error) {
+	if err := m.checkSpan(bit, nbits); err != nil {
+		return nil, err
+	}
+	dst := make([]uint64, (nbits+63)/64)
+	if err := m.readSegments(bit, nbits, dst); err != nil {
+		return nil, err
+	}
+	return dst, nil
+}
+
+// writeSegments applies a validated range write segment by segment, taking
+// each owning bank's lock in ascending address order.
+func (m *Memory) writeSegments(bit, nbits int64, src []uint64) error {
+	return m.cfg.Org.ForEachSegment(bit, nbits, func(s mmpu.Segment) error {
+		m.banks[s.Bank].Lock()
+		defer m.banks[s.Bank].Unlock()
+		m.at(s.Bank, s.Crossbar).UpdateRow(s.Row, func(r *bitmat.Vec) bool {
+			for i := 0; i < s.Bits; i++ {
+				j := s.Off + int64(i)
+				r.Set(s.Col+i, src[j>>6]>>(uint(j)&63)&1 != 0)
+			}
+			return true
+		})
+		return nil
+	})
+}
+
+// readSegments fills dst from a validated range, segment by segment.
+func (m *Memory) readSegments(bit, nbits int64, dst []uint64) error {
+	return m.cfg.Org.ForEachSegment(bit, nbits, func(s mmpu.Segment) error {
+		m.banks[s.Bank].Lock()
+		defer m.banks[s.Bank].Unlock()
+		row := m.at(s.Bank, s.Crossbar).MEM().Mat().Row(s.Row)
+		for got := 0; got < s.Bits; {
+			k := s.Bits - got
+			if k > 64 {
+				k = 64
+			}
+			w := row.Uint64At(s.Col+got, k)
+			j := s.Off + int64(got)
+			dst[j>>6] |= w << (uint(j) & 63)
+			if spill := int(uint(j)&63) + k - 64; spill > 0 {
+				dst[j>>6+1] |= w >> uint(k-spill)
+			}
+			got += k
+		}
+		return nil
+	})
 }
 
 // LoadPattern fills the memory's first `bits` positions from a seeded
@@ -138,14 +277,44 @@ func (m *Memory) LoadPattern(bits int64, seed int64) (verify func() (bad int64),
 	}, nil
 }
 
-// ScrubAll runs the periodic full-memory check over every crossbar.
-func (m *Memory) ScrubAll() (corrected, uncorrectable int) {
-	for _, xb := range m.xbs {
-		c, u := xb.Scrub()
+// ScrubCrossbar runs the periodic check over one crossbar, holding its
+// bank's lock — the unit the serving layer's scrub scheduler admits
+// between request batches.
+func (m *Memory) ScrubCrossbar(bank, xb int) (corrected, uncorrectable int) {
+	m.banks[bank].Lock()
+	defer m.banks[bank].Unlock()
+	return m.at(bank, xb).Scrub()
+}
+
+// ScrubBank runs the periodic check over every crossbar of one bank.
+func (m *Memory) ScrubBank(bank int) (corrected, uncorrectable int) {
+	m.banks[bank].Lock()
+	defer m.banks[bank].Unlock()
+	for x := 0; x < m.cfg.Org.PerBank; x++ {
+		c, u := m.at(bank, x).Scrub()
 		corrected += c
 		uncorrectable += u
 	}
 	return corrected, uncorrectable
+}
+
+// ScrubAll runs the periodic full-memory check over every crossbar.
+func (m *Memory) ScrubAll() (corrected, uncorrectable int) {
+	for b := 0; b < m.cfg.Org.Banks; b++ {
+		c, u := m.ScrubBank(b)
+		corrected += c
+		uncorrectable += u
+	}
+	return corrected, uncorrectable
+}
+
+// InjectWindow exposes one crossbar to the injector's soft-error stream
+// for `hours`, under the bank lock, and returns the number of flips — the
+// fault-overlay primitive of the serving layer.
+func (m *Memory) InjectWindow(bank, xb int, inj *faults.Injector, hours float64) int {
+	m.banks[bank].Lock()
+	defer m.banks[bank].Unlock()
+	return len(inj.Inject(m.at(bank, xb).MEM(), hours))
 }
 
 // CampaignResult summarizes one error-injection window.
@@ -163,9 +332,9 @@ type CampaignResult struct {
 func (m *Memory) RunWindow(ser, hours float64, seed int64, verify func() int64) CampaignResult {
 	inj := faults.NewInjector(ser, seed)
 	injected := 0
-	for _, xb := range m.xbs {
-		injected += len(inj.Inject(xb.MEM(), hours))
-	}
+	m.cfg.Org.ForEachCrossbar(func(bank, xb int) {
+		injected += m.InjectWindow(bank, xb, inj, hours)
+	})
 	corrected, unc := m.ScrubAll()
 	res := CampaignResult{
 		Injected: injected, Corrected: corrected, Uncorrectable: unc,

@@ -1,6 +1,8 @@
 package pmem
 
 import (
+	"errors"
+	"strings"
 	"testing"
 
 	"repro/internal/mmpu"
@@ -175,5 +177,95 @@ func TestNewRejectsBadConfig(t *testing.T) {
 	bad.Org.CrossbarN = 0
 	if _, err := New(bad); err == nil {
 		t.Fatal("zero crossbar accepted")
+	}
+}
+
+// TestErrorPaths pins the contract of every validating entry point: out of
+// range wraps ErrRange, malformed spans wrap ErrSpan, and every message
+// carries the "pmem:" prefix so wrapped errors stay attributable.
+func TestErrorPaths(t *testing.T) {
+	m, err := New(smallCfg(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	end := m.Config().Org.DataBits()
+	cases := []struct {
+		name string
+		call func() error
+		want error
+	}{
+		{"ReadBit negative", func() error { _, err := m.ReadBit(-1); return err }, ErrRange},
+		{"ReadBit past end", func() error { _, err := m.ReadBit(end); return err }, ErrRange},
+		{"WriteBit past end", func() error { return m.WriteBit(end, true) }, ErrRange},
+		{"ReadWord width 65", func() error { _, err := m.ReadWord(0, 65); return err }, ErrSpan},
+		{"ReadWord negative width", func() error { _, err := m.ReadWord(0, -1); return err }, ErrSpan},
+		{"WriteWord width 65", func() error { return m.WriteWord(0, 1, 65) }, ErrSpan},
+		{"WriteWord overruns end", func() error { return m.WriteWord(end-10, 1, 11) }, ErrRange},
+		{"ReadWord overruns end", func() error { _, err := m.ReadWord(end-10, 11); return err }, ErrRange},
+		{"ReadRange negative width", func() error { _, err := m.ReadRange(5, -3); return err }, ErrSpan},
+		{"ReadRange overruns end", func() error { _, err := m.ReadRange(end-1, 2); return err }, ErrRange},
+		{"WriteRange negative start", func() error { return m.WriteRange(-1, []uint64{0}, 1) }, ErrRange},
+		{"WriteRange short buffer", func() error { return m.WriteRange(0, []uint64{0}, 65) }, ErrSpan},
+		{"AccessRow bad bank", func() error { return m.AccessRow(9, 0, 0, nil) }, ErrRange},
+		{"AccessRow bad row", func() error { return m.AccessRow(0, 0, 45, nil) }, ErrRange},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.call()
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("err = %v, want %v", err, tc.want)
+			}
+			if !strings.HasPrefix(err.Error(), "pmem:") {
+				t.Fatalf("message %q lacks pmem: prefix", err)
+			}
+		})
+	}
+	// Width-0 accesses are valid no-ops, not errors.
+	if err := m.WriteWord(0, 1, 0); err != nil {
+		t.Fatalf("zero-width write: %v", err)
+	}
+	if w, err := m.ReadWord(end-1, 0); err != nil || w != 0 {
+		t.Fatalf("zero-width read = %d, %v", w, err)
+	}
+}
+
+// TestRangeRoundTripAcrossBoundaries drives WriteRange/ReadRange over a
+// span covering three crossbars in two banks and cross-checks per bit.
+func TestRangeRoundTripAcrossBoundaries(t *testing.T) {
+	m, err := New(smallCfg(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const start, nbits = 45*45 - 30, 2*45*45 + 60 // crossbar 0 into crossbar 3
+	src := make([]uint64, (nbits+63)/64)
+	for i := range src {
+		src[i] = 0x9E3779B97F4A7C15 * uint64(i+1)
+	}
+	if err := m.WriteRange(start, src, nbits); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.ReadRange(start, nbits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < nbits; i++ {
+		want := src[i>>6]>>(uint(i)&63)&1 != 0
+		if got[i>>6]>>(uint(i)&63)&1 != 0 != want {
+			t.Fatalf("bit %d mismatched after range round trip", i)
+		}
+		b, err := m.ReadBit(start + i)
+		if err != nil || b != want {
+			t.Fatalf("ReadBit(%d) = %v, %v, want %v", start+i, b, err, want)
+		}
+	}
+	// Trailing garbage must not leak into the tail word.
+	if tail := got[len(got)-1] >> (uint(nbits) & 63); nbits%64 != 0 && tail != 0 {
+		t.Fatalf("tail bits set: %#x", tail)
+	}
+	// Every crossbar's check bits survived the segment writes.
+	for i := 0; i < m.Config().Org.Crossbars(); i++ {
+		if !m.Crossbar(i).CheckConsistent() {
+			t.Fatalf("crossbar %d ECC stale after range write", i)
+		}
 	}
 }

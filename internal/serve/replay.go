@@ -1,0 +1,324 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/faults"
+	"repro/internal/mmpu"
+	"repro/internal/pmem"
+)
+
+// The virtual-time cost model, in model ticks. The constants are a
+// queueing abstraction calibrated to the shape of the paper's cycle
+// accounting, not a cycle-accurate trace: a write costs more than a read
+// (write drivers plus the Θ(1) diagonal ECC delta update), a request
+// served from an already-open row costs a fraction of a fresh activation,
+// and a scrub pays per checked block. What matters for the experiments is
+// the *structure* — relative costs, queueing, worker contention, and
+// scrub interference — which is what the E9 latency distributions and
+// throughput curves exercise.
+const (
+	costRead      = 2 // row activation + sense
+	costWrite     = 6 // write drivers + diagonal ECC delta update
+	costCoalRead  = 1 // read served from the open row
+	costCoalWrite = 2 // write merged into the open row's single commit
+	costScrubBlk  = 8 // per ECC block checked during a scrub
+)
+
+// reqCost charges one served request.
+func reqCost(info execInfo) int64 {
+	if info.coalesced {
+		if info.write {
+			return costCoalWrite
+		}
+		return costCoalRead
+	}
+	base := int64(costRead)
+	if info.write {
+		base = costWrite
+	}
+	segs := int64(info.segments)
+	if segs < 1 {
+		segs = 1
+	}
+	return base * segs
+}
+
+// scrubCost charges one crossbar scrub.
+func scrubCost(cfg pmem.Config) int64 {
+	if !cfg.ECCEnabled || cfg.M <= 0 {
+		return 1
+	}
+	blocks := int64(cfg.Org.CrossbarN / cfg.M)
+	return blocks * blocks * costScrubBlk
+}
+
+// ReplayConfig sizes a deterministic replay run.
+type ReplayConfig struct {
+	Mem *pmem.Memory // the served memory (required)
+
+	// Workers is the modeled bank-worker count: banks are partitioned
+	// across workers (mmpu.ShardBanks) and banks sharing a worker share
+	// one service clock, so fewer workers means more queueing — the
+	// serving-layer scaling knob of the E9 experiment. <=0 models one
+	// worker per bank. Execution always parallelizes across the modeled
+	// workers; the Result is a pure function of (memory, trace, config).
+	Workers int
+	// BatchSize caps the requests coalesced per virtual batch (<=0 → 32).
+	BatchSize int
+	// ScrubPeriod is the admission budget in ticks: each worker admits at
+	// most one crossbar scrub per period, between batches, round-robin
+	// over its crossbars. 0 disables.
+	ScrubPeriod int64
+	// FaultSER enables the fault-injection overlay: each admitted scrub
+	// is preceded by a soft-error window over the scrubbed crossbar at
+	// this rate [FIT/bit] for FaultHours (default 1) of exposure, from a
+	// per-crossbar stream derived from Seed.
+	FaultSER   float64
+	FaultHours float64
+	// Seed derives the per-crossbar fault streams.
+	Seed int64
+}
+
+// modelWorkers resolves the modeled worker count: <=0 means one worker
+// per bank (the fully-parallel controller).
+func modelWorkers(w, banks int) int {
+	if w <= 0 || w > banks {
+		return banks
+	}
+	return w
+}
+
+// BankLoad is one bank's deterministic replay outcome.
+type BankLoad struct {
+	Requests int64 `json:"requests"`
+	Scrubs   int64 `json:"scrubs"`
+}
+
+// Result aggregates a replay. Every field is a pure function of the
+// (memory, trace, replay config) — never of host scheduling — so the
+// same inputs reproduce the identical Result on any machine.
+type Result struct {
+	Stats   Stats
+	Workers int   // modeled bank workers
+	Ticks   int64 // makespan: the slowest worker's clock
+
+	PerBank   []BankLoad // indexed by bank
+	PerWorker []int64    // each modeled worker's final clock
+}
+
+// Merge combines two results field-wise (slices align by index; clocks —
+// per-worker and the makespan — take the max, so max(PerWorker) == Ticks
+// stays true). Commutative and associative, like fleet.Result.
+func (r Result) Merge(o Result) Result {
+	m := Result{Stats: r.Stats.Merge(o.Stats), Workers: r.Workers, Ticks: r.Ticks}
+	if o.Workers > m.Workers {
+		m.Workers = o.Workers
+	}
+	if o.Ticks > m.Ticks {
+		m.Ticks = o.Ticks
+	}
+	nb := len(r.PerBank)
+	if len(o.PerBank) > nb {
+		nb = len(o.PerBank)
+	}
+	if nb > 0 {
+		m.PerBank = make([]BankLoad, nb)
+		copy(m.PerBank, r.PerBank)
+		for i, b := range o.PerBank {
+			m.PerBank[i].Requests += b.Requests
+			m.PerBank[i].Scrubs += b.Scrubs
+		}
+	}
+	nw := len(r.PerWorker)
+	if len(o.PerWorker) > nw {
+		nw = len(o.PerWorker)
+	}
+	if nw > 0 {
+		m.PerWorker = make([]int64, nw)
+		copy(m.PerWorker, r.PerWorker)
+		for i, c := range o.PerWorker {
+			if c > m.PerWorker[i] {
+				m.PerWorker[i] = c
+			}
+		}
+	}
+	return m
+}
+
+// Replay executes a trace against the memory in deterministic virtual
+// time. Each modeled worker serves the arrival-ordered merge of its
+// banks' traces on one clock: the clock jumps to the next arrival when
+// idle, a batch is every eligible request up to BatchSize (coalesced by
+// the executor), each request's completion advances the clock by its
+// cost, and its latency is completion minus arrival — queueing delay,
+// worker contention, and scrub interference included. Between batches at
+// most one crossbar scrub is admitted per ScrubPeriod ticks, optionally
+// preceded by the fault overlay.
+//
+// Workers are simulated concurrently (they own disjoint banks, and
+// traces are bank-confined), so real parallelism changes only how fast
+// the simulation runs, never its Result.
+func Replay(cfg ReplayConfig, tr *Trace) (Result, error) {
+	if cfg.Mem == nil {
+		return Result{}, fmt.Errorf("serve: nil memory")
+	}
+	org := cfg.Mem.Config().Org
+	if len(tr.PerBank) != org.Banks {
+		return Result{}, fmt.Errorf("serve: trace has %d banks, memory has %d", len(tr.PerBank), org.Banks)
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 32
+	}
+	closed := tr.Mode == "closed"
+	workers := modelWorkers(cfg.Workers, org.Banks)
+	res := Result{
+		Workers:   workers,
+		PerBank:   make([]BankLoad, org.Banks),
+		PerWorker: make([]int64, workers),
+	}
+	stats := make([]Stats, workers)
+	scrubs := make([][]int64, workers) // per worker: scrubs per owned bank
+	shards := org.ShardBanks(workers)
+	var wg sync.WaitGroup
+	for w, banks := range shards {
+		for _, b := range banks {
+			res.PerBank[b].Requests = int64(len(tr.PerBank[b]))
+		}
+		wg.Add(1)
+		go func(w int, banks []int) {
+			defer wg.Done()
+			res.PerWorker[w], scrubs[w] = replayWorker(cfg, org, banks, tr, closed, &stats[w])
+		}(w, banks)
+	}
+	wg.Wait()
+	for w := range stats {
+		res.Stats = res.Stats.Merge(stats[w])
+		if res.PerWorker[w] > res.Ticks {
+			res.Ticks = res.PerWorker[w]
+		}
+		for i, b := range shards[w] {
+			res.PerBank[b].Scrubs = scrubs[w][i]
+		}
+	}
+	return res, nil
+}
+
+// mergeStreams k-way-merges the banks' traces into one arrival-ordered
+// stream (ties break by bank then position, so the merge is total and
+// deterministic).
+func mergeStreams(tr *Trace, banks []int) []TimedReq {
+	if len(banks) == 1 {
+		return tr.PerBank[banks[0]]
+	}
+	total := 0
+	for _, b := range banks {
+		total += len(tr.PerBank[b])
+	}
+	out := make([]TimedReq, 0, total)
+	idx := make([]int, len(banks))
+	for len(out) < total {
+		best := -1
+		for i, b := range banks {
+			if idx[i] >= len(tr.PerBank[b]) {
+				continue
+			}
+			if best < 0 || tr.PerBank[b][idx[i]].At < tr.PerBank[banks[best]][idx[best]].At {
+				best = i
+			}
+		}
+		out = append(out, tr.PerBank[banks[best]][idx[best]])
+		idx[best]++
+	}
+	return out
+}
+
+// replayWorker simulates one modeled worker's service timeline over its
+// banks, returning its final clock and per-owned-bank scrub counts.
+func replayWorker(cfg ReplayConfig, org mmpu.Organization, banks []int, tr *Trace, closed bool, st *Stats) (int64, []int64) {
+	reqs := mergeStreams(tr, banks)
+	ex := executor{mem: cfg.Mem, org: org}
+	sCost := scrubCost(cfg.Mem.Config())
+	bankSlot := make(map[int]int, len(banks)) // bank → index in banks
+	var xbs [][2]int                          // scrub rotation over the worker's crossbars
+	for i, b := range banks {
+		bankSlot[b] = i
+		for x := 0; x < org.PerBank; x++ {
+			xbs = append(xbs, [2]int{b, x})
+		}
+	}
+	var (
+		clock      int64
+		nextScrub  = cfg.ScrubPeriod
+		cursor     int
+		bankScrubs = make([]int64, len(banks))
+		injs       map[[2]int]*faults.Injector
+		prevDone   map[int]int64 // closed loop: client → completion of previous round
+		batch      = make([]Request, 0, cfg.BatchSize)
+	)
+	if closed {
+		prevDone = make(map[int]int64)
+	}
+	if cfg.FaultSER > 0 {
+		injs = make(map[[2]int]*faults.Injector)
+	}
+	hours := cfg.FaultHours
+	if hours <= 0 {
+		hours = 1
+	}
+	for i := 0; i < len(reqs); {
+		if !closed && reqs[i].At > clock {
+			clock = reqs[i].At // idle until the next arrival
+		}
+		j := i + 1
+		for j < len(reqs) && j-i < cfg.BatchSize {
+			if closed {
+				if reqs[j].At != reqs[i].At {
+					break // next client round
+				}
+			} else if reqs[j].At > clock {
+				break // not yet arrived
+			}
+			j++
+		}
+		batch = batch[:0]
+		for _, tq := range reqs[i:j] {
+			batch = append(batch, tq.Req)
+		}
+		st.Batches++
+		ex.run(batch, func(k int, resp Response, info execInfo) {
+			clock += reqCost(info)
+			tq := reqs[i+k]
+			arrived := tq.At
+			if closed {
+				arrived = prevDone[tq.Client]
+				prevDone[tq.Client] = clock
+			}
+			st.tally(resp, info)
+			st.Lat.Observe(clock - arrived)
+		})
+		i = j
+		if cfg.ScrubPeriod > 0 && clock >= nextScrub && len(xbs) > 0 {
+			bx := xbs[cursor]
+			cursor = (cursor + 1) % len(xbs)
+			if cfg.FaultSER > 0 {
+				inj := injs[bx]
+				if inj == nil {
+					inj = faults.NewInjector(cfg.FaultSER,
+						faults.DeriveSeed(cfg.Seed^0x5e7e, bx[0], bx[1]))
+					injs[bx] = inj
+				}
+				st.Injected += int64(cfg.Mem.InjectWindow(bx[0], bx[1], inj, hours))
+			}
+			c, u := cfg.Mem.ScrubCrossbar(bx[0], bx[1])
+			clock += sCost
+			st.Scrubs++
+			bankScrubs[bankSlot[bx[0]]]++
+			st.Corrected += int64(c)
+			st.Uncorrectable += int64(u)
+			nextScrub = clock + cfg.ScrubPeriod
+		}
+	}
+	return clock, bankScrubs
+}

@@ -1,0 +1,336 @@
+// Package serve is the online face of the protected memory: a concurrent,
+// request-driven service over internal/pmem in which client reads and
+// writes race with the background scrub work that keeps the paper's
+// diagonal-ECC guarantee alive. The ROADMAP's north star is a memory
+// *serving* heavy traffic, not replaying offline workloads — this package
+// is that regime, and it is where the Θ(1) per-write check-bit update
+// actually pays: every write commits its ECC delta inline, so scrubbing
+// can be admission-controlled background work instead of a stop-the-world
+// pass.
+//
+// # Architecture
+//
+// Requests route by the bank that owns their starting address into
+// per-worker queues; a configurable number of bank workers
+// (mmpu.ShardBanks) each own a disjoint set of banks. A worker drains its
+// queue in batches, coalescing consecutive same-row requests into one row
+// activation (executor), and between batches admits background scrub work
+// under a budget: one crossbar scrub per ScrubEvery served requests.
+// Requests whose span leaks into a neighboring bank stay correct —
+// pmem's per-bank locks, not worker ownership, are the safety boundary.
+//
+// Latency is accounted per request (submit to response) into a mergeable
+// fleet.Hist. For the deterministic virtual-time counterpart used by
+// cmd/loadgen, see Replay.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/fleet"
+	"repro/internal/mmpu"
+	"repro/internal/pmem"
+)
+
+// OpKind enumerates request operations.
+type OpKind int
+
+const (
+	// OpRead returns up to 64 bits starting at a bit address.
+	OpRead OpKind = iota
+	// OpWrite stores up to 64 bits starting at a bit address.
+	OpWrite
+)
+
+// Request is one client memory operation.
+type Request struct {
+	Op    OpKind
+	Addr  int64  // starting bit address
+	Width int    // bits, 1..64 (0 is a valid no-op)
+	Data  uint64 // OpWrite payload, LSB first
+}
+
+// Response answers one request.
+type Response struct {
+	Data uint64 // OpRead result, LSB first
+	Err  error
+}
+
+// ErrClosed reports a submission to a server that has shut down.
+var ErrClosed = errors.New("serve: server closed")
+
+// Config sizes a server.
+type Config struct {
+	Mem *pmem.Memory // the served memory (required)
+
+	// Workers is the bank-worker count; banks are partitioned across
+	// workers so each bank has exactly one worker. <=0 uses GOMAXPROCS,
+	// capped at the bank count.
+	Workers int
+	// QueueDepth is each worker's request-queue capacity (<=0 → 128).
+	QueueDepth int
+	// BatchSize caps the requests drained and coalesced per service
+	// round (<=0 → 32).
+	BatchSize int
+	// ScrubEvery is the scrub admission budget: each worker runs one
+	// crossbar scrub per this many served requests, round-robin over its
+	// crossbars. 0 disables background scrubbing.
+	ScrubEvery int
+}
+
+// Stats aggregates service activity. Merge is commutative and
+// associative, like fleet.Result — per-worker tallies combine into one
+// total in any order.
+type Stats struct {
+	Requests int64
+	Reads    int64
+	Writes   int64
+	Errors   int64
+	Batches  int64
+
+	Coalesced int64 // requests served from an already-open row
+	Spanning  int64 // requests crossing a row boundary
+	Segments  int64 // crossbar-row segments touched
+
+	Scrubs        int64
+	Corrected     int64
+	Uncorrectable int64
+	Injected      int64 // fault-overlay flips (Replay only)
+
+	Lat fleet.Hist // live server: wall nanoseconds; Replay: model ticks
+}
+
+// Merge returns the field-wise combination of two stats.
+func (s Stats) Merge(o Stats) Stats {
+	return Stats{
+		Requests:      s.Requests + o.Requests,
+		Reads:         s.Reads + o.Reads,
+		Writes:        s.Writes + o.Writes,
+		Errors:        s.Errors + o.Errors,
+		Batches:       s.Batches + o.Batches,
+		Coalesced:     s.Coalesced + o.Coalesced,
+		Spanning:      s.Spanning + o.Spanning,
+		Segments:      s.Segments + o.Segments,
+		Scrubs:        s.Scrubs + o.Scrubs,
+		Corrected:     s.Corrected + o.Corrected,
+		Uncorrectable: s.Uncorrectable + o.Uncorrectable,
+		Injected:      s.Injected + o.Injected,
+		Lat:           s.Lat.Merge(o.Lat),
+	}
+}
+
+// tally records one served request into the stats (latency excluded —
+// the live and replay paths account time differently).
+func (s *Stats) tally(resp Response, info execInfo) {
+	s.Requests++
+	if info.write {
+		s.Writes++
+	} else {
+		s.Reads++
+	}
+	if resp.Err != nil {
+		s.Errors++
+	}
+	if info.coalesced {
+		s.Coalesced++
+	}
+	if info.segments > 1 {
+		s.Spanning++
+	}
+	s.Segments += int64(info.segments)
+}
+
+// call carries a request through a worker queue.
+type call struct {
+	req  Request
+	t0   time.Time
+	resp chan Response
+}
+
+// Server is the live concurrent service. Clients may Submit from any
+// number of goroutines; each bank's requests serialize through its one
+// owning worker in FIFO order, so a client that awaits each response
+// observes read-after-write consistency for its addresses.
+type Server struct {
+	cfg        Config
+	org        mmpu.Organization
+	workers    int
+	bankWorker []int // bank → owning worker
+	queues     []chan *call
+	stats      []Stats // per worker; written only by the owner until Close
+	wg         sync.WaitGroup
+
+	mu     sync.RWMutex
+	closed bool
+}
+
+// effectiveWorkers resolves a worker count against a bank count.
+func effectiveWorkers(w, banks int) int {
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > banks {
+		w = banks
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// New starts the server's bank workers.
+func New(cfg Config) (*Server, error) {
+	if cfg.Mem == nil {
+		return nil, fmt.Errorf("serve: nil memory")
+	}
+	org := cfg.Mem.Config().Org
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 128
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 32
+	}
+	workers := effectiveWorkers(cfg.Workers, org.Banks)
+	s := &Server{
+		cfg:        cfg,
+		org:        org,
+		workers:    workers,
+		bankWorker: make([]int, org.Banks),
+		queues:     make([]chan *call, workers),
+		stats:      make([]Stats, workers),
+	}
+	shards := org.ShardBanks(workers)
+	for w, banks := range shards {
+		for _, b := range banks {
+			s.bankWorker[b] = w
+		}
+	}
+	for w := 0; w < workers; w++ {
+		s.queues[w] = make(chan *call, cfg.QueueDepth)
+		s.wg.Add(1)
+		go s.worker(w, shards[w])
+	}
+	return s, nil
+}
+
+// EffectiveWorkers returns the bank-worker count actually running.
+func (s *Server) EffectiveWorkers() int { return s.workers }
+
+// Submit enqueues a request and returns the channel its response will
+// arrive on. Routing is by the bank owning the starting address.
+func (s *Server) Submit(req Request) (<-chan Response, error) {
+	bank, err := s.org.BankOf(req.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	c := &call{req: req, t0: time.Now(), resp: make(chan Response, 1)}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	s.queues[s.bankWorker[bank]] <- c
+	return c.resp, nil
+}
+
+// Do submits a request and awaits its response.
+func (s *Server) Do(req Request) Response {
+	ch, err := s.Submit(req)
+	if err != nil {
+		return Response{Err: err}
+	}
+	return <-ch
+}
+
+// Read serves a blocking read of up to 64 bits.
+func (s *Server) Read(addr int64, width int) (uint64, error) {
+	r := s.Do(Request{Op: OpRead, Addr: addr, Width: width})
+	return r.Data, r.Err
+}
+
+// Write serves a blocking write of up to 64 bits.
+func (s *Server) Write(addr int64, width int, data uint64) error {
+	return s.Do(Request{Op: OpWrite, Addr: addr, Width: width, Data: data}).Err
+}
+
+// Close drains the queues, stops the workers, and returns the merged
+// service statistics. Further submissions fail with ErrClosed.
+func (s *Server) Close() Stats {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		for _, q := range s.queues {
+			close(q)
+		}
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	var total Stats
+	for _, st := range s.stats {
+		total = total.Merge(st)
+	}
+	return total
+}
+
+// worker owns a set of banks: it serves its queue in coalesced batches
+// and admits scrub work between batches under the ScrubEvery budget.
+func (s *Server) worker(w int, banks []int) {
+	defer s.wg.Done()
+	st := &s.stats[w]
+	ex := executor{mem: s.cfg.Mem, org: s.org}
+	var xbs [][2]int // scrub rotation over this worker's crossbars
+	for _, b := range banks {
+		for x := 0; x < s.org.PerBank; x++ {
+			xbs = append(xbs, [2]int{b, x})
+		}
+	}
+	cursor, credit := 0, 0
+	calls := make([]*call, 0, s.cfg.BatchSize)
+	reqs := make([]Request, 0, s.cfg.BatchSize)
+	q := s.queues[w]
+	for {
+		c, ok := <-q
+		if !ok {
+			return
+		}
+		calls = append(calls[:0], c)
+	drain:
+		for len(calls) < s.cfg.BatchSize {
+			select {
+			case c2, ok2 := <-q:
+				if !ok2 {
+					break drain
+				}
+				calls = append(calls, c2)
+			default:
+				break drain
+			}
+		}
+		reqs = reqs[:0]
+		for _, c := range calls {
+			reqs = append(reqs, c.req)
+		}
+		st.Batches++
+		ex.run(reqs, func(i int, resp Response, info execInfo) {
+			st.tally(resp, info)
+			st.Lat.Observe(time.Since(calls[i].t0).Nanoseconds())
+			calls[i].resp <- resp
+		})
+		if s.cfg.ScrubEvery > 0 && len(xbs) > 0 {
+			credit += len(calls)
+			for credit >= s.cfg.ScrubEvery {
+				credit -= s.cfg.ScrubEvery
+				bx := xbs[cursor]
+				cursor = (cursor + 1) % len(xbs)
+				c, u := s.cfg.Mem.ScrubCrossbar(bx[0], bx[1])
+				st.Scrubs++
+				st.Corrected += int64(c)
+				st.Uncorrectable += int64(u)
+			}
+		}
+	}
+}

@@ -1,0 +1,212 @@
+package serve
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/mmpu"
+)
+
+// TimedReq is one request of a generated trace. In an open-loop trace At
+// is the arrival tick of the Poisson process; in a closed-loop trace At
+// is the client round index (a client's round-r request becomes eligible
+// when its round r−1 request completes).
+type TimedReq struct {
+	At     int64
+	Client int
+	Req    Request
+}
+
+// Trace is a deterministic request schedule, pre-partitioned by bank.
+// Traffic is bank-confined: every request lies within one bank's address
+// range (the interleaving a channel-partitioned memory controller
+// produces), which is what makes per-bank virtual-time replay exact under
+// any worker count — no request's outcome depends on another bank's
+// progress.
+type Trace struct {
+	Mode    string // "open" | "closed"
+	PerBank [][]TimedReq
+}
+
+// Requests returns the total request count across banks.
+func (t *Trace) Requests() int {
+	n := 0
+	for _, b := range t.PerBank {
+		n += len(b)
+	}
+	return n
+}
+
+// TraceOpts parameterizes trace generation. The trace is a pure function
+// of (organization, opts): the same seed reproduces it bit for bit.
+type TraceOpts struct {
+	Mode      string  // "open" (Poisson arrivals, default) or "closed" (lockstep clients)
+	Mix       string  // address mix: "uniform" (default), "zipf", "scan"
+	Requests  int     // total requests (default 1024)
+	Clients   int     // client streams (default 4)
+	Rate      float64 // open loop: mean arrivals per tick (default 0.05)
+	WriteFrac float64 // fraction of writes (default 0.5)
+	Width     int     // request width in bits, 1..64 (default 64)
+	Seed      int64
+}
+
+// withDefaults resolves zero values.
+func (o TraceOpts) withDefaults() TraceOpts {
+	if o.Mode == "" {
+		o.Mode = "open"
+	}
+	if o.Mix == "" {
+		o.Mix = "uniform"
+	}
+	if o.Requests <= 0 {
+		o.Requests = 1024
+	}
+	if o.Clients <= 0 {
+		o.Clients = 4
+	}
+	if o.Rate <= 0 {
+		o.Rate = 0.05
+	}
+	if o.WriteFrac < 0 || o.WriteFrac > 1 {
+		o.WriteFrac = 0.5
+	}
+	if o.Width == 0 {
+		o.Width = 64
+	}
+	return o
+}
+
+// MixNames lists the built-in address mixes for CLI usage text.
+func MixNames() []string { return []string{"uniform", "zipf", "scan"} }
+
+// ModeNames lists the client models for CLI usage text.
+func ModeNames() []string { return []string{"open", "closed"} }
+
+// addrGen draws bank-confined addresses for one traffic mix.
+type addrGen struct {
+	org     mmpu.Organization
+	width   int64
+	zipf    *rand.Zipf
+	cursors []int64 // scan: per-client position
+}
+
+func newAddrGen(org mmpu.Organization, o TraceOpts, rng *rand.Rand) *addrGen {
+	g := &addrGen{org: org, width: int64(o.Width)}
+	switch o.Mix {
+	case "zipf":
+		// Hot 64-bit slots, heaviest first — hot-row (and hot-bank) traffic.
+		g.zipf = rand.NewZipf(rng, 1.2, 8, uint64(org.DataBits()/64-1))
+	case "scan":
+		g.cursors = make([]int64, o.Clients)
+		span := org.DataBits() / int64(o.Clients)
+		for c := range g.cursors {
+			if start := int64(c) * span; start+g.width <= org.DataBits() {
+				g.cursors[c] = start
+			}
+		}
+	}
+	return g
+}
+
+// clampBank pulls the span [addr, addr+width) inside its bank.
+func (g *addrGen) clampBank(addr int64) int64 {
+	end := (addr/g.org.BankBits() + 1) * g.org.BankBits()
+	if addr+g.width > end {
+		addr = end - g.width
+	}
+	return addr
+}
+
+// next draws the next address for a client.
+func (g *addrGen) next(client int, rng *rand.Rand) int64 {
+	switch {
+	case g.zipf != nil:
+		return g.clampBank(int64(g.zipf.Uint64()) * 64)
+	case g.cursors != nil:
+		a := g.cursors[client]
+		g.cursors[client] += g.width
+		if g.cursors[client]+g.width > g.org.DataBits() {
+			g.cursors[client] = 0
+		}
+		return g.clampBank(a)
+	default:
+		return g.clampBank(rng.Int63n(g.org.DataBits() - g.width + 1))
+	}
+}
+
+// homeAddr draws a bank-b-confined address for closed-loop clients.
+func (g *addrGen) homeAddr(client, bank int, rng *rand.Rand) int64 {
+	bankBits := g.org.BankBits()
+	lo := int64(bank) * bankBits
+	switch {
+	case g.zipf != nil:
+		return g.clampBank(lo + int64(g.zipf.Uint64())*64%bankBits)
+	case g.cursors != nil:
+		a := g.cursors[client] % bankBits
+		g.cursors[client] += g.width
+		return g.clampBank(lo + a)
+	default:
+		return g.clampBank(lo + rng.Int63n(bankBits-g.width+1))
+	}
+}
+
+// GenTrace builds a deterministic request trace over the organization.
+func GenTrace(org mmpu.Organization, o TraceOpts) (*Trace, error) {
+	o = o.withDefaults()
+	if err := org.Validate(); err != nil {
+		return nil, err
+	}
+	if o.Width < 1 || o.Width > 64 {
+		return nil, fmt.Errorf("serve: trace width %d not in [1,64]", o.Width)
+	}
+	switch o.Mix {
+	case "uniform", "zipf", "scan":
+	default:
+		return nil, fmt.Errorf("serve: unknown mix %q (have %v)", o.Mix, MixNames())
+	}
+	tr := &Trace{Mode: o.Mode, PerBank: make([][]TimedReq, org.Banks)}
+	rng := rand.New(rand.NewSource(o.Seed))
+	gen := newAddrGen(org, o, rng)
+	switch o.Mode {
+	case "open":
+		// Poisson arrivals: exponential inter-arrival gaps at the target
+		// rate, one global clock, requests landing in their bank's queue.
+		var t float64
+		for i := 0; i < o.Requests; i++ {
+			t += rng.ExpFloat64() / o.Rate
+			client := i % o.Clients
+			req := Request{Op: OpRead, Addr: gen.next(client, rng), Width: o.Width}
+			if rng.Float64() < o.WriteFrac {
+				req.Op = OpWrite
+				req.Data = rng.Uint64()
+			}
+			bank := req.Addr / org.BankBits()
+			tr.PerBank[bank] = append(tr.PerBank[bank], TimedReq{
+				At: int64(t), Client: client, Req: req,
+			})
+		}
+	case "closed":
+		// Lockstep closed loop: each client is pinned to a home bank and
+		// issues its round-r request when round r−1 completes.
+		rounds := (o.Requests + o.Clients - 1) / o.Clients
+		for r := 0; r < rounds; r++ {
+			for c := 0; c < o.Clients; c++ {
+				if r*o.Clients+c >= o.Requests {
+					break
+				}
+				bank := c % org.Banks
+				req := Request{Op: OpRead, Addr: gen.homeAddr(c, bank, rng), Width: o.Width}
+				if rng.Float64() < o.WriteFrac {
+					req.Op = OpWrite
+					req.Data = rng.Uint64()
+				}
+				tr.PerBank[bank] = append(tr.PerBank[bank], TimedReq{
+					At: int64(r), Client: c, Req: req,
+				})
+			}
+		}
+	default:
+		return nil, fmt.Errorf("serve: unknown mode %q (have %v)", o.Mode, ModeNames())
+	}
+	return tr, nil
+}
