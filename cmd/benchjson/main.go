@@ -25,9 +25,14 @@ import (
 
 // Result is one benchmark measurement.
 type Result struct {
-	Name       string             `json:"name"`
-	Pkg        string             `json:"pkg"`
-	Iterations int                `json:"iterations"`
+	Name       string `json:"name"`
+	Pkg        string `json:"pkg"`
+	Iterations int    `json:"iterations"`
+	// Scheme tags measurements of a named protection code: parsed from a
+	// `/scheme=NAME` sub-benchmark component, so snapshots can compare
+	// ECC backends (diagonal vs hamming vs parity) by field instead of by
+	// name-mangling.
+	Scheme     string             `json:"scheme,omitempty"`
 	NsPerOp    float64            `json:"ns_per_op"`
 	BytesPerOp float64            `json:"bytes_per_op"`
 	AllocsOp   float64            `json:"allocs_per_op"`
@@ -52,6 +57,9 @@ var (
 	// names on multi-core hosts; it must be stripped so snapshots taken
 	// on different machines join by name.
 	procSuffix = regexp.MustCompile(`-\d+$`)
+	// schemeTag extracts the protection-code tag from sub-benchmark names
+	// like BenchmarkSchemeScrub/scheme=hamming.
+	schemeTag = regexp.MustCompile(`/scheme=([A-Za-z0-9_-]+)`)
 )
 
 func main() {
@@ -122,6 +130,9 @@ func parse(out string) (cpu string, results []Result) {
 		}
 		iters, _ := strconv.Atoi(m[2])
 		r := Result{Name: procSuffix.ReplaceAllString(m[1], ""), Pkg: pkg, Iterations: iters}
+		if tag := schemeTag.FindStringSubmatch(r.Name); tag != nil {
+			r.Scheme = tag[1]
+		}
 		fields := strings.Fields(m[3])
 		for i := 0; i+1 < len(fields); i += 2 {
 			val, err := strconv.ParseFloat(fields[i], 64)

@@ -16,6 +16,8 @@
 //	campaign -model stuck1 -rounds 16 -seed 7
 //	campaign -model lines -ser 1e-6 -skew 2
 //	campaign -sweep 1e-5,1e-4,1e-3,1e-2
+//	campaign -ecc hamming -ser 1e-4        # horizontal Hamming SEC-DED backend
+//	campaign -ecc parity -ser 1e-4         # detect-only parity baseline
 //	campaign -ecc=false -ser 1e-4          # the unprotected baseline
 package main
 
@@ -28,6 +30,7 @@ import (
 	"strings"
 
 	"repro/internal/campaign"
+	"repro/internal/ecc"
 	"repro/internal/faults"
 	"repro/internal/fleet"
 	"repro/internal/mmpu"
@@ -56,6 +59,10 @@ type report struct {
 	Geometry struct {
 		N, M, K, Banks, PerBank int
 		ECC                     bool
+		// Scheme names the protection code; omitted for the default
+		// diagonal code so default reports stay byte-identical to the
+		// pre-scheme-layer engine.
+		Scheme string `json:",omitempty"`
 	} `json:"geometry"`
 	Run runReport `json:"run"`
 	// Positions maps each outcome to its histogram over in-block codeword
@@ -92,7 +99,9 @@ func main() {
 	k := flag.Int("k", 2, "processing crossbars per machine")
 	banks := flag.Int("banks", 4, "number of banks")
 	perBank := flag.Int("perbank", 2, "crossbars per bank")
-	ecc := flag.Bool("ecc", true, "enable the diagonal-ECC mechanism (false = unprotected baseline)")
+	eccFlag := flag.String("ecc", "diagonal",
+		"protection scheme: "+strings.Join(ecc.SchemeNames(), ", ")+
+			" (true = diagonal; false/none = unprotected baseline)")
 	model := flag.String("model", "transient",
 		"fault model: "+strings.Join(faults.ModelNames(), ", "))
 	ser := flag.Float64("ser", 1e-4, "injection rate [FIT/bit; FIT/line for lines]")
@@ -105,8 +114,13 @@ func main() {
 	sweep := flag.String("sweep", "", "comma-separated extra SER points to sweep (same seed each)")
 	flag.Parse()
 
+	scheme, eccOn, err := ecc.ParseSchemeFlag(*eccFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	cfg := fleet.Config{
-		Org: mmpu.Custom(*n, *banks, *perBank), M: *m, K: *k, ECCEnabled: *ecc,
+		Org: mmpu.Custom(*n, *banks, *perBank), M: *m, K: *k, ECCEnabled: eccOn, Scheme: scheme,
 		Workers: *workers, Seed: *seed,
 	}
 	runAt := func(serPoint float64) campaign.Tally {
@@ -137,7 +151,10 @@ func main() {
 	}
 	rep.Geometry.N, rep.Geometry.M, rep.Geometry.K = *n, *m, *k
 	rep.Geometry.Banks, rep.Geometry.PerBank = *banks, *perBank
-	rep.Geometry.ECC = *ecc
+	rep.Geometry.ECC = eccOn
+	if scheme != ecc.SchemeDiagonal {
+		rep.Geometry.Scheme = scheme
+	}
 	if tl.M > 0 {
 		rep.Positions = make(map[string][]int64)
 		for o := 0; o < campaign.NumOutcomes; o++ {

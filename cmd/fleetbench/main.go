@@ -10,6 +10,7 @@
 //	fleetbench -scenario faultstorm -duration 3s -ecc=true
 //	fleetbench -scenario faultstorm -ser 2e5 -hours 2 -seed 7   # reproducible storm
 //	fleetbench -scenario campaign -model stuck1 -ser 1e5
+//	fleetbench -scenario campaign -ecc hamming     # Hamming SEC-DED backend
 //	fleetbench -scenario uniform -ecc=false        # unprotected baseline
 package main
 
@@ -21,6 +22,7 @@ import (
 	"time"
 
 	"repro/internal/campaign"
+	"repro/internal/ecc"
 	"repro/internal/faults"
 	"repro/internal/fleet"
 	"repro/internal/mmpu"
@@ -32,7 +34,9 @@ func main() {
 	k := flag.Int("k", 2, "processing crossbars per machine")
 	banks := flag.Int("banks", 8, "number of banks")
 	perBank := flag.Int("perbank", 4, "crossbars per bank")
-	ecc := flag.Bool("ecc", true, "enable the diagonal-ECC mechanism")
+	eccFlag := flag.String("ecc", "diagonal",
+		"protection scheme: "+strings.Join(ecc.SchemeNames(), ", ")+
+			" (true = diagonal; false/none = unprotected baseline)")
 	scenario := flag.String("scenario", "uniform",
 		"workload scenario: "+strings.Join(fleet.ScenarioNames(), ", "))
 	intensity := flag.Int("intensity", 0,
@@ -57,8 +61,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	scheme, eccOn, err := ecc.ParseSchemeFlag(*eccFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	cfg := fleet.Config{
-		Org: mmpu.Custom(*n, *banks, *perBank), M: *m, K: *k, ECCEnabled: *ecc,
+		Org: mmpu.Custom(*n, *banks, *perBank), M: *m, K: *k, ECCEnabled: eccOn, Scheme: scheme,
 		Workers: *workers, Seed: *seed, KernelWidth: *width,
 	}
 
@@ -80,8 +89,12 @@ func main() {
 	}
 	elapsed := time.Since(start)
 
-	fmt.Printf("fleet: %d banks × %d crossbars of %d×%d (ECC %v), %d workers\n",
-		*banks, *perBank, *n, *n, *ecc, cfg.EffectiveWorkers())
+	eccDesc := "off"
+	if eccOn {
+		eccDesc = scheme
+	}
+	fmt.Printf("fleet: %d banks × %d crossbars of %d×%d (ECC %s), %d workers\n",
+		*banks, *perBank, *n, *n, eccDesc, cfg.EffectiveWorkers())
 	fmt.Printf("scenario %-11s %d pass(es) in %v\n\n", total.Scenario, passes, elapsed.Round(time.Millisecond))
 	fmt.Printf("  jobs %-10d ops %-10d crossbars touched %d/pass\n",
 		total.Jobs, total.Ops, total.CrossbarsTouched/passes)

@@ -18,6 +18,7 @@
 //	loadgen -mix scan -width 30 -scrub-period 500
 //	loadgen -faults-ser 3e5 -scrub-period 200    # scrubs correct live soft errors
 //	loadgen -workers 1                           # one worker serving all banks
+//	loadgen -ecc hamming -faults-ser 3e5         # serve over the Hamming SEC-DED backend
 package main
 
 import (
@@ -29,6 +30,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/ecc"
 	"repro/internal/fleet"
 	"repro/internal/mmpu"
 	"repro/internal/pmem"
@@ -40,6 +42,7 @@ type options struct {
 	n, m, k        int
 	banks, perBank int
 	ecc            bool
+	scheme         string // protection code; "" with ecc=true means diagonal
 
 	mode, mix string
 	requests  int
@@ -72,6 +75,9 @@ type report struct {
 	Geometry  struct {
 		N, M, K, Banks, PerBank int
 		ECC                     bool
+		// Scheme names the protection code; omitted for the default
+		// diagonal code so default reports stay byte-identical.
+		Scheme string `json:",omitempty"`
 	} `json:"geometry"`
 	ScrubPeriod int64   `json:"scrub_period,omitempty"`
 	FaultSER    float64 `json:"fault_ser,omitempty"`
@@ -104,6 +110,7 @@ type report struct {
 func run(o options) ([]byte, serve.Result, error) {
 	mem, err := pmem.New(pmem.Config{
 		Org: mmpu.Custom(o.n, o.banks, o.perBank), M: o.m, K: o.k, ECCEnabled: o.ecc,
+		Scheme: o.scheme,
 	})
 	if err != nil {
 		return nil, serve.Result{}, err
@@ -132,6 +139,9 @@ func run(o options) ([]byte, serve.Result, error) {
 	rep.Workers = res.Workers
 	rep.Geometry.N, rep.Geometry.M, rep.Geometry.K = o.n, o.m, o.k
 	rep.Geometry.Banks, rep.Geometry.PerBank, rep.Geometry.ECC = o.banks, o.perBank, o.ecc
+	if o.scheme != "" && o.scheme != ecc.SchemeDiagonal {
+		rep.Geometry.Scheme = o.scheme
+	}
 	rep.ScrubPeriod, rep.FaultSER = o.scrubPeriod, o.faultSER
 	st := res.Stats
 	rep.Served.Requests, rep.Served.Reads, rep.Served.Writes = st.Requests, st.Reads, st.Writes
@@ -158,12 +168,15 @@ func run(o options) ([]byte, serve.Result, error) {
 
 func main() {
 	var o options
+	var eccFlag string
 	flag.IntVar(&o.n, "n", 90, "crossbar side (multiple of m)")
 	flag.IntVar(&o.m, "m", 15, "ECC block side (odd)")
 	flag.IntVar(&o.k, "k", 2, "processing crossbars per machine")
 	flag.IntVar(&o.banks, "banks", 16, "number of banks")
 	flag.IntVar(&o.perBank, "perbank", 2, "crossbars per bank")
-	flag.BoolVar(&o.ecc, "ecc", true, "enable the diagonal-ECC mechanism")
+	flag.StringVar(&eccFlag, "ecc", "diagonal",
+		"protection scheme: "+strings.Join(ecc.SchemeNames(), ", ")+
+			" (true = diagonal; false/none = unprotected baseline)")
 	flag.StringVar(&o.mode, "mode", "open", "client model: "+strings.Join(serve.ModeNames(), ", "))
 	flag.StringVar(&o.mix, "mix", "uniform", "address mix: "+strings.Join(serve.MixNames(), ", "))
 	flag.IntVar(&o.requests, "requests", 20000, "total requests")
@@ -178,6 +191,13 @@ func main() {
 	flag.Float64Var(&o.faultHours, "faults-hours", 1, "fault overlay exposure per scrub window [hours]")
 	flag.Int64Var(&o.seed, "seed", 1, "trace and fault seed (the report is reproducible from this)")
 	flag.Parse()
+
+	scheme, eccOn, err := ecc.ParseSchemeFlag(eccFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	o.ecc, o.scheme = eccOn, scheme
 
 	t0 := time.Now()
 	out, res, err := run(o)

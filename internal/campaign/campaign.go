@@ -29,11 +29,18 @@
 // cannot see this; real controllers pair delta ECC with write-verify and
 // sparing for exactly this reason.
 //
-// Verdicts are additionally cross-checked against a bit-serial reference
-// decoder (ref.go) that recomputes each suspect block's syndrome cell by
-// cell — tying the word-parallel, pipelined CMEM implementation back to
-// the mathematical code, in the same spirit as bitmat/ref.go and the xbar
-// bit-serial reference model.
+// Verdicts are additionally cross-checked against each scheme's bit-serial
+// reference decoder (ecc.Scheme.ReferenceCheck) over the pre-scrub state —
+// tying the production check path (the word-parallel, pipelined CMEM for
+// the diagonal code; the packed word decoders for the generic backends)
+// back to the mathematical code, in the same spirit as bitmat/ref.go and
+// the xbar bit-serial reference model.
+//
+// The engine is scheme-generic: the machine configuration names any
+// registered protection code (ecc.SchemeByName), and adjudication works
+// off per-block finding *lists*, since codes with sub-block structure
+// (horizontal Hamming words) can repair several independent errors in one
+// block where the diagonal code reports at most one diagnosis.
 package campaign
 
 import (
@@ -202,6 +209,12 @@ type Runner struct {
 	loadRNG        *rand.Rand
 	faultRNG       *rand.Rand
 	tally          Tally
+
+	// probe is a zero-state instance of the machine's scheme, used only
+	// for CoversCell: matching scrub findings to the code unit a fault
+	// cell belongs to (the whole block for the diagonal code, the word
+	// row for word schemes). Nil for unprotected baselines.
+	probe ecc.Scheme
 }
 
 // New builds a campaign runner. The two machines start identical and
@@ -237,6 +250,11 @@ func New(cfg Config, seed int64) (*Runner, error) {
 	}
 	if cfg.Machine.ECCEnabled {
 		r.tally.M = cfg.Machine.M
+		spec, err := ecc.SchemeByName(cfg.Machine.SchemeName())
+		if err != nil {
+			return nil, fmt.Errorf("campaign: %w", err)
+		}
+		r.probe = spec.New(ecc.Params{N: cfg.Machine.N, M: cfg.Machine.M}, nil)
 	}
 	return r, nil
 }
@@ -313,24 +331,28 @@ func (r *Runner) Round() RoundReport {
 		f.Cells(func(row, col int) { add(row, col, f.Kind) })
 	}
 
-	// 5. Snapshot the pre-scrub state for the bit-serial reference.
+	// 5. Snapshot the pre-scrub state for the bit-serial reference: the
+	// memory image plus the scheme's logical check-bit image.
 	var preMem *bitmat.Mat
-	var preCB *ecc.CheckBits
-	if r.cfg.Verify && r.faulty.CMEM() != nil {
-		preMem = r.faulty.MEM().Snapshot()
-		preCB = r.faulty.CMEM().Image()
+	var preImg ecc.Scheme
+	if r.cfg.Verify {
+		if preImg = r.faulty.ECCImage(); preImg != nil {
+			preMem = r.faulty.MEM().Snapshot()
+		}
 	}
 
-	// 6. Scrub and index the findings by block.
+	// 6. Scrub and index the findings by block. Schemes with sub-block
+	// structure may yield several findings per block, in scrub order.
 	findings := r.faulty.ScrubFindings()
-	byBlock := make(map[[2]int]machine.Finding, len(findings))
+	byBlock := make(map[[2]int][]machine.Finding, len(findings))
 	for _, f := range findings {
-		byBlock[[2]int{f.BR, f.BC}] = f
+		key := [2]int{f.BR, f.BC}
+		byBlock[key] = append(byBlock[key], f)
 	}
 
 	// 7. Bit-serial reference cross-check on every suspect block.
 	if preMem != nil {
-		r.verifyFindings(preMem, preCB, active, findings, byBlock)
+		r.verifyFindings(preMem, preImg, active, findings, byBlock)
 	}
 
 	// 8. Adjudicate every active fault cell against the golden image.
@@ -357,9 +379,7 @@ func (r *Runner) Round() RoundReport {
 	for i := 0; i < n; i++ {
 		fm.Row(i).CopyFrom(gm.Row(i))
 	}
-	if cm := r.faulty.CMEM(); cm != nil {
-		cm.LoadFrom(fm)
-	}
+	r.faulty.RebuildChecks()
 	r.stuck.Reassert(r.faulty.MEM())
 
 	r.tally.Rounds++
@@ -368,10 +388,10 @@ func (r *Runner) Round() RoundReport {
 
 // adjudicate classifies one fault cell using the post-scrub memory images
 // and the scrub's block findings.
-func (r *Runner) adjudicate(a activeFault, byBlock map[[2]int]machine.Finding) Outcome {
+func (r *Runner) adjudicate(a activeFault, byBlock map[[2]int][]machine.Finding) Outcome {
 	g := r.golden.MEM().Get(a.row, a.col)
 	f := r.faulty.MEM().Get(a.row, a.col)
-	if r.faulty.CMEM() == nil {
+	if !r.faulty.Protected() {
 		// Baseline machine: nothing is ever detected or corrected.
 		if f == g {
 			return Masked
@@ -379,33 +399,50 @@ func (r *Runner) adjudicate(a activeFault, byBlock map[[2]int]machine.Finding) O
 		return SilentCorruption
 	}
 	m := r.cfg.Machine.M
-	finding, flagged := byBlock[[2]int{a.row / m, a.col / m}]
+	lr, lc := a.row%m, a.col%m
+	blockFindings := byBlock[[2]int{a.row / m, a.col / m}]
 	if f == g {
-		if flagged && finding.Diag.Kind == ecc.DataError {
-			if fr, fc := finding.DataCell(m); fr == a.row && fc == a.col {
-				return Corrected
+		for _, fd := range blockFindings {
+			if fd.Diag.Kind == ecc.DataError && r.probe.CoversCell(fd.Diag, lr, lc) {
+				if fr, fc := fd.DataCell(m); fr == a.row && fc == a.col {
+					return Corrected
+				}
 			}
 		}
 		return Masked
 	}
+	// Only findings whose code unit covers this cell count: a flag on a
+	// *different* word of the block says nothing about this fault — a
+	// persisting error whose own word stayed silent is silent corruption,
+	// however loud its neighbors were.
+	relevant, uncorrectable := 0, false
+	for _, fd := range blockFindings {
+		if !r.probe.CoversCell(fd.Diag, lr, lc) {
+			continue
+		}
+		relevant++
+		if fd.Diag.Kind == ecc.Uncorrectable {
+			uncorrectable = true
+		}
+	}
 	switch {
-	case !flagged:
+	case relevant == 0:
 		return SilentCorruption
-	case finding.Diag.Kind == ecc.Uncorrectable:
+	case uncorrectable:
 		return DetectedUncorrectable
 	default:
-		// The scrub repaired a different cell or a check bit while this
-		// error persisted — an aliased syndrome steered it wrong.
+		// The scrub repaired a different cell or a check bit of this
+		// unit while the error persisted — an aliased syndrome steered
+		// it wrong.
 		return Miscorrected
 	}
 }
 
-// verifyFindings recomputes the diagnosis of every suspect block (blocks
-// holding active faults plus blocks the scrub flagged) with the bit-serial
-// reference decoder over the pre-scrub state and compares.
-func (r *Runner) verifyFindings(preMem *bitmat.Mat, preCB *ecc.CheckBits,
-	active []activeFault, findings []machine.Finding, byBlock map[[2]int]machine.Finding) {
-	p := ecc.Params{N: r.cfg.Machine.N, M: r.cfg.Machine.M}
+// verifyFindings recomputes the diagnoses of every suspect block (blocks
+// holding active faults plus blocks the scrub flagged) with the scheme's
+// bit-serial reference decoder over the pre-scrub state and compares.
+func (r *Runner) verifyFindings(preMem *bitmat.Mat, preImg ecc.Scheme,
+	active []activeFault, findings []machine.Finding, byBlock map[[2]int][]machine.Finding) {
 	suspect := make(map[[2]int]bool)
 	var order [][2]int
 	mark := func(br, bc int) {
@@ -423,14 +460,18 @@ func (r *Runner) verifyFindings(preMem *bitmat.Mat, preCB *ecc.CheckBits,
 		mark(f.BR, f.BC)
 	}
 	for _, key := range order {
-		want := refCheckBlock(p, preMem, preCB, key[0], key[1])
-		got := ecc.Diagnosis{Kind: ecc.NoError}
-		if f, ok := byBlock[key]; ok {
-			got = f.Diag
-		}
+		want := preImg.ReferenceCheck(preMem, key[0], key[1])
+		got := byBlock[key]
 		r.tally.RefChecks++
-		if !sameDiagnosis(got, want) {
+		if len(got) != len(want) {
 			r.tally.RefMismatches++
+			continue
+		}
+		for i := range want {
+			if !sameDiagnosis(got[i].Diag, want[i]) {
+				r.tally.RefMismatches++
+				break
+			}
 		}
 	}
 }
@@ -443,8 +484,13 @@ func sameDiagnosis(a, b ecc.Diagnosis) bool {
 	switch a.Kind {
 	case ecc.DataError:
 		return a.LR == b.LR && a.LC == b.LC
-	case ecc.LeadCheckError, ecc.CounterCheckError:
+	case ecc.LeadCheckError, ecc.CounterCheckError, ecc.CheckError:
 		return a.Diag == b.Diag
+	case ecc.Uncorrectable:
+		// Word schemes set LR to the flagged word row (adjudication joins
+		// on it); flagging the wrong word must count as a mismatch. The
+		// diagonal code's unit is the block — LR is zero on both sides.
+		return a.LR == b.LR
 	}
 	return true
 }

@@ -1,0 +1,193 @@
+package campaign
+
+// Campaign adjudication under the non-diagonal backends: the scheme layer
+// must keep the adjudicator honest for codes with different guarantee
+// shapes — Hamming SEC-DED corrects singles per *word* (so one block can
+// legitimately host several corrections) and detects same-word doubles;
+// parity only ever detects. "No miscorrected regressions" is the bar.
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/ecc"
+	"repro/internal/faults"
+	"repro/internal/machine"
+)
+
+var hammingMachineCfg = machine.Config{N: 45, M: 15, K: 2, ECCEnabled: true, Scheme: ecc.SchemeHamming}
+
+// TestHammingSingleFlipCorrected: a lone flip anywhere is repaired under
+// the Hamming backend, with full bit-serial reference agreement.
+func TestHammingSingleFlipCorrected(t *testing.T) {
+	for _, cell := range [][2]int{{0, 0}, {3, 20}, {44, 44}, {22, 7}} {
+		r := newRunner(t, Config{
+			Machine: hammingMachineCfg, Verify: true,
+			Model: fixedFaults{[]faults.Fault{{Kind: faults.TransientFlip, Row: cell[0], Col: cell[1], Span: 1}}},
+		}, 9)
+		for round := 0; round < 10; round++ {
+			rep := r.Round()
+			if rep.Counts[Corrected] != 1 || rep.Injected != 1 {
+				t.Fatalf("cell %v round %d: report %+v, want 1 corrected", cell, round, rep)
+			}
+		}
+		tl := r.Tally()
+		if !tl.Conformant() || tl.RefChecks == 0 {
+			t.Fatalf("cell %v: tally not conformant: %+v", cell, tl)
+		}
+	}
+}
+
+// TestHammingSameWordDoubleDetected: two flips in one 15-bit word are
+// flagged detected-uncorrectable — never silently corrupted, never
+// miscorrected — while two flips in different words of the same block are
+// both corrected (the per-word granularity the finding lists exist for).
+func TestHammingSameWordDoubleDetected(t *testing.T) {
+	r := newRunner(t, Config{
+		Machine: hammingMachineCfg, Verify: true,
+		Model: fixedFaults{[]faults.Fault{
+			{Kind: faults.TransientFlip, Row: 8, Col: 16, Span: 1},
+			{Kind: faults.TransientFlip, Row: 8, Col: 22, Span: 1},
+		}},
+	}, 4)
+	for round := 0; round < 10; round++ {
+		rep := r.Round()
+		if rep.Counts[DetectedUncorrectable] != 2 || rep.Counts[Miscorrected] != 0 || rep.Counts[SilentCorruption] != 0 {
+			t.Fatalf("round %d: %+v, want 2 detected-uncorrectable", round, rep.Counts)
+		}
+	}
+	if tl := r.Tally(); tl.RefMismatches != 0 {
+		t.Fatalf("reference decoder disagreed: %+v", tl)
+	}
+
+	r = newRunner(t, Config{
+		Machine: hammingMachineCfg, Verify: true,
+		Model: fixedFaults{[]faults.Fault{
+			{Kind: faults.TransientFlip, Row: 0, Col: 3, Span: 1},
+			{Kind: faults.TransientFlip, Row: 14, Col: 8, Span: 1},
+		}},
+	}, 4)
+	for round := 0; round < 10; round++ {
+		rep := r.Round()
+		if rep.Counts[Corrected] != 2 {
+			t.Fatalf("cross-word double round %d: %+v, want 2 corrected", round, rep.Counts)
+		}
+	}
+	if tl := r.Tally(); !tl.Conformant() {
+		t.Fatalf("cross-word campaign not conformant: %+v", tl)
+	}
+}
+
+// TestHammingTransientCampaignNoMiscorrection: a randomized transient
+// campaign at moderate rate stays free of miscorrections and silent
+// corruption, and the production decoder never disagrees with the
+// bit-serial reference — the -ecc hamming adjudication regression gate.
+func TestHammingTransientCampaignNoMiscorrection(t *testing.T) {
+	r := newRunner(t, Config{
+		Machine: hammingMachineCfg, Verify: true,
+		Model: faults.Transient{SER: 1e-3}, Hours: 1e9,
+	}, 11)
+	for round := 0; round < 40; round++ {
+		r.Round()
+	}
+	tl := r.Tally()
+	if tl.Injected == 0 || tl.RefChecks == 0 {
+		t.Fatalf("vacuous campaign: %+v", tl)
+	}
+	if tl.Counts[Miscorrected] != 0 || tl.Counts[SilentCorruption] != 0 || tl.RefMismatches != 0 {
+		t.Fatalf("hamming campaign regressed: %+v", tl)
+	}
+	if tl.Counts[Corrected] == 0 {
+		t.Fatalf("campaign never exercised correction: %+v", tl)
+	}
+}
+
+// TestAdjudicationIsWordGranular: a silently corrupted word must be
+// classified silent-corruption even when a *different* word of the same
+// block was flagged — findings join to fault cells by code unit
+// (ecc.Scheme.CoversCell), not by block. An even-weight double in one
+// parity word stays invisible; a loud single in another word of the
+// block must not launder it into "detected".
+func TestAdjudicationIsWordGranular(t *testing.T) {
+	cfg := hammingMachineCfg
+	cfg.Scheme = ecc.SchemeParity
+	r := newRunner(t, Config{
+		Machine: cfg, Verify: true,
+		Model: fixedFaults{[]faults.Fault{
+			{Kind: faults.TransientFlip, Row: 8, Col: 16, Span: 1},
+			{Kind: faults.TransientFlip, Row: 8, Col: 22, Span: 1}, // same word: silent
+			{Kind: faults.TransientFlip, Row: 9, Col: 17, Span: 1}, // same block, loud word
+		}},
+	}, 6)
+	rep := r.Round()
+	if rep.Counts[SilentCorruption] != 2 || rep.Counts[DetectedUncorrectable] != 1 {
+		t.Fatalf("counts %+v, want 2 silent (invisible double) + 1 detected", rep.Counts)
+	}
+
+	// The hamming dual: a zero-syndrome quad in one word next to a
+	// corrected single in another word — the quad's cells must stay
+	// silent-corruption, not ride the neighbor's correction as
+	// "miscorrected". (Data bits 0,1,4,10 carry Hamming patterns
+	// 3,5,9,15: they XOR to zero and the flip count is even, so the quad
+	// is invisible to SEC-DED.)
+	hc := hammingMachineCfg
+	rh := newRunner(t, Config{
+		Machine: hc, Verify: true,
+		Model: fixedFaults{[]faults.Fault{
+			{Kind: faults.TransientFlip, Row: 3, Col: 0, Span: 1},
+			{Kind: faults.TransientFlip, Row: 3, Col: 1, Span: 1},
+			{Kind: faults.TransientFlip, Row: 3, Col: 4, Span: 1},
+			{Kind: faults.TransientFlip, Row: 3, Col: 10, Span: 1},
+			{Kind: faults.TransientFlip, Row: 4, Col: 7, Span: 1}, // loud neighbor word
+		}},
+	}, 6)
+	reph := rh.Round()
+	if reph.Counts[Corrected] != 1 {
+		t.Fatalf("hamming counts %+v, want the neighbor single corrected", reph.Counts)
+	}
+	if reph.Counts[Miscorrected] != 0 || reph.Counts[DetectedUncorrectable] != 0 {
+		t.Fatalf("hamming counts %+v: invisible quad misattributed to the neighbor's finding", reph.Counts)
+	}
+	if reph.Counts[SilentCorruption] != 4 {
+		t.Fatalf("hamming counts %+v, want the quad's 4 cells silent", reph.Counts)
+	}
+}
+
+// TestParityCampaignDetectOnly: the parity baseline detects lone flips
+// (detected-uncorrectable), corrects nothing, and never miscorrects.
+func TestParityCampaignDetectOnly(t *testing.T) {
+	cfg := hammingMachineCfg
+	cfg.Scheme = ecc.SchemeParity
+	r := newRunner(t, Config{
+		Machine: cfg, Verify: true,
+		Model: fixedFaults{[]faults.Fault{{Kind: faults.TransientFlip, Row: 22, Col: 7, Span: 1}}},
+	}, 2)
+	for round := 0; round < 10; round++ {
+		rep := r.Round()
+		if rep.Counts[DetectedUncorrectable] != 1 {
+			t.Fatalf("round %d: %+v, want detected-uncorrectable", round, rep.Counts)
+		}
+	}
+	tl := r.Tally()
+	if tl.Counts[Corrected] != 0 || tl.Counts[Miscorrected] != 0 || tl.RefMismatches != 0 {
+		t.Fatalf("parity campaign: %+v", tl)
+	}
+}
+
+// TestSchemeCampaignDeterministic: same seed, same tally for the Hamming
+// backend — the property the fleet merges rely on.
+func TestSchemeCampaignDeterministic(t *testing.T) {
+	run := func(seed int64) Tally {
+		r := newRunner(t, Config{
+			Machine: hammingMachineCfg, Verify: true,
+			Model: faults.Transient{SER: 1e-3}, Hours: 1e9,
+		}, seed)
+		for round := 0; round < 10; round++ {
+			r.Round()
+		}
+		return r.Tally()
+	}
+	if a, b := run(5), run(5); !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed diverged:\n%+v\n%+v", a, b)
+	}
+}

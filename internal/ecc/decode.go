@@ -23,6 +23,10 @@ const (
 	// Uncorrectable: any other signature; at least two errors landed in
 	// the block. Detected but not correctable by per-block parity.
 	Uncorrectable
+	// CheckError: a stored check bit itself erred, for schemes that do not
+	// distinguish diagonal families (the generic scheme layer's analogue
+	// of Lead/CounterCheckError). Diag identifies the check bit.
+	CheckError
 )
 
 // String names the diagnosis kind.
@@ -38,6 +42,8 @@ func (k Kind) String() string {
 		return "counter-check-error"
 	case Uncorrectable:
 		return "uncorrectable"
+	case CheckError:
+		return "check-error"
 	}
 	return fmt.Sprintf("Kind(%d)", int(k))
 }

@@ -1,0 +1,118 @@
+package ecc
+
+import (
+	"testing"
+
+	"repro/internal/bitmat"
+)
+
+// FuzzSchemeEquivalence is the scheme layer's anchor: the diagonal code
+// driven through the generic Scheme interface must match the legacy
+// CheckBits delta-update and syndrome paths bit for bit under arbitrary
+// interleavings of single-cell writes, row-/column-parallel writes,
+// fault flips, and scrubs. The script bytes are decoded three at a time
+// into (op, line, payload); both worlds execute the identical sequence on
+// their own memory image and are compared block by block after every
+// scrub and in full at the end.
+func FuzzSchemeEquivalence(f *testing.F) {
+	f.Add(int64(1), []byte{0x00, 0x01, 0x02})
+	f.Add(int64(2), []byte{0x03, 0x10, 0xFF, 0x01, 0x2C, 0x80})
+	f.Add(int64(3), []byte{0x02, 0x07, 0x55, 0x04, 0x00, 0x00, 0x01, 0x08, 0x18})
+	f.Add(int64(9), []byte{4, 4, 4, 4, 4, 4, 0, 0, 0, 3, 3, 3})
+	f.Fuzz(func(t *testing.T, seed int64, script []byte) {
+		p := Params{N: 45, M: 15}
+		memA := randomMemory(seed, p)
+		memB := memA.Clone()
+		legacy := Build(p, memA)
+		spec, err := SchemeByName(SchemeDiagonal)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sch := spec.New(p, memB)
+
+		compareBlocks := func(stage string) {
+			t.Helper()
+			if !memA.Equal(memB) {
+				t.Fatalf("%s: memories diverged", stage)
+			}
+			for br := 0; br < p.BlocksPerSide(); br++ {
+				for bc := 0; bc < p.BlocksPerSide(); bc++ {
+					want := legacy.CheckBlock(memA, br, bc)
+					got := sch.CheckBlock(memB, br, bc)
+					if want.Kind == NoError {
+						if len(got) != 0 {
+							t.Fatalf("%s: block (%d,%d): scheme %v, legacy clean", stage, br, bc, got)
+						}
+						continue
+					}
+					if len(got) != 1 || got[0] != want {
+						t.Fatalf("%s: block (%d,%d): scheme %v, legacy %+v", stage, br, bc, got, want)
+					}
+				}
+			}
+			if !sch.Equal(&diagonalScheme{cb: legacy}) {
+				t.Fatalf("%s: check-bit states diverged", stage)
+			}
+		}
+
+		for i := 0; i+2 < len(script) && i < 60; i += 3 {
+			op, line, payload := script[i]%5, int(script[i+1])%p.N, script[i+2]
+			switch op {
+			case 0: // single-cell write
+				r, c := line, int(payload)%p.N
+				oldA := memA.Get(r, c)
+				v := payload&0x80 != 0
+				legacy.UpdateWrite(r, c, oldA, v)
+				memA.Set(r, c, v)
+				sch.UpdateWrite(r, c, memB.Get(r, c), v)
+				memB.Set(r, c, v)
+			case 1: // row-parallel write: payload seeds mask and values
+				oldA := memA.Row(line).Clone()
+				cur := oldA.Clone()
+				cols := bitmat.NewVec(p.N)
+				for j := 0; j < p.N; j++ {
+					h := uint32(j)*2654435761 + uint32(payload)
+					if h>>13&3 == 0 {
+						cols.Set(j, true)
+						cur.Set(j, h>>17&1 != 0)
+					}
+				}
+				legacy.UpdateRowWrite(line, oldA, cur, cols)
+				memA.SetRow(line, cur)
+				oldB := memB.Row(line).Clone()
+				sch.UpdateRowWrite(line, oldB, cur, cols)
+				memB.SetRow(line, cur)
+			case 2: // column-parallel write
+				oldA := memA.Col(line)
+				cur := oldA.Clone()
+				rows := bitmat.NewVec(p.N)
+				for j := 0; j < p.N; j++ {
+					h := uint32(j)*40503 + uint32(payload)*97
+					if h>>11&3 == 0 {
+						rows.Set(j, true)
+						cur.Set(j, h>>15&1 != 0)
+					}
+				}
+				legacy.UpdateColumnWrite(line, oldA, cur, rows)
+				memA.SetCol(line, cur)
+				oldB := memB.Col(line)
+				sch.UpdateColumnWrite(line, oldB, cur, rows)
+				memB.SetCol(line, cur)
+			case 3: // soft-error flip (no delta update — the codes must see it)
+				r, c := line, int(payload)%p.N
+				memA.Flip(r, c)
+				memB.Flip(r, c)
+			default: // scrub both worlds and compare every diagnosis
+				repA := legacy.Scrub(memA)
+				for br := 0; br < p.BlocksPerSide(); br++ {
+					for bc := 0; bc < p.BlocksPerSide(); bc++ {
+						sch.CorrectBlock(memB, br, bc)
+					}
+				}
+				_ = repA
+				compareBlocks("post-scrub")
+			}
+		}
+		compareBlocks("final")
+	})
+}

@@ -39,6 +39,10 @@ type Config struct {
 	K          int  // processing crossbars per machine
 	ECCEnabled bool // false = the paper's unprotected baseline
 
+	// Scheme selects the protection code for every machine in the fleet
+	// (ecc.SchemeByName; empty = the paper's diagonal code).
+	Scheme string
+
 	Workers   int   // shard count; <=0 uses GOMAXPROCS, capped at Banks
 	Seed      int64 // campaign base seed
 	BatchSize int   // jobs per channel send; <=0 uses 16
@@ -68,7 +72,7 @@ func (c Config) EffectiveWorkers() int {
 
 // machineConfig is the per-crossbar machine geometry.
 func (c Config) machineConfig() machine.Config {
-	return machine.Config{N: c.Org.CrossbarN, M: c.M, K: c.K, ECCEnabled: c.ECCEnabled}
+	return machine.Config{N: c.Org.CrossbarN, M: c.M, K: c.K, ECCEnabled: c.ECCEnabled, Scheme: c.Scheme}
 }
 
 // AdderKernel builds the fleet's SIMD kernel: a width-bit ripple-carry

@@ -28,17 +28,21 @@ func (m *Machine) ExecuteSIMDCols(mp *synth.Mapping, cols *bitmat.Vec) error {
 	if mp.RowSize > m.cfg.N {
 		return fmt.Errorf("machine: mapping needs %d cells, crossbar column has %d", mp.RowSize, m.cfg.N)
 	}
-	if m.cm != nil {
+	if m.Protected() {
 		inputBlocks := (mp.Netlist.NumInputs() + m.cfg.M - 1) / m.cfg.M
 		for br := 0; br < inputBlocks; br++ {
-			diags := m.cm.CheckLine(m.mem, shifter.ColParallel, br, br%m.cfg.K)
 			m.inputChecks++
-			for _, d := range diags {
-				if d.Kind == ecc.Uncorrectable {
-					m.uncorrectable++
-				} else if d.Kind != ecc.NoError {
-					m.corrections++
+			if m.sch != nil {
+				for bc := 0; bc < m.cfg.N/m.cfg.M; bc++ {
+					for _, d := range m.sch.CorrectBlock(m.mem.Mat(), br, bc) {
+						m.tallyDiag(d)
+					}
 				}
+				continue
+			}
+			diags := m.cm.CheckLine(m.mem, shifter.ColParallel, br, br%m.cfg.K)
+			for _, d := range diags {
+				m.tallyDiag(d)
 			}
 		}
 	}
@@ -60,7 +64,7 @@ func (m *Machine) ExecuteSIMDCols(mp *synth.Mapping, cols *bitmat.Vec) error {
 
 // gateCols executes one (possibly critical) column-parallel MAGIC step.
 func (m *Machine) gateCols(s synth.Step, cols *bitmat.Vec, pc *int) {
-	critical := s.Critical && m.cm != nil
+	critical := s.Critical && m.Protected()
 	var old *bitmat.Vec
 	if critical {
 		old = m.mem.Mat().Row(s.Cell).Clone()
@@ -74,17 +78,13 @@ func (m *Machine) gateCols(s synth.Step, cols *bitmat.Vec, pc *int) {
 	if critical {
 		newRow := m.mem.Mat().Row(s.Cell).Clone()
 		m.mem.Tick()
-		m.cm.UpdateCritical(*pc, cmem.CriticalUpdate{
-			Orientation: shifter.ColParallel, Index: s.Cell, Old: old, New: newRow,
-		})
-		m.criticalOps++
-		*pc = (*pc + 1) % m.cfg.K
+		m.criticalUpdate(shifter.ColParallel, s.Cell, old, newRow, cols, pc)
 	}
 }
 
 // writeRowUniform drives a constant into row r of every selected column.
 func (m *Machine) writeRowUniform(r int, v bool, cols *bitmat.Vec, criticalStep bool, pc *int) {
-	critical := criticalStep && m.cm != nil
+	critical := criticalStep && m.Protected()
 	var old *bitmat.Vec
 	if critical {
 		old = m.mem.Mat().Row(r).Clone()
@@ -109,11 +109,7 @@ func (m *Machine) writeRowUniform(r int, v bool, cols *bitmat.Vec, criticalStep 
 	if critical {
 		newRow := m.mem.Mat().Row(r).Clone()
 		m.mem.Tick()
-		m.cm.UpdateCritical(*pc, cmem.CriticalUpdate{
-			Orientation: shifter.ColParallel, Index: r, Old: old, New: newRow,
-		})
-		m.criticalOps++
-		*pc = (*pc + 1) % m.cfg.K
+		m.criticalUpdate(shifter.ColParallel, r, old, newRow, cols, pc)
 	}
 }
 
@@ -121,13 +117,21 @@ func (m *Machine) writeRowUniform(r int, v bool, cols *bitmat.Vec, criticalStep 
 // block-rows spanning the working cells get their check bits
 // re-established from the memory image.
 func (m *Machine) reconcileWorkingRows(mp *synth.Mapping) {
-	if m.cm == nil {
+	if !m.Protected() {
+		return
+	}
+	firstBR := mp.Netlist.NumInputs() / m.cfg.M
+	lastBR := (mp.RowSize - 1) / m.cfg.M
+	if m.sch != nil {
+		for br := firstBR; br <= lastBR; br++ {
+			for bc := 0; bc < m.cfg.N/m.cfg.M; bc++ {
+				m.sch.RebuildBlock(m.mem.Mat(), br, bc)
+			}
+		}
 		return
 	}
 	p := ecc.Params{N: m.cfg.N, M: m.cfg.M}
 	want := ecc.Build(p, m.mem.Mat())
-	firstBR := mp.Netlist.NumInputs() / m.cfg.M
-	lastBR := (mp.RowSize - 1) / m.cfg.M
 	for br := firstBR; br <= lastBR; br++ {
 		for bc := 0; bc < p.BlocksPerSide(); bc++ {
 			for d := 0; d < m.cfg.M; d++ {
@@ -154,6 +158,9 @@ func (m *Machine) LoadInputsCols(mp *synth.Mapping, inputs map[int][]bool) {
 				m.cm.UpdateCritical(0, cmem.CriticalUpdate{
 					Orientation: shifter.ColParallel, Index: i, Old: old, New: cur,
 				})
+			} else if m.sch != nil {
+				// Exactly one cell changed: the Θ(1) single-cell delta.
+				m.sch.UpdateWrite(i, c, old.Get(c), v)
 			}
 		}
 	}

@@ -28,13 +28,34 @@ type Config struct {
 	M          int  // ECC block side
 	K          int  // processing crossbars
 	ECCEnabled bool // false = the paper's baseline (no protection)
+
+	// Scheme selects the protection code (ecc.SchemeByName). Empty or
+	// "diagonal" is the paper's code, executed on the cycle-accurate CMEM
+	// pipeline exactly as before the scheme layer existed; any other
+	// registered scheme runs through the generic ecc.Scheme path.
+	Scheme string
+}
+
+// SchemeName resolves the configured protection code name ("" defaults to
+// the paper's diagonal code).
+func (cfg Config) SchemeName() string {
+	if cfg.Scheme == "" {
+		return ecc.SchemeDiagonal
+	}
+	return cfg.Scheme
 }
 
 // Machine is one crossbar plus its check memory.
 type Machine struct {
 	cfg Config
 	mem *xbar.Crossbar
-	cm  *cmem.CMEM // nil when ECC is disabled
+	cm  *cmem.CMEM // diagonal scheme; nil otherwise
+
+	// Non-diagonal schemes run through the generic scheme layer: sch holds
+	// the live check-bit state, spec rebuilds it (heal / consistency).
+	sch  ecc.Scheme
+	spec ecc.SchemeSpec
+	ones *bitmat.Vec // all-columns mask for whole-row delta updates
 
 	// statistics
 	criticalOps   int
@@ -49,7 +70,17 @@ func (cfg Config) Validate() error {
 		return fmt.Errorf("machine: non-positive crossbar side %d", cfg.N)
 	}
 	if cfg.ECCEnabled {
-		if err := (cmem.Config{N: cfg.N, M: cfg.M, K: cfg.K}).Validate(); err != nil {
+		if cfg.SchemeName() == ecc.SchemeDiagonal {
+			if err := (cmem.Config{N: cfg.N, M: cfg.M, K: cfg.K}).Validate(); err != nil {
+				return fmt.Errorf("machine: %w", err)
+			}
+			return nil
+		}
+		spec, err := ecc.SchemeByName(cfg.SchemeName())
+		if err != nil {
+			return fmt.Errorf("machine: %w", err)
+		}
+		if err := spec.Validate(ecc.Params{N: cfg.N, M: cfg.M}); err != nil {
 			return fmt.Errorf("machine: %w", err)
 		}
 	}
@@ -65,7 +96,14 @@ func New(cfg Config) (*Machine, error) {
 	}
 	m := &Machine{cfg: cfg, mem: xbar.New(cfg.N, cfg.N)}
 	if cfg.ECCEnabled {
-		m.cm = cmem.New(cmem.Config{N: cfg.N, M: cfg.M, K: cfg.K})
+		if cfg.SchemeName() == ecc.SchemeDiagonal {
+			m.cm = cmem.New(cmem.Config{N: cfg.N, M: cfg.M, K: cfg.K})
+		} else {
+			m.spec, _ = ecc.SchemeByName(cfg.SchemeName()) // validated above
+			m.sch = m.spec.New(ecc.Params{N: cfg.N, M: cfg.M}, nil)
+			m.ones = bitmat.NewVec(cfg.N)
+			m.ones.Fill(true)
+		}
 	}
 	return m, nil
 }
@@ -85,8 +123,42 @@ func (m *Machine) Config() Config { return m.cfg }
 // MEM exposes the data crossbar (for inspection and fault injection).
 func (m *Machine) MEM() *xbar.Crossbar { return m.mem }
 
-// CMEM exposes the check memory, or nil for a baseline machine.
+// CMEM exposes the check memory, or nil for a baseline machine or a
+// non-diagonal scheme.
 func (m *Machine) CMEM() *cmem.CMEM { return m.cm }
+
+// Scheme exposes the live generic scheme state, or nil for a baseline or
+// diagonal (CMEM-backed) machine.
+func (m *Machine) Scheme() ecc.Scheme { return m.sch }
+
+// Protected reports whether any protection code is active.
+func (m *Machine) Protected() bool { return m.cm != nil || m.sch != nil }
+
+// ECCImage returns a snapshot of the logical check-bit state as an
+// ecc.Scheme — the input scheme-generic consumers (above all the fault
+// campaign's bit-serial reference decoder) diagnose against. Nil for a
+// baseline machine.
+func (m *Machine) ECCImage() ecc.Scheme {
+	switch {
+	case m.cm != nil:
+		return ecc.DiagonalFromCheckBits(m.cm.Image())
+	case m.sch != nil:
+		return m.sch.Clone()
+	}
+	return nil
+}
+
+// RebuildChecks re-establishes the whole check-bit state from the current
+// memory image — the controller path for freshly (re)programmed data. A
+// no-op on a baseline machine.
+func (m *Machine) RebuildChecks() {
+	switch {
+	case m.cm != nil:
+		m.cm.LoadFrom(m.mem.Mat())
+	case m.sch != nil:
+		m.sch = m.spec.New(ecc.Params{N: m.cfg.N, M: m.cfg.M}, m.mem.Mat())
+	}
+}
 
 // Stats summarizes machine activity. Stats from different machines can be
 // combined with Add, so a fleet of crossbars aggregates into one total.
@@ -132,6 +204,8 @@ func (m *Machine) LoadRow(r int, v *bitmat.Vec) {
 		m.cm.UpdateCritical(0, cmem.CriticalUpdate{
 			Orientation: shifter.ColParallel, Index: r, Old: old, New: v.Clone(),
 		})
+	} else if m.sch != nil {
+		m.sch.UpdateRowWrite(r, old, m.mem.Mat().Row(r), m.ones)
 	}
 }
 
@@ -152,22 +226,28 @@ func (m *Machine) UpdateRow(r int, mutate func(*bitmat.Vec) bool) bool {
 // InjectDataFault flips a memristor in MEM — a soft error.
 func (m *Machine) InjectDataFault(r, c int) { m.mem.Flip(r, c) }
 
-// InjectCheckFault flips a stored check bit (ECC state is memristive too).
+// InjectCheckFault flips a stored check bit (ECC state is memristive
+// too). Family/diagonal addressing is specific to the diagonal code, so
+// this is a CMEM-only path.
 func (m *Machine) InjectCheckFault(f shifter.Family, d, br, bc int) {
 	if m.cm == nil {
-		panic("machine: baseline machine has no check bits")
+		panic("machine: check-bit injection needs the diagonal CMEM")
 	}
 	m.cm.FlipCheckBit(f, d, br, bc)
 }
 
-// CheckConsistent reports whether the CMEM state matches a from-scratch
-// rebuild over the current memory image (true for a healthy machine).
+// CheckConsistent reports whether the stored check-bit state matches a
+// from-scratch rebuild over the current memory image (true for a healthy
+// machine) — the machine-level Verify, scheme-generic.
 func (m *Machine) CheckConsistent() bool {
-	if m.cm == nil {
-		return true
+	switch {
+	case m.cm != nil:
+		want := ecc.Build(ecc.Params{N: m.cfg.N, M: m.cfg.M}, m.mem.Mat())
+		return m.cm.Image().Equal(want)
+	case m.sch != nil:
+		return m.sch.Equal(m.spec.New(ecc.Params{N: m.cfg.N, M: m.cfg.M}, m.mem.Mat()))
 	}
-	want := ecc.Build(ecc.Params{N: m.cfg.N, M: m.cfg.M}, m.mem.Mat())
-	return m.cm.Image().Equal(want)
+	return true
 }
 
 // Finding is one non-clean block from a detailed scrub: its block
@@ -190,27 +270,44 @@ func (f Finding) DataCell(m int) (r, c int) {
 // matches against injected faults. Single errors are corrected in place;
 // uncorrectable blocks are flagged untouched.
 func (m *Machine) ScrubFindings() []Finding {
-	if m.cm == nil {
+	if !m.Protected() {
 		return nil
 	}
 	var out []Finding
 	blocks := m.cfg.N / m.cfg.M
 	for br := 0; br < blocks; br++ {
+		if m.sch != nil {
+			// Generic scheme path: per-block check-and-correct. A scheme
+			// with sub-block structure (Hamming words) may report several
+			// findings for one block, in the scheme's deterministic order.
+			for bc := 0; bc < blocks; bc++ {
+				for _, d := range m.sch.CorrectBlock(m.mem.Mat(), br, bc) {
+					m.tallyDiag(d)
+					out = append(out, Finding{BR: br, BC: bc, Diag: d})
+				}
+			}
+			continue
+		}
 		diags := m.cm.CheckLine(m.mem, shifter.ColParallel, br, br%m.cfg.K)
 		for bc := 0; bc < blocks; bc++ { // map iteration would be nondeterministic
 			d, ok := diags[bc]
 			if !ok {
 				continue
 			}
-			if d.Kind == ecc.Uncorrectable {
-				m.uncorrectable++
-			} else if d.Kind != ecc.NoError {
-				m.corrections++
-			}
+			m.tallyDiag(d)
 			out = append(out, Finding{BR: br, BC: bc, Diag: d})
 		}
 	}
 	return out
+}
+
+// tallyDiag bumps the correction counters for one non-clean diagnosis.
+func (m *Machine) tallyDiag(d ecc.Diagnosis) {
+	if d.Kind == ecc.Uncorrectable {
+		m.uncorrectable++
+	} else if d.Kind != ecc.NoError {
+		m.corrections++
+	}
 }
 
 // Scrub performs the periodic full-memory ECC check: every block line is
@@ -240,17 +337,21 @@ func (m *Machine) ExecuteSIMD(mp *synth.Mapping, rows *bitmat.Vec) error {
 	if mp.RowSize > m.cfg.N {
 		return fmt.Errorf("machine: mapping needs %d cells, crossbar row has %d", mp.RowSize, m.cfg.N)
 	}
-	if m.cm != nil {
+	if m.Protected() {
 		inputBlocks := (mp.Netlist.NumInputs() + m.cfg.M - 1) / m.cfg.M
 		for bc := 0; bc < inputBlocks; bc++ {
-			diags := m.cm.CheckLine(m.mem, shifter.RowParallel, bc, bc%m.cfg.K)
 			m.inputChecks++
-			for _, d := range diags {
-				if d.Kind == ecc.Uncorrectable {
-					m.uncorrectable++
-				} else if d.Kind != ecc.NoError {
-					m.corrections++
+			if m.sch != nil {
+				for br := 0; br < m.cfg.N/m.cfg.M; br++ {
+					for _, d := range m.sch.CorrectBlock(m.mem.Mat(), br, bc) {
+						m.tallyDiag(d)
+					}
 				}
+				continue
+			}
+			diags := m.cm.CheckLine(m.mem, shifter.RowParallel, bc, bc%m.cfg.K)
+			for _, d := range diags {
+				m.tallyDiag(d)
 			}
 		}
 	}
@@ -279,13 +380,21 @@ func (m *Machine) ExecuteSIMD(mp *synth.Mapping, rows *bitmat.Vec) error {
 // the region is treated as protected data again. Output blocks were kept
 // in sync by the critical protocol; recomputing them is idempotent.
 func (m *Machine) reconcileWorkingRegion(mp *synth.Mapping) {
-	if m.cm == nil {
+	if !m.Protected() {
+		return
+	}
+	firstBC := mp.Netlist.NumInputs() / m.cfg.M
+	lastBC := (mp.RowSize - 1) / m.cfg.M
+	if m.sch != nil {
+		for bc := firstBC; bc <= lastBC; bc++ {
+			for br := 0; br < m.cfg.N/m.cfg.M; br++ {
+				m.sch.RebuildBlock(m.mem.Mat(), br, bc)
+			}
+		}
 		return
 	}
 	p := ecc.Params{N: m.cfg.N, M: m.cfg.M}
 	want := ecc.Build(p, m.mem.Mat())
-	firstBC := mp.Netlist.NumInputs() / m.cfg.M
-	lastBC := (mp.RowSize - 1) / m.cfg.M
 	for bc := firstBC; bc <= lastBC; bc++ {
 		for br := 0; br < p.BlocksPerSide(); br++ {
 			for d := 0; d < m.cfg.M; d++ {
@@ -298,7 +407,7 @@ func (m *Machine) reconcileWorkingRegion(mp *synth.Mapping) {
 
 // gate executes one (possibly critical) MAGIC step.
 func (m *Machine) gate(s synth.Step, rows *bitmat.Vec, pc *int) {
-	critical := s.Critical && m.cm != nil
+	critical := s.Critical && m.Protected()
 	var old *bitmat.Vec
 	if critical {
 		old = m.mem.Mat().Col(s.Cell)
@@ -312,17 +421,35 @@ func (m *Machine) gate(s synth.Step, rows *bitmat.Vec, pc *int) {
 	if critical {
 		newCol := m.mem.Mat().Col(s.Cell)
 		m.mem.Tick() // copy-new transfer occupies MEM
+		m.criticalUpdate(shifter.RowParallel, s.Cell, old, newCol, rows, pc)
+	}
+}
+
+// criticalUpdate commits one critical operation's check-bit delta through
+// the active backend: the CMEM's pipelined XOR3 protocol for the diagonal
+// code, the scheme's masked line-delta update otherwise. sel is the
+// row/column selection mask of the parallel operation.
+func (m *Machine) criticalUpdate(o shifter.Orientation, index int, old, cur, sel *bitmat.Vec, pc *int) {
+	if m.cm != nil {
 		m.cm.UpdateCritical(*pc, cmem.CriticalUpdate{
-			Orientation: shifter.RowParallel, Index: s.Cell, Old: old, New: newCol,
+			Orientation: o, Index: index, Old: old, New: cur,
 		})
-		m.criticalOps++
+	} else if o == shifter.RowParallel {
+		m.sch.UpdateColumnWrite(index, old, cur, sel)
+	} else {
+		m.sch.UpdateRowWrite(index, old, cur, sel)
+	}
+	m.criticalOps++
+	if m.cfg.K > 1 {
 		*pc = (*pc + 1) % m.cfg.K
+	} else {
+		*pc = 0 // generic schemes don't require processing crossbars
 	}
 }
 
 // writeColumn drives a constant into column c of every selected row.
 func (m *Machine) writeColumn(c int, v bool, rows *bitmat.Vec, criticalStep bool, pc *int) {
-	critical := criticalStep && m.cm != nil
+	critical := criticalStep && m.Protected()
 	var old *bitmat.Vec
 	if critical {
 		old = m.mem.Mat().Col(c)
@@ -335,11 +462,7 @@ func (m *Machine) writeColumn(c int, v bool, rows *bitmat.Vec, criticalStep bool
 	if critical {
 		newCol := m.mem.Mat().Col(c)
 		m.mem.Tick()
-		m.cm.UpdateCritical(*pc, cmem.CriticalUpdate{
-			Orientation: shifter.RowParallel, Index: c, Old: old, New: newCol,
-		})
-		m.criticalOps++
-		*pc = (*pc + 1) % m.cfg.K
+		m.criticalUpdate(shifter.RowParallel, c, old, newCol, rows, pc)
 	}
 }
 

@@ -42,6 +42,10 @@ type Config struct {
 	M          int // ECC block side
 	K          int // processing crossbars per crossbar array
 	ECCEnabled bool
+
+	// Scheme selects the protection code for every crossbar
+	// (ecc.SchemeByName; empty = the paper's diagonal code).
+	Scheme string
 }
 
 // Memory is a bank-organized set of protected crossbars.
@@ -67,6 +71,7 @@ func New(cfg Config) (*Memory, error) {
 	for i := range m.xbs {
 		xb, err := machine.New(machine.Config{
 			N: cfg.Org.CrossbarN, M: cfg.M, K: cfg.K, ECCEnabled: cfg.ECCEnabled,
+			Scheme: cfg.Scheme,
 		})
 		if err != nil {
 			return nil, err

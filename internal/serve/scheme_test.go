@@ -1,0 +1,75 @@
+package serve
+
+// The serving layer over non-diagonal schemes: pmem.Config.Scheme threads
+// the backend through every machine, and the deterministic replay — the
+// loadgen report's engine — must reproduce exactly and keep correcting
+// (hamming) or merely flagging (parity) the fault overlay's soft errors.
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/ecc"
+	"repro/internal/mmpu"
+	"repro/internal/pmem"
+)
+
+// schemeMem builds a protected memory over a named scheme.
+func schemeMem(t *testing.T, scheme string) *pmem.Memory {
+	t.Helper()
+	mem, err := pmem.New(pmem.Config{
+		Org: mmpu.Custom(90, 8, 2), M: 15, K: 2, ECCEnabled: true, Scheme: scheme,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mem
+}
+
+// TestReplaySchemesDeterministicUnderFaults: the same seed reproduces the
+// identical Result for each backend, and the backends behave per their
+// guarantee under the fault overlay.
+func TestReplaySchemesDeterministicUnderFaults(t *testing.T) {
+	run := func(scheme string) Result {
+		mem := schemeMem(t, scheme)
+		tr, err := GenTrace(mem.Config().Org, TraceOpts{
+			Mode: "open", Mix: "uniform", Requests: 4000, Clients: 4,
+			Rate: 0.5, WriteFrac: 0.5, Width: 30, Seed: 5,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Replay(ReplayConfig{
+			Mem: mem, Workers: 4, ScrubPeriod: 400, FaultSER: 3e5, Seed: 5,
+		}, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	for _, scheme := range []string{ecc.SchemeDiagonal, ecc.SchemeHamming, ecc.SchemeParity} {
+		a, b := run(scheme), run(scheme)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("%s: same seed diverged", scheme)
+		}
+		if a.Stats.Requests != 4000 || a.Stats.Errors != 0 {
+			t.Fatalf("%s: served %+v", scheme, a.Stats)
+		}
+		if a.Stats.Scrubs == 0 || a.Stats.Injected == 0 {
+			t.Fatalf("%s: overlay inert: %+v", scheme, a.Stats)
+		}
+		switch scheme {
+		case ecc.SchemeParity:
+			if a.Stats.Corrected != 0 {
+				t.Fatalf("parity claims corrections: %+v", a.Stats)
+			}
+			if a.Stats.Uncorrectable == 0 {
+				t.Fatalf("parity never flagged the overlay: %+v", a.Stats)
+			}
+		default:
+			if a.Stats.Corrected == 0 {
+				t.Fatalf("%s: scrubs never corrected the overlay: %+v", scheme, a.Stats)
+			}
+		}
+	}
+}
