@@ -32,7 +32,11 @@ type Result struct {
 	// `/scheme=NAME` sub-benchmark component, so snapshots can compare
 	// ECC backends (diagonal vs hamming vs parity) by field instead of by
 	// name-mangling.
-	Scheme     string             `json:"scheme,omitempty"`
+	Scheme string `json:"scheme,omitempty"`
+	// Telemetry tags the instrumentation-overhead measurements: parsed
+	// from a `/telemetry=on|off` sub-benchmark component, so snapshots
+	// can compare the enabled and disabled hot-path cost by field.
+	Telemetry  string             `json:"telemetry,omitempty"`
 	NsPerOp    float64            `json:"ns_per_op"`
 	BytesPerOp float64            `json:"bytes_per_op"`
 	AllocsOp   float64            `json:"allocs_per_op"`
@@ -60,6 +64,9 @@ var (
 	// schemeTag extracts the protection-code tag from sub-benchmark names
 	// like BenchmarkSchemeScrub/scheme=hamming.
 	schemeTag = regexp.MustCompile(`/scheme=([A-Za-z0-9_-]+)`)
+	// telemetryTag extracts the instrumentation tag from sub-benchmark
+	// names like BenchmarkTelemetryOverhead/telemetry=off.
+	telemetryTag = regexp.MustCompile(`/telemetry=(on|off)`)
 )
 
 func main() {
@@ -132,6 +139,9 @@ func parse(out string) (cpu string, results []Result) {
 		r := Result{Name: procSuffix.ReplaceAllString(m[1], ""), Pkg: pkg, Iterations: iters}
 		if tag := schemeTag.FindStringSubmatch(r.Name); tag != nil {
 			r.Scheme = tag[1]
+		}
+		if tag := telemetryTag.FindStringSubmatch(r.Name); tag != nil {
+			r.Telemetry = tag[1]
 		}
 		fields := strings.Fields(m[3])
 		for i := 0; i+1 < len(fields); i += 2 {

@@ -30,10 +30,12 @@ import (
 	"strings"
 
 	"repro/internal/campaign"
+	"repro/internal/cliflags"
 	"repro/internal/ecc"
 	"repro/internal/faults"
 	"repro/internal/fleet"
 	"repro/internal/mmpu"
+	"repro/internal/telemetry"
 )
 
 // runReport is the JSON summary of one fleet campaign at one SER point.
@@ -69,6 +71,12 @@ type report struct {
 	// positions lr·M+lc — the codeword-spectrum view of where faults land.
 	Positions map[string][]int64 `json:"positions,omitempty"`
 	Sweep     []runReport        `json:"sweep,omitempty"`
+
+	// Telemetry is the run's metric snapshot, present only under
+	// -telemetry (pointer + omitempty keep default reports
+	// byte-identical). Adjudication outcomes appear as
+	// campaign_outcomes_total{outcome="..."} series.
+	Telemetry *telemetry.Snapshot `json:"telemetry,omitempty"`
 }
 
 func summarize(ser float64, tl campaign.Tally) runReport {
@@ -94,14 +102,14 @@ func summarize(ser float64, tl campaign.Tally) runReport {
 }
 
 func main() {
-	n := flag.Int("n", 45, "crossbar side (multiple of m)")
-	m := flag.Int("m", 15, "ECC block side (odd)")
-	k := flag.Int("k", 2, "processing crossbars per machine")
-	banks := flag.Int("banks", 4, "number of banks")
-	perBank := flag.Int("perbank", 2, "crossbars per bank")
-	eccFlag := flag.String("ecc", "diagonal",
-		"protection scheme: "+strings.Join(ecc.SchemeNames(), ", ")+
-			" (true = diagonal; false/none = unprotected baseline)")
+	var geo cliflags.Geometry
+	var eccSel cliflags.ECC
+	var tel cliflags.Telemetry
+	var workers int
+	var seed int64
+	cliflags.RegisterGeometry(flag.CommandLine, &geo,
+		cliflags.Geometry{N: 45, M: 15, K: 2, Banks: 4, PerBank: 2})
+	cliflags.RegisterECC(flag.CommandLine, &eccSel)
 	model := flag.String("model", "transient",
 		"fault model: "+strings.Join(faults.ModelNames(), ", "))
 	ser := flag.Float64("ser", 1e-4, "injection rate [FIT/bit; FIT/line for lines]")
@@ -109,19 +117,24 @@ func main() {
 		"accelerated exposure per round [device-hours]; the default compresses -ser into a per-round flip probability of ser (e.g. 1e-4 FIT/bit -> ~1e-4/bit/round)")
 	rounds := flag.Int("rounds", 4, "campaign rounds per crossbar")
 	skew := flag.Float64("skew", 0, "per-crossbar rate-skew exponent (0 = uniform fleet)")
-	workers := flag.Int("workers", 0, "worker shards (0 = GOMAXPROCS, capped at banks)")
-	seed := flag.Int64("seed", 1, "campaign base seed (runs are reproducible from this)")
+	cliflags.RegisterWorkers(flag.CommandLine, &workers, "worker shards (0 = GOMAXPROCS, capped at banks)")
+	cliflags.RegisterSeed(flag.CommandLine, &seed, "campaign base seed (runs are reproducible from this)")
 	sweep := flag.String("sweep", "", "comma-separated extra SER points to sweep (same seed each)")
+	cliflags.RegisterTelemetry(flag.CommandLine, &tel)
 	flag.Parse()
 
-	scheme, eccOn, err := ecc.ParseSchemeFlag(*eccFlag)
+	eccSel.Resolve()
+	scheme, eccOn := eccSel.Scheme, eccSel.Enabled
+	n, m, k, banks, perBank := &geo.N, &geo.M, &geo.K, &geo.Banks, &geo.PerBank
+	stop, err := tel.Serve()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		os.Exit(1)
 	}
+	defer stop()
 	cfg := fleet.Config{
 		Org: mmpu.Custom(*n, *banks, *perBank), M: *m, K: *k, ECCEnabled: eccOn, Scheme: scheme,
-		Workers: *workers, Seed: *seed,
+		Workers: workers, Seed: seed, Telemetry: tel.Registry(),
 	}
 	runAt := func(serPoint float64) campaign.Tally {
 		w, err := fleet.ScenarioWithOptions("campaign", fleet.ScenarioOptions{
@@ -143,7 +156,7 @@ func main() {
 	rep := report{
 		Scenario: "campaign",
 		Model:    *model,
-		Seed:     *seed,
+		Seed:     seed,
 		Workers:  cfg.EffectiveWorkers(),
 		Hours:    *hours,
 		Skew:     *skew,
@@ -175,6 +188,10 @@ func main() {
 		}
 		rep.Sweep = append(rep.Sweep, summarize(point, runAt(point)))
 	}
+	if tel.Snapshot {
+		snap := tel.Registry().Snapshot()
+		rep.Telemetry = &snap
+	}
 
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
@@ -182,4 +199,5 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	tel.Wait()
 }

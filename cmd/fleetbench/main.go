@@ -15,6 +15,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,27 +23,27 @@ import (
 	"time"
 
 	"repro/internal/campaign"
-	"repro/internal/ecc"
+	"repro/internal/cliflags"
 	"repro/internal/faults"
 	"repro/internal/fleet"
 	"repro/internal/mmpu"
 )
 
 func main() {
-	n := flag.Int("n", 45, "crossbar side (multiple of m)")
-	m := flag.Int("m", 15, "ECC block side (odd)")
-	k := flag.Int("k", 2, "processing crossbars per machine")
-	banks := flag.Int("banks", 8, "number of banks")
-	perBank := flag.Int("perbank", 4, "crossbars per bank")
-	eccFlag := flag.String("ecc", "diagonal",
-		"protection scheme: "+strings.Join(ecc.SchemeNames(), ", ")+
-			" (true = diagonal; false/none = unprotected baseline)")
+	var geo cliflags.Geometry
+	var eccSel cliflags.ECC
+	var tel cliflags.Telemetry
+	var workers int
+	var seed int64
+	cliflags.RegisterGeometry(flag.CommandLine, &geo,
+		cliflags.Geometry{N: 45, M: 15, K: 2, Banks: 8, PerBank: 4})
+	cliflags.RegisterECC(flag.CommandLine, &eccSel)
 	scenario := flag.String("scenario", "uniform",
 		"workload scenario: "+strings.Join(fleet.ScenarioNames(), ", "))
 	intensity := flag.Int("intensity", 0,
 		"scenario intensity (uniform: ops/crossbar, hotbank: total jobs, mixedscrub: rounds/crossbar, faultstorm: bursts/crossbar, campaign: rounds/crossbar; 0 = default)")
-	workers := flag.Int("workers", 0, "worker shards (0 = GOMAXPROCS, capped at banks)")
-	seed := flag.Int64("seed", 1, "campaign base seed (runs replay exactly from this)")
+	cliflags.RegisterWorkers(flag.CommandLine, &workers, "worker shards (0 = GOMAXPROCS, capped at banks)")
+	cliflags.RegisterSeed(flag.CommandLine, &seed, "campaign base seed (runs replay exactly from this)")
 	ser := flag.Float64("ser", 0,
 		"faultstorm/campaign injection rate [FIT/bit; FIT/line for the lines model] (0 = scenario default)")
 	hours := flag.Float64("hours", 0, "faultstorm/campaign exposure per burst/round (0 = scenario default)")
@@ -52,6 +53,7 @@ func main() {
 	width := flag.Int("width", 8, "SIMD kernel: adder width")
 	duration := flag.Duration("duration", 0,
 		"keep re-running (fresh derived seed each pass) until this much time has elapsed; 0 = one pass")
+	cliflags.RegisterTelemetry(flag.CommandLine, &tel)
 	flag.Parse()
 
 	w, err := fleet.ScenarioWithOptions(*scenario, fleet.ScenarioOptions{
@@ -61,21 +63,25 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	scheme, eccOn, err := ecc.ParseSchemeFlag(*eccFlag)
+	eccSel.Resolve()
+	scheme, eccOn := eccSel.Scheme, eccSel.Enabled
+	n, banks, perBank := &geo.N, &geo.Banks, &geo.PerBank
+	stop, err := tel.Serve()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		os.Exit(1)
 	}
+	defer stop()
 	cfg := fleet.Config{
-		Org: mmpu.Custom(*n, *banks, *perBank), M: *m, K: *k, ECCEnabled: eccOn, Scheme: scheme,
-		Workers: *workers, Seed: *seed, KernelWidth: *width,
+		Org: mmpu.Custom(geo.N, geo.Banks, geo.PerBank), M: geo.M, K: geo.K, ECCEnabled: eccOn, Scheme: scheme,
+		Workers: workers, Seed: seed, KernelWidth: *width, Telemetry: tel.Registry(),
 	}
 
 	var total fleet.Result
 	passes := 0
 	start := time.Now()
 	for {
-		cfg.Seed = *seed + int64(passes) // each pass replays a fresh deterministic campaign
+		cfg.Seed = seed + int64(passes) // each pass replays a fresh deterministic campaign
 		res, err := fleet.Run(cfg, w)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -122,4 +128,18 @@ func main() {
 		fmt.Printf("    ref checks %d (mismatches %d) — conformant: %v\n",
 			tl.RefChecks, tl.RefMismatches, tl.Conformant())
 	}
+
+	if tel.Snapshot {
+		// The snapshot appends after the text report as indented JSON —
+		// deterministic at a fixed seed and worker-count-invariant, like
+		// the Result it mirrors.
+		fmt.Println("\n  telemetry snapshot:")
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("  ", "  ")
+		if err := enc.Encode(tel.Registry().Snapshot()); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	tel.Wait()
 }

@@ -30,11 +30,13 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/cliflags"
 	"repro/internal/ecc"
 	"repro/internal/fleet"
 	"repro/internal/mmpu"
 	"repro/internal/pmem"
 	"repro/internal/serve"
+	"repro/internal/telemetry"
 )
 
 // options collects every knob the report depends on.
@@ -57,6 +59,7 @@ type options struct {
 	faultSER    float64
 	faultHours  float64
 	seed        int64
+	telemetry   bool // embed the snapshot in the report
 }
 
 // report is the JSON document. Every field is deterministic from the
@@ -103,11 +106,19 @@ type report struct {
 	ThroughputPerKilotick float64          `json:"throughput_per_kilotick"`
 	PerWorkerTicks        []int64          `json:"per_worker_ticks"`
 	PerBank               []serve.BankLoad `json:"per_bank"`
+
+	// Telemetry is the run's metric snapshot, present only under
+	// -telemetry (the pointer + omitempty keep default reports
+	// byte-identical to pre-telemetry goldens). At fixed flags the
+	// snapshot is byte-reproducible: every series update commutes.
+	Telemetry *telemetry.Snapshot `json:"telemetry,omitempty"`
 }
 
-// run executes the whole load generation and renders the report.
-// Split from main so the determinism test can call it twice.
-func run(o options) ([]byte, serve.Result, error) {
+// run executes the whole load generation and renders the report. Split
+// from main so the determinism test can call it twice. reg, when
+// non-nil, instruments the memory and replay; the snapshot lands in the
+// report's telemetry field.
+func run(o options, reg *telemetry.Registry) ([]byte, serve.Result, error) {
 	mem, err := pmem.New(pmem.Config{
 		Org: mmpu.Custom(o.n, o.banks, o.perBank), M: o.m, K: o.k, ECCEnabled: o.ecc,
 		Scheme: o.scheme,
@@ -115,6 +126,7 @@ func run(o options) ([]byte, serve.Result, error) {
 	if err != nil {
 		return nil, serve.Result{}, err
 	}
+	mem.Instrument(reg)
 	tr, err := serve.GenTrace(mem.Config().Org, serve.TraceOpts{
 		Mode: o.mode, Mix: o.mix, Requests: o.requests, Clients: o.clients,
 		Rate: o.rate, WriteFrac: o.writeFrac, Width: o.width, Seed: o.seed,
@@ -125,7 +137,7 @@ func run(o options) ([]byte, serve.Result, error) {
 	res, err := serve.Replay(serve.ReplayConfig{
 		Mem: mem, Workers: o.workers, BatchSize: o.batch,
 		ScrubPeriod: o.scrubPeriod, FaultSER: o.faultSER, FaultHours: o.faultHours,
-		Seed: o.seed,
+		Seed: o.seed, Telemetry: reg,
 	}, tr)
 	if err != nil {
 		return nil, serve.Result{}, err
@@ -156,6 +168,10 @@ func run(o options) ([]byte, serve.Result, error) {
 	}
 	rep.PerWorkerTicks = res.PerWorker
 	rep.PerBank = res.PerBank
+	if o.telemetry && reg != nil {
+		snap := reg.Snapshot()
+		rep.Telemetry = &snap
+	}
 
 	var buf bytes.Buffer
 	enc := json.NewEncoder(&buf)
@@ -168,15 +184,12 @@ func run(o options) ([]byte, serve.Result, error) {
 
 func main() {
 	var o options
-	var eccFlag string
-	flag.IntVar(&o.n, "n", 90, "crossbar side (multiple of m)")
-	flag.IntVar(&o.m, "m", 15, "ECC block side (odd)")
-	flag.IntVar(&o.k, "k", 2, "processing crossbars per machine")
-	flag.IntVar(&o.banks, "banks", 16, "number of banks")
-	flag.IntVar(&o.perBank, "perbank", 2, "crossbars per bank")
-	flag.StringVar(&eccFlag, "ecc", "diagonal",
-		"protection scheme: "+strings.Join(ecc.SchemeNames(), ", ")+
-			" (true = diagonal; false/none = unprotected baseline)")
+	var geo cliflags.Geometry
+	var eccSel cliflags.ECC
+	var tel cliflags.Telemetry
+	cliflags.RegisterGeometry(flag.CommandLine, &geo,
+		cliflags.Geometry{N: 90, M: 15, K: 2, Banks: 16, PerBank: 2})
+	cliflags.RegisterECC(flag.CommandLine, &eccSel)
 	flag.StringVar(&o.mode, "mode", "open", "client model: "+strings.Join(serve.ModeNames(), ", "))
 	flag.StringVar(&o.mix, "mix", "uniform", "address mix: "+strings.Join(serve.MixNames(), ", "))
 	flag.IntVar(&o.requests, "requests", 20000, "total requests")
@@ -184,23 +197,31 @@ func main() {
 	flag.Float64Var(&o.rate, "rate", 0.2, "open loop: mean arrivals per tick")
 	flag.Float64Var(&o.writeFrac, "writefrac", 0.5, "fraction of writes")
 	flag.IntVar(&o.width, "width", 32, "request width in bits (1..64)")
-	flag.IntVar(&o.workers, "workers", 0, "modeled bank workers (0 = one per bank); fewer workers = more queueing")
+	cliflags.RegisterWorkers(flag.CommandLine, &o.workers,
+		"modeled bank workers (0 = one per bank); fewer workers = more queueing")
 	flag.IntVar(&o.batch, "batch", 32, "max requests coalesced per batch")
 	flag.Int64Var(&o.scrubPeriod, "scrub-period", 2000, "ticks between admitted crossbar scrubs per worker (0 = off); total scrub work scales with -workers")
 	flag.Float64Var(&o.faultSER, "faults-ser", 0, "fault overlay rate [FIT/bit] (0 = off)")
 	flag.Float64Var(&o.faultHours, "faults-hours", 1, "fault overlay exposure per scrub window [hours]")
-	flag.Int64Var(&o.seed, "seed", 1, "trace and fault seed (the report is reproducible from this)")
+	cliflags.RegisterSeed(flag.CommandLine, &o.seed,
+		"trace and fault seed (the report is reproducible from this)")
+	cliflags.RegisterTelemetry(flag.CommandLine, &tel)
 	flag.Parse()
 
-	scheme, eccOn, err := ecc.ParseSchemeFlag(eccFlag)
+	eccSel.Resolve()
+	o.n, o.m, o.k, o.banks, o.perBank = geo.N, geo.M, geo.K, geo.Banks, geo.PerBank
+	o.ecc, o.scheme = eccSel.Enabled, eccSel.Scheme
+	o.telemetry = tel.Snapshot
+
+	stop, err := tel.Serve()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		os.Exit(1)
 	}
-	o.ecc, o.scheme = eccOn, scheme
+	defer stop()
 
 	t0 := time.Now()
-	out, res, err := run(o)
+	out, res, err := run(o, tel.Registry())
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -209,4 +230,5 @@ func main() {
 	os.Stdout.Write(out)
 	fmt.Fprintf(os.Stderr, "loadgen: served %d requests in %v wall (%.0f req/s wall, makespan %d ticks)\n",
 		res.Stats.Requests, wall.Round(time.Millisecond), float64(res.Stats.Requests)/wall.Seconds(), res.Ticks)
+	tel.Wait()
 }

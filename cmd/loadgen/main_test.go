@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"encoding/json"
 	"testing"
+
+	"repro/internal/telemetry"
 )
 
 // smokeOpts is a small, fast configuration exercising scrubs, faults,
@@ -24,11 +26,11 @@ func smokeOpts(workers int) options {
 // queueing knob): only the served traffic is invariant, and throughput
 // must improve with more workers.
 func TestReportDeterministicFromSeed(t *testing.T) {
-	a, resA, err := run(smokeOpts(2))
+	a, resA, err := run(smokeOpts(2), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, _, err := run(smokeOpts(2))
+	b, _, err := run(smokeOpts(2), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,7 +46,7 @@ func TestReportDeterministicFromSeed(t *testing.T) {
 	if err := json.Unmarshal(a, &jc); err != nil {
 		t.Fatal(err)
 	}
-	w8, _, err := run(smokeOpts(8))
+	w8, _, err := run(smokeOpts(8), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,7 +64,7 @@ func TestReportDeterministicFromSeed(t *testing.T) {
 
 // TestReportShape: the report carries the fields the E9 table reads.
 func TestReportShape(t *testing.T) {
-	out, _, err := run(smokeOpts(2))
+	out, _, err := run(smokeOpts(2), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,5 +91,53 @@ func TestReportShape(t *testing.T) {
 	}
 	if len(rep["per_bank"].([]any)) != 8 {
 		t.Fatal("per-bank loads missing")
+	}
+	if _, present := rep["telemetry"]; present {
+		t.Fatal("telemetry key present in a default-off report")
+	}
+}
+
+// TestTelemetryReportReproducible: the -telemetry snapshot is
+// byte-reproducible at fixed flags, carries the expected series, and its
+// counters agree with the served block of the same report.
+func TestTelemetryReportReproducible(t *testing.T) {
+	withTel := func() ([]byte, map[string]any) {
+		o := smokeOpts(2)
+		o.telemetry = true
+		out, _, err := run(o, telemetry.New())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rep map[string]any
+		if err := json.Unmarshal(out, &rep); err != nil {
+			t.Fatal(err)
+		}
+		return out, rep
+	}
+	a, rep := withTel()
+	b, _ := withTel()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("telemetry report not reproducible:\n%s\n---\n%s", a, b)
+	}
+	raw, ok := rep["telemetry"]
+	if !ok {
+		t.Fatal("telemetry key missing under -telemetry")
+	}
+	// Round-trip through the typed snapshot and cross-check key series
+	// against the served block of the same report.
+	buf, _ := json.Marshal(raw)
+	var snap telemetry.Snapshot
+	if err := json.Unmarshal(buf, &snap); err != nil {
+		t.Fatal(err)
+	}
+	served := rep["served"].(map[string]any)
+	if got := snap.CounterFamily("serve_requests_total"); got != int64(served["requests"].(float64)) {
+		t.Errorf("serve_requests_total = %d, want %v", got, served["requests"])
+	}
+	if got := snap.CounterFamily("pmem_scrubs_total"); got != int64(served["scrubs"].(float64)) {
+		t.Errorf("pmem_scrubs_total = %d, want %v", got, served["scrubs"])
+	}
+	if got := snap.CounterFamily("ecc_corrections_total"); got == 0 {
+		t.Error("ecc_corrections_total zero despite fault overlay")
 	}
 }

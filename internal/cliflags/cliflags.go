@@ -1,0 +1,140 @@
+// Package cliflags unifies the flag surface shared by the repro CLIs
+// (cmd/campaign, cmd/loadgen, cmd/fleetbench): the mMPU geometry, the
+// -ecc scheme selector, -seed, -workers, and the telemetry pair
+// (-telemetry for the in-report snapshot, -listen for the live
+// /metrics + /trace + pprof endpoint). Each CLI keeps its own defaults —
+// the geometries genuinely differ — but the flag names, usage strings,
+// parsing, and error behavior stay identical everywhere, so a flag
+// learned on one tool works unchanged on the others.
+package cliflags
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"repro/internal/ecc"
+	"repro/internal/telemetry"
+)
+
+// Geometry is the mMPU sizing every CLI exposes.
+type Geometry struct {
+	N, M, K, Banks, PerBank int
+}
+
+// RegisterGeometry binds the geometry flags with the CLI's defaults.
+func RegisterGeometry(fs *flag.FlagSet, g *Geometry, def Geometry) {
+	fs.IntVar(&g.N, "n", def.N, "crossbar side (multiple of m)")
+	fs.IntVar(&g.M, "m", def.M, "ECC block side (odd)")
+	fs.IntVar(&g.K, "k", def.K, "processing crossbars per machine")
+	fs.IntVar(&g.Banks, "banks", def.Banks, "number of banks")
+	fs.IntVar(&g.PerBank, "perbank", def.PerBank, "crossbars per bank")
+}
+
+// ECC is the -ecc flag: a scheme name or a bool-compatible value,
+// resolved after parsing.
+type ECC struct {
+	raw     string
+	Scheme  string // resolved scheme name ("" only before Resolve)
+	Enabled bool   // false = the unprotected baseline
+}
+
+// RegisterECC binds the -ecc flag.
+func RegisterECC(fs *flag.FlagSet, e *ECC) {
+	fs.StringVar(&e.raw, "ecc", "diagonal",
+		"protection scheme: "+strings.Join(ecc.SchemeNames(), ", ")+
+			" (true = diagonal; false/none = unprotected baseline)")
+}
+
+// ResolveErr parses the raw -ecc value (call after fs.Parse).
+func (e *ECC) ResolveErr() error {
+	scheme, on, err := ecc.ParseSchemeFlag(e.raw)
+	if err != nil {
+		return err
+	}
+	e.Scheme, e.Enabled = scheme, on
+	return nil
+}
+
+// Resolve is ResolveErr with the CLIs' historical usage-error behavior:
+// print to stderr and exit 2.
+func (e *ECC) Resolve() {
+	if err := e.ResolveErr(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+}
+
+// RegisterSeed binds the -seed flag (default 1 everywhere).
+func RegisterSeed(fs *flag.FlagSet, seed *int64, usage string) {
+	fs.Int64Var(seed, "seed", 1, usage)
+}
+
+// RegisterWorkers binds the -workers flag.
+func RegisterWorkers(fs *flag.FlagSet, workers *int, usage string) {
+	fs.IntVar(workers, "workers", 0, usage)
+}
+
+// Telemetry is the shared observability flag pair. The zero value (no
+// flag set) is fully off: Registry returns nil, and that nil flows
+// through every instrumented layer as the disabled state, keeping
+// default reports byte-identical and hot paths at a nil check.
+type Telemetry struct {
+	Snapshot bool   // -telemetry: embed the snapshot in the report
+	Listen   string // -listen: live HTTP endpoint address
+
+	reg *telemetry.Registry
+}
+
+// RegisterTelemetry binds -telemetry and -listen.
+func RegisterTelemetry(fs *flag.FlagSet, t *Telemetry) {
+	fs.BoolVar(&t.Snapshot, "telemetry", false,
+		"embed the telemetry snapshot in the report (deterministic at fixed seeds)")
+	fs.StringVar(&t.Listen, "listen", "",
+		"serve live /metrics (Prometheus), /trace (events), and /debug/pprof on this address, e.g. 127.0.0.1:9090")
+}
+
+// Active reports whether any telemetry consumer is configured.
+func (t *Telemetry) Active() bool { return t.Snapshot || t.Listen != "" }
+
+// Registry returns the run's registry, created on first use — or nil
+// while no consumer is configured.
+func (t *Telemetry) Registry() *telemetry.Registry {
+	if !t.Active() {
+		return nil
+	}
+	if t.reg == nil {
+		t.reg = telemetry.New()
+	}
+	return t.reg
+}
+
+// Serve starts the -listen endpoint (a no-op returning a nil-op stop
+// function when -listen is unset) and notes the bound address on stderr.
+func (t *Telemetry) Serve() (stop func() error, err error) {
+	if t.Listen == "" {
+		return func() error { return nil }, nil
+	}
+	addr, stop, err := telemetry.ListenAndServe(t.Listen, t.Registry())
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "telemetry: serving /metrics, /trace, /debug/pprof on http://%s\n", addr)
+	return stop, nil
+}
+
+// Wait blocks until SIGINT/SIGTERM when -listen is set, so a finished
+// run keeps its live endpoint up for inspection; without -listen it
+// returns immediately.
+func (t *Telemetry) Wait() {
+	if t.Listen == "" {
+		return
+	}
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	fmt.Fprintln(os.Stderr, "telemetry: run complete; endpoint stays up — interrupt to exit")
+	<-ch
+}

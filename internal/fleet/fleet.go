@@ -30,6 +30,7 @@ import (
 	"repro/internal/mmpu"
 	"repro/internal/netlist"
 	"repro/internal/synth"
+	"repro/internal/telemetry"
 )
 
 // Config sizes a fleet run.
@@ -51,6 +52,13 @@ type Config struct {
 	// width, SIMPLER-mapped into one crossbar row. <=0 uses 8 bits (fits
 	// the 45-cell minimum geometry).
 	KernelWidth int
+
+	// Telemetry, when non-nil, receives the fleet series (per-bank job
+	// counters, scrub/correction/injection totals, campaign outcome
+	// counters) and instruments every lazily created machine with its
+	// per-scheme ECC probes. Because all updates commute, the resulting
+	// snapshot — like the Result — is identical for every worker count.
+	Telemetry *telemetry.Registry
 }
 
 // EffectiveWorkers resolves the shard count actually used: Workers,
@@ -98,9 +106,10 @@ func AdderKernel(width, rowSize int) (*synth.Mapping, error) {
 type xbarState struct {
 	bank, xb int
 	m        *machine.Machine
-	inj      *faults.Injector // fault-burst stream, seeded per crossbar
-	rng      *rand.Rand       // load-pattern stream, seeded per crossbar
-	camp     *campaign.Runner // fault-campaign conformance state
+	inj      *faults.Injector  // fault-burst stream, seeded per crossbar
+	rng      *rand.Rand        // load-pattern stream, seeded per crossbar
+	camp     *campaign.Runner  // fault-campaign conformance state
+	tel      machine.Telemetry // attached at machine creation (zero = off)
 }
 
 // machine returns the crossbar's machine, creating it on first use. mcfg
@@ -108,6 +117,7 @@ type xbarState struct {
 func (st *xbarState) machine(mcfg machine.Config) *machine.Machine {
 	if st.m == nil {
 		st.m = machine.MustNew(mcfg)
+		st.m.Instrument(st.tel)
 	}
 	return st.m
 }
@@ -196,13 +206,14 @@ func Run(cfg Config, w Workload) (Result, error) {
 
 	chans := make([]chan []Job, workers)
 	results := make([]Result, workers)
+	tel := fleetProbesFor(cfg.Telemetry, cfg.Org.Banks)
 	var wg sync.WaitGroup
 	for s := 0; s < workers; s++ {
 		chans[s] = make(chan []Job, 4)
 		wg.Add(1)
 		go func(s int) {
 			defer wg.Done()
-			results[s] = runShard(cfg, mcfg, kernel, chans[s])
+			results[s] = runShard(cfg, mcfg, kernel, chans[s], tel)
 		}(s)
 	}
 
@@ -234,7 +245,7 @@ func Run(cfg Config, w Workload) (Result, error) {
 
 // runShard owns a subset of banks: it executes every job batch sent to it,
 // creating machines lazily, and tallies a shard-local result.
-func runShard(cfg Config, mcfg machine.Config, kernel *synth.Mapping, in <-chan []Job) Result {
+func runShard(cfg Config, mcfg machine.Config, kernel *synth.Mapping, in <-chan []Job, tel fleetProbes) Result {
 	res := Result{PerBank: make([]BankTally, cfg.Org.Banks)}
 	states := make(map[int]*xbarState)
 	for batch := range in {
@@ -246,10 +257,11 @@ func runShard(cfg Config, mcfg machine.Config, kernel *synth.Mapping, in <-chan 
 					bank: job.Bank, xb: job.Crossbar,
 					inj: faults.NewInjector(0, faults.DeriveSeed(cfg.Seed, job.Bank, job.Crossbar)),
 					rng: rand.New(rand.NewSource(faults.DeriveSeed(cfg.Seed^0x10ad, job.Bank, job.Crossbar))),
+					tel: machineTelemetry(cfg.Telemetry, cfg, job.Bank, job.Crossbar),
 				}
 				states[id] = st
 			}
-			execJob(cfg, mcfg, kernel, st, job, &res)
+			execJob(cfg, mcfg, kernel, st, job, &res, tel)
 		}
 	}
 	res.CrossbarsTouched = len(states)
@@ -266,10 +278,13 @@ func runShard(cfg Config, mcfg machine.Config, kernel *synth.Mapping, in <-chan 
 }
 
 // execJob runs one job's ops in order on its crossbar.
-func execJob(cfg Config, mcfg machine.Config, kernel *synth.Mapping, st *xbarState, job Job, res *Result) {
+func execJob(cfg Config, mcfg machine.Config, kernel *synth.Mapping, st *xbarState, job Job, res *Result, tel fleetProbes) {
 	bank := &res.PerBank[job.Bank]
 	res.Jobs++
 	bank.Jobs++
+	if tel.enabled {
+		tel.jobs[job.Bank].Inc()
+	}
 	for _, op := range job.Ops {
 		res.Ops++
 		bank.Ops++
@@ -281,6 +296,7 @@ func execJob(cfg Config, mcfg machine.Config, kernel *synth.Mapping, st *xbarSta
 				panic(err)
 			}
 			res.SIMDOps++
+			tel.simdOps.Inc()
 		case OpScrub:
 			c, u := st.machine(mcfg).Scrub()
 			res.Scrubs++
@@ -288,6 +304,9 @@ func execJob(cfg Config, mcfg machine.Config, kernel *synth.Mapping, st *xbarSta
 			res.Uncorrectable += int64(u)
 			bank.Corrected += int64(c)
 			bank.Uncorrectable += int64(u)
+			tel.scrubs.Inc()
+			tel.corrected.Add(int64(c))
+			tel.uncorrectable.Add(int64(u))
 		case OpLoad:
 			n := cfg.Org.CrossbarN
 			row := bitmat.NewVec(n)
@@ -296,6 +315,7 @@ func execJob(cfg Config, mcfg machine.Config, kernel *synth.Mapping, st *xbarSta
 			}
 			st.machine(mcfg).LoadRow(((op.Row%n)+n)%n, row)
 			res.Loads++
+			tel.loads.Inc()
 		case OpFaultBurst:
 			st.inj.SER = op.SER
 			m := st.machine(mcfg)
@@ -303,6 +323,7 @@ func execJob(cfg Config, mcfg machine.Config, kernel *synth.Mapping, st *xbarSta
 			res.FaultBursts++
 			res.Injected += int64(len(flips))
 			bank.Injected += int64(len(flips))
+			tel.injected.Add(int64(len(flips)))
 		case OpCampaign:
 			rep := st.runner(cfg, mcfg, op).Round()
 			res.CampaignRounds++
@@ -312,6 +333,13 @@ func execJob(cfg Config, mcfg machine.Config, kernel *synth.Mapping, st *xbarSta
 			bank.Corrected += rep.Counts[campaign.Corrected]
 			res.Uncorrectable += rep.Counts[campaign.DetectedUncorrectable]
 			bank.Uncorrectable += rep.Counts[campaign.DetectedUncorrectable]
+			tel.campaignRounds.Inc()
+			tel.injected.Add(int64(rep.Injected))
+			if tel.enabled {
+				for o := 0; o < campaign.NumOutcomes; o++ {
+					tel.outcomes[o].Add(rep.Counts[o])
+				}
+			}
 		}
 	}
 }

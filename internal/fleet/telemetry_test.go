@@ -1,0 +1,90 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/mmpu"
+	"repro/internal/telemetry"
+)
+
+// telemetrySnapshotJSON runs an ECC-active scenario over a 32-bank fleet
+// with the given worker count and renders the telemetry snapshot.
+func telemetrySnapshotJSON(t *testing.T, workers int, w Workload) []byte {
+	t.Helper()
+	reg := telemetry.New()
+	cfg := Config{
+		Org: mmpu.Custom(45, 32, 1), M: 15, K: 2, ECCEnabled: true,
+		Workers: workers, Seed: 42, Telemetry: reg,
+	}
+	if _, err := Run(cfg, w); err != nil {
+		t.Fatal(err)
+	}
+	out, err := json.Marshal(reg.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestTelemetrySnapshotWorkerInvariant extends the fleet's determinism
+// contract to the telemetry layer: because every series update commutes
+// (atomic counter adds, histogram bucket increments), one shared
+// registry yields a byte-identical snapshot at any worker count — the
+// same property Result already guarantees for the report.
+func TestTelemetrySnapshotWorkerInvariant(t *testing.T) {
+	scenarios := []Workload{
+		MixedScrub{Rounds: 2, SIMDPerRound: 1},
+		FaultStorm{Bursts: 2, SER: 1e6, Hours: 1},
+		Campaign{Rounds: 2, Model: "transient", SER: 1e-3, Hours: 1e9},
+	}
+	for _, w := range scenarios {
+		t.Run(w.Name(), func(t *testing.T) {
+			ref := telemetrySnapshotJSON(t, 1, w)
+			for _, workers := range []int{8, 32} {
+				if got := telemetrySnapshotJSON(t, workers, w); !bytes.Equal(ref, got) {
+					t.Fatalf("telemetry snapshot diverged at workers=%d:\n1:  %s\n%d: %s",
+						workers, ref, workers, got)
+				}
+			}
+		})
+	}
+}
+
+// TestTelemetrySeriesMatchResult cross-checks the live series against the
+// Result the same run reports: the counters are a second, independently
+// accumulated account of the identical work, so any disagreement means an
+// instrumentation point is missing or double-counted.
+func TestTelemetrySeriesMatchResult(t *testing.T) {
+	reg := telemetry.New()
+	cfg := Config{
+		Org: testOrg(), M: 15, K: 2, ECCEnabled: true,
+		Workers: 3, Seed: 42, Telemetry: reg,
+	}
+	res, err := Run(cfg, MixedScrub{Rounds: 2, SIMDPerRound: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	checks := []struct {
+		key  string
+		want int64
+	}{
+		{"fleet_scrubs_total", res.Scrubs},
+		{"fleet_simd_ops_total", res.SIMDOps},
+		{"fleet_corrected_total", res.Corrected},
+		{"fleet_uncorrectable_total", res.Uncorrectable},
+		{`ecc_critical_ops_total{scheme="diagonal"}`, int64(res.Machine.CriticalOps)},
+		{`ecc_input_checks_total{scheme="diagonal"}`, int64(res.Machine.InputChecks)},
+		{`ecc_corrections_total{scheme="diagonal"}`, int64(res.Machine.Corrections)},
+	}
+	for _, c := range checks {
+		if got := snap.Counter(c.key); got != c.want {
+			t.Errorf("%s = %d, want %d (from Result)", c.key, got, c.want)
+		}
+	}
+	if jobs := snap.CounterFamily("fleet_jobs_total"); jobs != res.Jobs {
+		t.Errorf("sum fleet_jobs_total = %d, want %d", jobs, res.Jobs)
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"repro/internal/ecc"
 	"repro/internal/shifter"
 	"repro/internal/synth"
+	"repro/internal/telemetry"
 	"repro/internal/xbar"
 )
 
@@ -62,7 +63,56 @@ type Machine struct {
 	inputChecks   int
 	corrections   int
 	uncorrectable int
+
+	// tel holds the live telemetry probes (zero value = disabled: every
+	// handle is nil and no-ops). updateReads is the scheme's
+	// LineUpdateReads(1) cost, resolved once so the hot path charges it
+	// with one counter add.
+	tel         Telemetry
+	updateReads int64
 }
+
+// Telemetry is the machine's probe set: per-scheme ECC outcome counters,
+// the update-read cost meter, and the shared event ring. Resolve one
+// with TelemetryFor and attach it with Instrument; the zero value is the
+// disabled layer. Bank and Xbar locate the machine's events in the
+// organization (counters are shared per scheme; events are per machine).
+type Telemetry struct {
+	InputChecks   *telemetry.Counter
+	CriticalOps   *telemetry.Counter
+	Corrections   *telemetry.Counter
+	Uncorrectable *telemetry.Counter
+	// UpdateReads accumulates the stored-bit reads spent keeping check
+	// bits current (the scheme cost hook ecc.Scheme.LineUpdateReads
+	// applied per protected line write) — the "reads stolen from
+	// compute" axis of the paper's cost claim, now observable live.
+	UpdateReads *telemetry.Counter
+	Events      *telemetry.Ring
+	Bank, Xbar  int
+}
+
+// TelemetryFor resolves the per-scheme machine probe set from a registry
+// (nil registry resolves the disabled zero value). Machines of the same
+// scheme share series; give each machine its Bank/Xbar for event
+// attribution.
+func TelemetryFor(reg *telemetry.Registry, scheme string) Telemetry {
+	if reg == nil {
+		return Telemetry{}
+	}
+	return Telemetry{
+		InputChecks:   reg.Counter("ecc_input_checks_total", "scheme", scheme),
+		CriticalOps:   reg.Counter("ecc_critical_ops_total", "scheme", scheme),
+		Corrections:   reg.Counter("ecc_corrections_total", "scheme", scheme),
+		Uncorrectable: reg.Counter("ecc_uncorrectable_total", "scheme", scheme),
+		UpdateReads:   reg.Counter("ecc_update_reads_total", "scheme", scheme),
+		Events:        reg.Events(),
+	}
+}
+
+// Instrument attaches telemetry probes to the machine (zero value
+// detaches). Attach before serving; the probes are read on every
+// protected write and scrub.
+func (m *Machine) Instrument(t Telemetry) { m.tel = t }
 
 // Validate checks the configuration is buildable.
 func (cfg Config) Validate() error {
@@ -98,11 +148,13 @@ func New(cfg Config) (*Machine, error) {
 	if cfg.ECCEnabled {
 		if cfg.SchemeName() == ecc.SchemeDiagonal {
 			m.cm = cmem.New(cmem.Config{N: cfg.N, M: cfg.M, K: cfg.K})
+			m.updateReads = 2 // the diagonal code's Θ(1) old/new copy per line
 		} else {
 			m.spec, _ = ecc.SchemeByName(cfg.SchemeName()) // validated above
 			m.sch = m.spec.New(ecc.Params{N: cfg.N, M: cfg.M}, nil)
 			m.ones = bitmat.NewVec(cfg.N)
 			m.ones.Fill(true)
+			m.updateReads = int64(m.sch.LineUpdateReads(1))
 		}
 	}
 	return m, nil
@@ -207,6 +259,9 @@ func (m *Machine) LoadRow(r int, v *bitmat.Vec) {
 	} else if m.sch != nil {
 		m.sch.UpdateRowWrite(r, old, m.mem.Mat().Row(r), m.ones)
 	}
+	if m.Protected() {
+		m.tel.UpdateReads.Add(m.updateReads)
+	}
 }
 
 // UpdateRow is the read-modify-write primitive of the serving layer: it
@@ -301,12 +356,19 @@ func (m *Machine) ScrubFindings() []Finding {
 	return out
 }
 
-// tallyDiag bumps the correction counters for one non-clean diagnosis.
+// tallyDiag bumps the correction counters for one non-clean diagnosis
+// (and mirrors it into the telemetry layer when probes are attached).
 func (m *Machine) tallyDiag(d ecc.Diagnosis) {
 	if d.Kind == ecc.Uncorrectable {
 		m.uncorrectable++
+		m.tel.Uncorrectable.Inc()
+		m.tel.Events.Emit(telemetry.EvDetection, int64(m.mem.Stats().Cycles),
+			m.tel.Bank, m.tel.Xbar, int64(d.LR), int64(d.LC))
 	} else if d.Kind != ecc.NoError {
 		m.corrections++
+		m.tel.Corrections.Inc()
+		m.tel.Events.Emit(telemetry.EvCorrection, int64(m.mem.Stats().Cycles),
+			m.tel.Bank, m.tel.Xbar, int64(d.LR), int64(d.LC))
 	}
 }
 
@@ -341,6 +403,7 @@ func (m *Machine) ExecuteSIMD(mp *synth.Mapping, rows *bitmat.Vec) error {
 		inputBlocks := (mp.Netlist.NumInputs() + m.cfg.M - 1) / m.cfg.M
 		for bc := 0; bc < inputBlocks; bc++ {
 			m.inputChecks++
+			m.tel.InputChecks.Inc()
 			if m.sch != nil {
 				for br := 0; br < m.cfg.N/m.cfg.M; br++ {
 					for _, d := range m.sch.CorrectBlock(m.mem.Mat(), br, bc) {
@@ -440,6 +503,8 @@ func (m *Machine) criticalUpdate(o shifter.Orientation, index int, old, cur, sel
 		m.sch.UpdateRowWrite(index, old, cur, sel)
 	}
 	m.criticalOps++
+	m.tel.CriticalOps.Inc()
+	m.tel.UpdateReads.Add(m.updateReads)
 	if m.cfg.K > 1 {
 		*pc = (*pc + 1) % m.cfg.K
 	} else {

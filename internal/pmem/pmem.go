@@ -27,6 +27,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/machine"
 	"repro/internal/mmpu"
+	"repro/internal/telemetry"
 )
 
 // ErrRange flags an address or span outside the memory's data capacity.
@@ -53,6 +54,69 @@ type Memory struct {
 	cfg   Config
 	xbs   []*machine.Machine // flattened [bank*PerBank + crossbar]
 	banks []sync.Mutex       // one lock per bank, guarding its crossbars
+
+	// tel holds per-bank probes (nil slice = telemetry off); ring is the
+	// shared event trace. Attached by Instrument.
+	tel  []bankProbes
+	ring *telemetry.Ring
+}
+
+// bankProbes is one bank's counter set. All handles no-op when nil, so
+// the access paths update them unconditionally.
+type bankProbes struct {
+	reads         *telemetry.Counter // row-segment reads served
+	writes        *telemetry.Counter // row-segment writes committed
+	rmw           *telemetry.Counter // coalesced AccessRow read-modify-writes
+	scrubs        *telemetry.Counter // crossbar scrubs run
+	corrected     *telemetry.Counter // scrub corrections applied
+	uncorrectable *telemetry.Counter // scrub uncorrectable blocks
+	injected      *telemetry.Counter // fault-overlay bit flips
+}
+
+// Instrument attaches a telemetry registry: per-bank access/RMW/scrub
+// counter series (labeled bank="i"), scrub and injection events on the
+// registry's ring, and the per-scheme machine probes (ecc_*_total) on
+// every crossbar. Call before serving traffic — attaching is not
+// synchronized with concurrent access. A nil registry detaches.
+func (m *Memory) Instrument(reg *telemetry.Registry) {
+	if reg == nil {
+		m.tel, m.ring = nil, nil
+		for _, xb := range m.xbs {
+			xb.Instrument(machine.Telemetry{})
+		}
+		return
+	}
+	m.tel = make([]bankProbes, m.cfg.Org.Banks)
+	m.ring = reg.Events()
+	for b := range m.tel {
+		id := fmt.Sprint(b)
+		m.tel[b] = bankProbes{
+			reads:         reg.Counter("pmem_reads_total", "bank", id),
+			writes:        reg.Counter("pmem_writes_total", "bank", id),
+			rmw:           reg.Counter("pmem_rmw_total", "bank", id),
+			scrubs:        reg.Counter("pmem_scrubs_total", "bank", id),
+			corrected:     reg.Counter("pmem_scrub_corrected_total", "bank", id),
+			uncorrectable: reg.Counter("pmem_scrub_uncorrectable_total", "bank", id),
+			injected:      reg.Counter("pmem_injected_total", "bank", id),
+		}
+	}
+	scheme := "none"
+	if m.cfg.ECCEnabled {
+		scheme = (machine.Config{Scheme: m.cfg.Scheme}).SchemeName()
+	}
+	m.cfg.Org.ForEachCrossbar(func(bank, xb int) {
+		t := machine.TelemetryFor(reg, scheme)
+		t.Bank, t.Xbar = bank, xb
+		m.at(bank, xb).Instrument(t)
+	})
+}
+
+// probe returns the bank's probe set (the zero value when detached).
+func (m *Memory) probe(bank int) bankProbes {
+	if m.tel == nil {
+		return bankProbes{}
+	}
+	return m.tel[bank]
 }
 
 // New builds the memory. All crossbars start zeroed with consistent ECC.
@@ -132,6 +196,7 @@ func (m *Memory) AccessRow(bank, xb, row int, fn func(v *bitmat.Vec) (dirty bool
 	m.banks[bank].Lock()
 	defer m.banks[bank].Unlock()
 	m.at(bank, xb).UpdateRow(row, fn)
+	m.probe(bank).rmw.Inc()
 	return nil
 }
 
@@ -148,6 +213,7 @@ func (m *Memory) WriteBit(bit int64, v bool) error {
 		r.Set(col, v)
 		return true
 	})
+	m.probe(bank).writes.Inc()
 	return nil
 }
 
@@ -160,6 +226,7 @@ func (m *Memory) ReadBit(bit int64) (bool, error) {
 	}
 	m.banks[bank].Lock()
 	defer m.banks[bank].Unlock()
+	m.probe(bank).reads.Inc()
 	return xb.MEM().Get(row, col), nil
 }
 
@@ -230,6 +297,7 @@ func (m *Memory) writeSegments(bit, nbits int64, src []uint64) error {
 			}
 			return true
 		})
+		m.probe(s.Bank).writes.Inc()
 		return nil
 	})
 }
@@ -253,6 +321,7 @@ func (m *Memory) readSegments(bit, nbits int64, dst []uint64) error {
 			}
 			got += k
 		}
+		m.probe(s.Bank).reads.Inc()
 		return nil
 	})
 }
@@ -288,7 +357,20 @@ func (m *Memory) LoadPattern(bits int64, seed int64) (verify func() (bad int64),
 func (m *Memory) ScrubCrossbar(bank, xb int) (corrected, uncorrectable int) {
 	m.banks[bank].Lock()
 	defer m.banks[bank].Unlock()
-	return m.at(bank, xb).Scrub()
+	return m.scrubOne(bank, xb)
+}
+
+// scrubOne scrubs one crossbar (bank lock held) and tallies the result.
+func (m *Memory) scrubOne(bank, xb int) (corrected, uncorrectable int) {
+	mach := m.at(bank, xb)
+	corrected, uncorrectable = mach.Scrub()
+	p := m.probe(bank)
+	p.scrubs.Inc()
+	p.corrected.Add(int64(corrected))
+	p.uncorrectable.Add(int64(uncorrectable))
+	m.ring.Emit(telemetry.EvScrub, int64(mach.MEM().Stats().Cycles),
+		bank, xb, int64(corrected), int64(uncorrectable))
+	return corrected, uncorrectable
 }
 
 // ScrubBank runs the periodic check over every crossbar of one bank.
@@ -296,7 +378,7 @@ func (m *Memory) ScrubBank(bank int) (corrected, uncorrectable int) {
 	m.banks[bank].Lock()
 	defer m.banks[bank].Unlock()
 	for x := 0; x < m.cfg.Org.PerBank; x++ {
-		c, u := m.at(bank, x).Scrub()
+		c, u := m.scrubOne(bank, x)
 		corrected += c
 		uncorrectable += u
 	}
@@ -319,7 +401,14 @@ func (m *Memory) ScrubAll() (corrected, uncorrectable int) {
 func (m *Memory) InjectWindow(bank, xb int, inj *faults.Injector, hours float64) int {
 	m.banks[bank].Lock()
 	defer m.banks[bank].Unlock()
-	return len(inj.Inject(m.at(bank, xb).MEM(), hours))
+	mach := m.at(bank, xb)
+	flips := len(inj.Inject(mach.MEM(), hours))
+	if flips > 0 {
+		m.probe(bank).injected.Add(int64(flips))
+		m.ring.Emit(telemetry.EvInject, int64(mach.MEM().Stats().Cycles),
+			bank, xb, int64(flips), 0)
+	}
+	return flips
 }
 
 // CampaignResult summarizes one error-injection window.

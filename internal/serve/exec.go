@@ -24,6 +24,11 @@ type execInfo struct {
 type executor struct {
 	mem *pmem.Memory
 	org mmpu.Organization
+
+	// coalesce, when set, observes each multi-request row activation:
+	// merged requests served by one open row (the telemetry EvCoalesce
+	// hook; nil when tracing is off).
+	coalesce func(bank, xb, row, merged int)
 }
 
 // singleRow reports whether the request lies entirely within one crossbar
@@ -109,6 +114,9 @@ func (ex *executor) run(reqs []Request, emit func(i int, resp Response, info exe
 				resps[k] = Response{Err: err}
 			}
 			emit(i+k, resps[k], execInfo{write: group[k].Op == OpWrite, coalesced: k > 0, segments: 1})
+		}
+		if len(group) > 1 && ex.coalesce != nil {
+			ex.coalesce(seg.Bank, seg.Crossbar, seg.Row, len(group))
 		}
 		i = j
 	}

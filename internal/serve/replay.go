@@ -7,6 +7,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/mmpu"
 	"repro/internal/pmem"
+	"repro/internal/telemetry"
 )
 
 // The virtual-time cost model, in model ticks. The constants are a
@@ -79,6 +80,15 @@ type ReplayConfig struct {
 	FaultHours float64
 	// Seed derives the per-crossbar fault streams.
 	Seed int64
+
+	// Telemetry, when non-nil, receives the replay's virtual-time series
+	// (tick-based latency/wait/service histograms, the per-batch backlog
+	// distribution) plus admission and coalescing events. The snapshot is
+	// as deterministic as the Result: all workers share one probe set and
+	// every update commutes, so totals are a pure function of (memory,
+	// trace, config) — only the event ring's interleaving is
+	// scheduling-dependent.
+	Telemetry *telemetry.Registry
 }
 
 // modelWorkers resolves the modeled worker count: <=0 means one worker
@@ -181,6 +191,7 @@ func Replay(cfg ReplayConfig, tr *Trace) (Result, error) {
 	stats := make([]Stats, workers)
 	scrubs := make([][]int64, workers) // per worker: scrubs per owned bank
 	shards := org.ShardBanks(workers)
+	tel := replayProbes(cfg.Telemetry)
 	var wg sync.WaitGroup
 	for w, banks := range shards {
 		for _, b := range banks {
@@ -189,7 +200,7 @@ func Replay(cfg ReplayConfig, tr *Trace) (Result, error) {
 		wg.Add(1)
 		go func(w int, banks []int) {
 			defer wg.Done()
-			res.PerWorker[w], scrubs[w] = replayWorker(cfg, org, banks, tr, closed, &stats[w])
+			res.PerWorker[w], scrubs[w] = replayWorker(cfg, org, banks, tr, closed, &stats[w], tel)
 		}(w, banks)
 	}
 	wg.Wait()
@@ -236,7 +247,7 @@ func mergeStreams(tr *Trace, banks []int) []TimedReq {
 
 // replayWorker simulates one modeled worker's service timeline over its
 // banks, returning its final clock and per-owned-bank scrub counts.
-func replayWorker(cfg ReplayConfig, org mmpu.Organization, banks []int, tr *Trace, closed bool, st *Stats) (int64, []int64) {
+func replayWorker(cfg ReplayConfig, org mmpu.Organization, banks []int, tr *Trace, closed bool, st *Stats, tel probes) (int64, []int64) {
 	reqs := mergeStreams(tr, banks)
 	ex := executor{mem: cfg.Mem, org: org}
 	sCost := scrubCost(cfg.Mem.Config())
@@ -259,6 +270,11 @@ func replayWorker(cfg ReplayConfig, org mmpu.Organization, banks []int, tr *Trac
 	)
 	if closed {
 		prevDone = make(map[int]int64)
+	}
+	if tel.enabled {
+		ex.coalesce = func(bank, xb, row, merged int) {
+			tel.ring.Emit(telemetry.EvCoalesce, clock, bank, xb, int64(merged), int64(row))
+		}
 	}
 	if cfg.FaultSER > 0 {
 		injs = make(map[[2]int]*faults.Injector)
@@ -287,8 +303,11 @@ func replayWorker(cfg ReplayConfig, org mmpu.Organization, banks []int, tr *Trac
 			batch = append(batch, tq.Req)
 		}
 		st.Batches++
+		tel.batches.Inc()
+		tel.backlog.Observe(int64(j - i))
 		ex.run(batch, func(k int, resp Response, info execInfo) {
-			clock += reqCost(info)
+			charge := reqCost(info)
+			clock += charge
 			tq := reqs[i+k]
 			arrived := tq.At
 			if closed {
@@ -296,7 +315,12 @@ func replayWorker(cfg ReplayConfig, org mmpu.Organization, banks []int, tr *Trac
 				prevDone[tq.Client] = clock
 			}
 			st.tally(resp, info)
-			st.Lat.Observe(clock - arrived)
+			lat := clock - arrived
+			st.Lat.Observe(lat)
+			tel.tally(resp, info)
+			tel.latency.Observe(lat)
+			tel.service.Observe(charge)
+			tel.wait.Observe(lat - charge)
 		})
 		i = j
 		if cfg.ScrubPeriod > 0 && clock >= nextScrub && len(xbs) > 0 {
@@ -317,6 +341,8 @@ func replayWorker(cfg ReplayConfig, org mmpu.Organization, banks []int, tr *Trac
 			bankScrubs[bankSlot[bx[0]]]++
 			st.Corrected += int64(c)
 			st.Uncorrectable += int64(u)
+			tel.scrubAdm.Inc()
+			tel.ring.Emit(telemetry.EvAdmission, clock, bx[0], bx[1], clock, 0)
 			nextScrub = clock + cfg.ScrubPeriod
 		}
 	}

@@ -34,6 +34,7 @@ import (
 	"repro/internal/fleet"
 	"repro/internal/mmpu"
 	"repro/internal/pmem"
+	"repro/internal/telemetry"
 )
 
 // OpKind enumerates request operations.
@@ -80,6 +81,12 @@ type Config struct {
 	// crossbar scrub per this many served requests, round-robin over its
 	// crossbars. 0 disables background scrubbing.
 	ScrubEvery int
+
+	// Telemetry, when non-nil, receives the live service series
+	// (serve_requests_total, wall-clock latency/wait histograms, the
+	// queue-depth gauge) and admission/coalescing events. Nil — the
+	// default — keeps the hot path at one nil check per probe.
+	Telemetry *telemetry.Registry
 }
 
 // Stats aggregates service activity. Merge is commutative and
@@ -162,6 +169,7 @@ type Server struct {
 	bankWorker []int // bank → owning worker
 	queues     []chan *call
 	stats      []Stats // per worker; written only by the owner until Close
+	tel        probes  // shared across workers (atomic); zero value = off
 	wg         sync.WaitGroup
 
 	mu     sync.RWMutex
@@ -202,6 +210,7 @@ func New(cfg Config) (*Server, error) {
 		bankWorker: make([]int, org.Banks),
 		queues:     make([]chan *call, workers),
 		stats:      make([]Stats, workers),
+		tel:        liveProbes(cfg.Telemetry),
 	}
 	shards := org.ShardBanks(workers)
 	for w, banks := range shards {
@@ -282,6 +291,12 @@ func (s *Server) worker(w int, banks []int) {
 	defer s.wg.Done()
 	st := &s.stats[w]
 	ex := executor{mem: s.cfg.Mem, org: s.org}
+	if s.tel.enabled {
+		ex.coalesce = func(bank, xb, row, merged int) {
+			s.tel.ring.Emit(telemetry.EvCoalesce, time.Now().UnixNano(),
+				bank, xb, int64(merged), int64(row))
+		}
+	}
 	var xbs [][2]int // scrub rotation over this worker's crossbars
 	for _, b := range banks {
 		for x := 0; x < s.org.PerBank; x++ {
@@ -315,9 +330,20 @@ func (s *Server) worker(w int, banks []int) {
 			reqs = append(reqs, c.req)
 		}
 		st.Batches++
+		s.tel.batches.Inc()
+		if s.tel.enabled {
+			s.tel.queueDepth.Set(int64(len(q)))
+			start := time.Now()
+			for _, c := range calls {
+				s.tel.wait.Observe(start.Sub(c.t0).Nanoseconds())
+			}
+		}
 		ex.run(reqs, func(i int, resp Response, info execInfo) {
 			st.tally(resp, info)
-			st.Lat.Observe(time.Since(calls[i].t0).Nanoseconds())
+			lat := time.Since(calls[i].t0).Nanoseconds()
+			st.Lat.Observe(lat)
+			s.tel.tally(resp, info)
+			s.tel.latency.Observe(lat)
 			calls[i].resp <- resp
 		})
 		if s.cfg.ScrubEvery > 0 && len(xbs) > 0 {
@@ -330,6 +356,11 @@ func (s *Server) worker(w int, banks []int) {
 				st.Scrubs++
 				st.Corrected += int64(c)
 				st.Uncorrectable += int64(u)
+				s.tel.scrubAdm.Inc()
+				if s.tel.enabled {
+					now := time.Now().UnixNano()
+					s.tel.ring.Emit(telemetry.EvAdmission, now, bx[0], bx[1], now, 0)
+				}
 			}
 		}
 	}

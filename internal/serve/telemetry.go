@@ -1,0 +1,96 @@
+package serve
+
+import "repro/internal/telemetry"
+
+// probes is the serving layer's telemetry handle set. The zero value is
+// the disabled layer: every handle is nil and no-ops, so the hot loops
+// update them unconditionally. One probe set is shared by all workers —
+// counter adds and histogram bucket increments commute, so the snapshot
+// totals are invariant to worker count and scheduling (the event ring,
+// arrival-ordered, is deliberately outside that contract).
+type probes struct {
+	enabled bool
+
+	readReqs  *telemetry.Counter
+	writeReqs *telemetry.Counter
+	errors    *telemetry.Counter
+	batches   *telemetry.Counter
+	coalesced *telemetry.Counter
+	spanning  *telemetry.Counter
+	segments  *telemetry.Counter
+	scrubAdm  *telemetry.Counter
+
+	queueDepth *telemetry.Gauge     // live server: backlog after a drain
+	backlog    *telemetry.Histogram // replay: eligible requests per batch
+
+	latency *telemetry.Histogram // submit → response
+	wait    *telemetry.Histogram // submit → start of service
+	service *telemetry.Histogram // replay only: ticks charged per request
+
+	ring *telemetry.Ring
+}
+
+// commonProbes resolves the series shared by the live and replay paths.
+func commonProbes(reg *telemetry.Registry) probes {
+	return probes{
+		enabled:   true,
+		readReqs:  reg.Counter("serve_requests_total", "op", "read"),
+		writeReqs: reg.Counter("serve_requests_total", "op", "write"),
+		errors:    reg.Counter("serve_errors_total"),
+		batches:   reg.Counter("serve_batches_total"),
+		coalesced: reg.Counter("serve_coalesced_total"),
+		spanning:  reg.Counter("serve_spanning_total"),
+		segments:  reg.Counter("serve_segments_total"),
+		scrubAdm:  reg.Counter("serve_scrub_admissions_total"),
+		ring:      reg.Events(),
+	}
+}
+
+// liveProbes resolves the live server's probe set: wall-clock timings in
+// nanoseconds and a last-write-wins queue-depth gauge (live view only —
+// gauges are outside the determinism contract by construction).
+func liveProbes(reg *telemetry.Registry) probes {
+	if reg == nil {
+		return probes{}
+	}
+	p := commonProbes(reg)
+	p.queueDepth = reg.Gauge("serve_queue_depth")
+	p.latency = reg.Histogram("serve_latency_ns")
+	p.wait = reg.Histogram("serve_wait_ns")
+	return p
+}
+
+// replayProbes resolves the deterministic replay's probe set: virtual-time
+// timings in model ticks, plus the per-batch eligible backlog as a
+// histogram (a distribution is mergeable and deterministic where a gauge
+// is not).
+func replayProbes(reg *telemetry.Registry) probes {
+	if reg == nil {
+		return probes{}
+	}
+	p := commonProbes(reg)
+	p.backlog = reg.Histogram("serve_batch_backlog")
+	p.latency = reg.Histogram("serve_latency_ticks")
+	p.wait = reg.Histogram("serve_wait_ticks")
+	p.service = reg.Histogram("serve_service_ticks")
+	return p
+}
+
+// tally mirrors Stats.tally onto the live series.
+func (p probes) tally(resp Response, info execInfo) {
+	if info.write {
+		p.writeReqs.Inc()
+	} else {
+		p.readReqs.Inc()
+	}
+	if resp.Err != nil {
+		p.errors.Inc()
+	}
+	if info.coalesced {
+		p.coalesced.Inc()
+	}
+	if info.segments > 1 {
+		p.spanning.Inc()
+	}
+	p.segments.Add(int64(info.segments))
+}

@@ -1,0 +1,123 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// TestLiveServerTelemetryUnderRace attaches a live registry to a
+// concurrent server and hammers it from many clients: under -race this
+// proves the counter/histogram/ring update discipline, and afterwards
+// the series must agree exactly with the server's own Stats — the same
+// work accounted twice through independent paths.
+func TestLiveServerTelemetryUnderRace(t *testing.T) {
+	const clients, iters, width = 8, 80, 37
+	mem := testMem(t, 45, 15, 32, 1)
+	reg := telemetry.New()
+	mem.Instrument(reg)
+	srv, err := New(Config{Mem: mem, Workers: 8, ScrubEvery: 16, BatchSize: 8, Telemetry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	span := mem.Config().Org.DataBits() / clients
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			base := int64(c) * span
+			for k := 0; k < iters; k++ {
+				addr := base + int64(k)*97%max64(span-width, 1)
+				if err := srv.Write(addr, width, uint64(k)); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := srv.Read(addr, width); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	st := srv.Close()
+	snap := reg.Snapshot()
+
+	if got := snap.CounterFamily("serve_requests_total"); got != st.Requests {
+		t.Errorf("serve_requests_total = %d, want %d", got, st.Requests)
+	}
+	if got := snap.Counter(`serve_requests_total{op="write"}`); got != st.Writes {
+		t.Errorf("write requests = %d, want %d", got, st.Writes)
+	}
+	if got := snap.Counter("serve_batches_total"); got != st.Batches {
+		t.Errorf("serve_batches_total = %d, want %d", got, st.Batches)
+	}
+	if got := snap.Counter("serve_coalesced_total"); got != st.Coalesced {
+		t.Errorf("serve_coalesced_total = %d, want %d", got, st.Coalesced)
+	}
+	if got := snap.Counter("serve_segments_total"); got != st.Segments {
+		t.Errorf("serve_segments_total = %d, want %d", got, st.Segments)
+	}
+	if got := snap.Counter("serve_scrub_admissions_total"); got != st.Scrubs {
+		t.Errorf("serve_scrub_admissions_total = %d, want %d", got, st.Scrubs)
+	}
+	if got := snap.Counter("pmem_scrubs_total"); got != 0 {
+		t.Errorf("unlabeled pmem_scrubs_total present: %d", got)
+	}
+	if got := snap.CounterFamily("pmem_scrubs_total"); got != st.Scrubs {
+		t.Errorf("per-bank pmem_scrubs_total sum = %d, want %d", got, st.Scrubs)
+	}
+	// The latency histogram saw every request; wall-clock values are
+	// nondeterministic but the count is exact.
+	var latCount int64
+	for _, h := range snap.Hists {
+		if h.Name == "serve_latency_ns" {
+			latCount = h.Count
+		}
+	}
+	if latCount != st.Requests {
+		t.Errorf("serve_latency_ns count = %d, want %d", latCount, st.Requests)
+	}
+	// Admission events were traced (EvAdmission per admitted scrub, ring
+	// capacity permitting).
+	if st.Scrubs > 0 && reg.Events().Total() == 0 {
+		t.Error("no events traced despite admitted scrubs")
+	}
+}
+
+// TestReplayTelemetryDeterministic: two replays of the same trace over
+// fresh memories produce byte-identical telemetry snapshots — the CLI
+// -telemetry reproducibility contract, exercised at the package level.
+func TestReplayTelemetryDeterministic(t *testing.T) {
+	snapshot := func() []byte {
+		mem := testMem(t, 45, 15, 8, 2)
+		reg := telemetry.New()
+		mem.Instrument(reg)
+		tr, err := GenTrace(mem.Config().Org, TraceOpts{
+			Mode: "open", Mix: "zipf", Requests: 3000, Clients: 4,
+			Rate: 0.5, WriteFrac: 0.5, Width: 30, Seed: 11,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Replay(ReplayConfig{
+			Mem: mem, Workers: 4, ScrubPeriod: 500, FaultSER: 3e5, Seed: 11,
+			Telemetry: reg,
+		}, tr); err != nil {
+			t.Fatal(err)
+		}
+		out, err := json.Marshal(reg.Snapshot())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a, b := snapshot(), snapshot()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("replay telemetry not reproducible:\n%s\n---\n%s", a, b)
+	}
+}

@@ -1,0 +1,168 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+)
+
+// EventKind classifies one traced occurrence. The set mirrors the
+// decisions and findings the paper's tradeoffs hinge on: what the scrub
+// found, what the code corrected or only detected, what the serving
+// layer admitted or coalesced, and what the fault overlay injected.
+type EventKind uint8
+
+const (
+	// EvScrub is one crossbar scrub: A = corrections applied,
+	// B = uncorrectable blocks found.
+	EvScrub EventKind = iota
+	// EvCorrection is one repaired single error: A = block row,
+	// B = block column of the finding.
+	EvCorrection
+	// EvDetection is one detected-uncorrectable finding: A = block row,
+	// B = block column.
+	EvDetection
+	// EvAdmission is one background-scrub admission decision by a serve
+	// worker: A = the admitting worker's clock (ticks or ns).
+	EvAdmission
+	// EvCoalesce is one row-buffer coalescing merge: A = requests served
+	// by the single row activation, B = the crossbar row.
+	EvCoalesce
+	// EvInject is one fault-overlay exposure window: A = bit flips
+	// injected.
+	EvInject
+
+	numEventKinds
+)
+
+// String names the kind (used by the JSON trace view).
+func (k EventKind) String() string {
+	switch k {
+	case EvScrub:
+		return "scrub"
+	case EvCorrection:
+		return "correction"
+	case EvDetection:
+		return "detection"
+	case EvAdmission:
+		return "admission"
+	case EvCoalesce:
+		return "coalesce"
+	case EvInject:
+		return "inject"
+	}
+	return fmt.Sprintf("EventKind(%d)", uint8(k))
+}
+
+// MarshalJSON renders the kind as its name.
+func (k EventKind) MarshalJSON() ([]byte, error) {
+	return json.Marshal(k.String())
+}
+
+// UnmarshalJSON parses a kind name back (trace consumers round-trip).
+func (k *EventKind) UnmarshalJSON(data []byte) error {
+	var name string
+	if err := json.Unmarshal(data, &name); err != nil {
+		return err
+	}
+	for c := EventKind(0); c < numEventKinds; c++ {
+		if c.String() == name {
+			*k = c
+			return nil
+		}
+	}
+	return fmt.Errorf("telemetry: unknown event kind %q", name)
+}
+
+// Event is one fixed-size trace record. Tick is the emitter's time base
+// (model ticks for deterministic replay, unix nanoseconds for the live
+// server); A and B are kind-specific (see the EventKind docs).
+type Event struct {
+	Seq  uint64    `json:"seq"`
+	Kind EventKind `json:"kind"`
+	Tick int64     `json:"tick"`
+	Bank int32     `json:"bank"`
+	Xbar int32     `json:"xbar"`
+	A    int64     `json:"a"`
+	B    int64     `json:"b"`
+}
+
+// Ring is the bounded structured event trace: a fixed-capacity ring
+// buffer that overwrites its oldest record, so tracing is O(1) memory
+// however long the run. Appends are mutex-serialized slot writes — no
+// allocation — and a nil *Ring discards events, so disabled tracing
+// costs one nil check.
+type Ring struct {
+	mu  sync.Mutex
+	seq uint64
+	buf []Event
+}
+
+// NewRing builds a ring holding the last `capacity` events (min 1).
+func NewRing(capacity int) *Ring {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Ring{buf: make([]Event, 0, capacity)}
+}
+
+// Append records one event, stamping its sequence number (1-based, total
+// over the ring's lifetime — Seq therefore also counts dropped events).
+func (g *Ring) Append(e Event) {
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	g.seq++
+	e.Seq = g.seq
+	if len(g.buf) < cap(g.buf) {
+		g.buf = append(g.buf, e)
+	} else {
+		g.buf[int((g.seq-1)%uint64(cap(g.buf)))] = e
+	}
+	g.mu.Unlock()
+}
+
+// Emit is Append without constructing the Event at the call site.
+func (g *Ring) Emit(kind EventKind, tick int64, bank, xbar int, a, b int64) {
+	if g == nil {
+		return
+	}
+	g.Append(Event{Kind: kind, Tick: tick, Bank: int32(bank), Xbar: int32(xbar), A: a, B: b})
+}
+
+// Total returns the lifetime number of appended events (including those
+// already overwritten).
+func (g *Ring) Total() uint64 {
+	if g == nil {
+		return 0
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.seq
+}
+
+// Recent returns up to n of the newest events, oldest first. n <= 0
+// returns everything retained.
+func (g *Ring) Recent(n int) []Event {
+	if g == nil {
+		return nil
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	held := len(g.buf)
+	if n <= 0 || n > held {
+		n = held
+	}
+	out := make([]Event, n)
+	if held < cap(g.buf) {
+		copy(out, g.buf[held-n:])
+		return out
+	}
+	// Full ring: the oldest slot is the one seq would overwrite next.
+	start := int(g.seq % uint64(cap(g.buf)))
+	for i := 0; i < n; i++ {
+		out[i] = g.buf[(start+held-n+i)%held]
+	}
+	return out
+}

@@ -1,4 +1,4 @@
-package fleet
+package telemetry
 
 import (
 	"math/rand"
