@@ -36,7 +36,12 @@ type Result struct {
 	// Telemetry tags the instrumentation-overhead measurements: parsed
 	// from a `/telemetry=on|off` sub-benchmark component, so snapshots
 	// can compare the enabled and disabled hot-path cost by field.
-	Telemetry  string             `json:"telemetry,omitempty"`
+	Telemetry string `json:"telemetry,omitempty"`
+	// Repair tags the self-healing-overhead measurements: parsed from a
+	// `/repair=POLICY` sub-benchmark component (off, verify,
+	// verify+spare), so snapshots can compare the write-verify tax by
+	// field.
+	Repair     string             `json:"repair,omitempty"`
 	NsPerOp    float64            `json:"ns_per_op"`
 	BytesPerOp float64            `json:"bytes_per_op"`
 	AllocsOp   float64            `json:"allocs_per_op"`
@@ -67,6 +72,9 @@ var (
 	// telemetryTag extracts the instrumentation tag from sub-benchmark
 	// names like BenchmarkTelemetryOverhead/telemetry=off.
 	telemetryTag = regexp.MustCompile(`/telemetry=(on|off)`)
+	// repairTag extracts the self-healing tag from sub-benchmark names
+	// like BenchmarkUpdateRowRepair/repair=verify+spare.
+	repairTag = regexp.MustCompile(`/repair=([A-Za-z0-9+_-]+)`)
 )
 
 func main() {
@@ -142,6 +150,9 @@ func parse(out string) (cpu string, results []Result) {
 		}
 		if tag := telemetryTag.FindStringSubmatch(r.Name); tag != nil {
 			r.Telemetry = tag[1]
+		}
+		if tag := repairTag.FindStringSubmatch(r.Name); tag != nil {
+			r.Repair = tag[1]
 		}
 		fields := strings.Fields(m[3])
 		for i := 0; i+1 < len(fields); i += 2 {

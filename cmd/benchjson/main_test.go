@@ -1,0 +1,52 @@
+package main
+
+import "testing"
+
+// TestParseTags: parse extracts the scheme, telemetry, and repair tags
+// from sub-benchmark names (with the -GOMAXPROCS suffix stripped) and the
+// standard and custom metrics from the measurement fields.
+func TestParseTags(t *testing.T) {
+	out := `goos: linux
+pkg: repro/internal/machine
+cpu: Test CPU @ 2.00GHz
+BenchmarkUpdateRow-8                	    1000	      1234 ns/op	      16 B/op	       1 allocs/op
+BenchmarkUpdateRowRepair/repair=off-8 	     500	      1300 ns/op	      16 B/op	       1 allocs/op
+BenchmarkUpdateRowRepair/repair=verify+spare-8	     300	      2600 ns/op	      32 B/op	       2 allocs/op
+BenchmarkSchemeScrub/scheme=hamming-8	     200	      9000 ns/op	       5.0 blocks/op
+BenchmarkTelemetryOverhead/telemetry=on-8	   10000	       120 ns/op
+`
+	cpu, results := parse(out)
+	if cpu != "Test CPU @ 2.00GHz" {
+		t.Fatalf("cpu = %q", cpu)
+	}
+	if len(results) != 5 {
+		t.Fatalf("parsed %d results, want 5", len(results))
+	}
+	byName := map[string]Result{}
+	for _, r := range results {
+		byName[r.Name] = r
+	}
+	plain := byName["BenchmarkUpdateRow"]
+	if plain.Repair != "" || plain.Scheme != "" || plain.Telemetry != "" {
+		t.Fatalf("untagged benchmark picked up tags: %+v", plain)
+	}
+	if plain.NsPerOp != 1234 || plain.Pkg != "repro/internal/machine" {
+		t.Fatalf("plain result wrong: %+v", plain)
+	}
+	if r := byName["BenchmarkUpdateRowRepair/repair=off"]; r.Repair != "off" {
+		t.Fatalf("repair=off tag = %q", r.Repair)
+	}
+	vs := byName["BenchmarkUpdateRowRepair/repair=verify+spare"]
+	if vs.Repair != "verify+spare" {
+		t.Fatalf("repair=verify+spare tag = %q (the + must survive)", vs.Repair)
+	}
+	if vs.NsPerOp != 2600 || vs.AllocsOp != 2 {
+		t.Fatalf("tagged metrics wrong: %+v", vs)
+	}
+	if r := byName["BenchmarkSchemeScrub/scheme=hamming"]; r.Scheme != "hamming" || r.Metrics["blocks/op"] != 5 {
+		t.Fatalf("scheme result wrong: %+v", r)
+	}
+	if r := byName["BenchmarkTelemetryOverhead/telemetry=on"]; r.Telemetry != "on" {
+		t.Fatalf("telemetry tag = %q", r.Telemetry)
+	}
+}

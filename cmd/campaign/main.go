@@ -19,6 +19,8 @@
 //	campaign -ecc hamming -ser 1e-4        # horizontal Hamming SEC-DED backend
 //	campaign -ecc parity -ser 1e-4         # detect-only parity baseline
 //	campaign -ecc=false -ser 1e-4          # the unprotected baseline
+//	campaign -model stuck1 -repair verify+spare   # self-healing: silent → repaired
+//	campaign -model stuck1 -repair verify+spare -spares 0   # exhausted budget, still never silent
 package main
 
 import (
@@ -48,6 +50,16 @@ type runReport struct {
 	RefChecks     int64            `json:"ref_checks"`
 	RefMismatches int64            `json:"ref_mismatches"`
 	Conformant    bool             `json:"conformant"`
+	// Repair carries the run's self-healing activity, present only when a
+	// repair policy is active (default reports stay byte-identical).
+	Repair *repairCounts `json:"repair,omitempty"`
+}
+
+// repairCounts is the self-healing activity of one campaign run.
+type repairCounts struct {
+	VerifyMismatches int64 `json:"verify_mismatches"`
+	CellsRetired     int64 `json:"cells_retired"`
+	SparesExhausted  int64 `json:"spares_exhausted"`
 }
 
 // report is the full JSON document.
@@ -66,7 +78,11 @@ type report struct {
 		// pre-scheme-layer engine.
 		Scheme string `json:",omitempty"`
 	} `json:"geometry"`
-	Run runReport `json:"run"`
+	// RepairPolicy/RepairSpares describe the active self-healing
+	// configuration; both are omitted with -repair off.
+	RepairPolicy string    `json:"repair_policy,omitempty"`
+	RepairSpares int       `json:"repair_spares,omitempty"`
+	Run          runReport `json:"run"`
 	// Positions maps each outcome to its histogram over in-block codeword
 	// positions lr·M+lc — the codeword-spectrum view of where faults land.
 	Positions map[string][]int64 `json:"positions,omitempty"`
@@ -79,7 +95,7 @@ type report struct {
 	Telemetry *telemetry.Snapshot `json:"telemetry,omitempty"`
 }
 
-func summarize(ser float64, tl campaign.Tally) runReport {
+func summarize(ser float64, tl campaign.Tally, repairOn bool) runReport {
 	r := runReport{
 		SER:           ser,
 		Rounds:        tl.Rounds,
@@ -90,7 +106,19 @@ func summarize(ser float64, tl campaign.Tally) runReport {
 		RefMismatches: tl.RefMismatches,
 		Conformant:    tl.Conformant(),
 	}
+	if repairOn {
+		r.Repair = &repairCounts{
+			VerifyMismatches: tl.VerifyMismatches,
+			CellsRetired:     tl.CellsRetired,
+			SparesExhausted:  tl.SparesExhausted,
+		}
+	}
 	for o := 0; o < campaign.NumOutcomes; o++ {
+		if o == int(campaign.Repaired) && !repairOn {
+			// The repaired outcome exists only with a repair policy; keep
+			// the default report's outcome set unchanged.
+			continue
+		}
 		r.Outcomes[campaign.Outcome(o).String()] = tl.Counts[o]
 	}
 	for k, n := range tl.ByKind {
@@ -105,11 +133,13 @@ func main() {
 	var geo cliflags.Geometry
 	var eccSel cliflags.ECC
 	var tel cliflags.Telemetry
+	var repairSel cliflags.Repair
 	var workers int
 	var seed int64
 	cliflags.RegisterGeometry(flag.CommandLine, &geo,
 		cliflags.Geometry{N: 45, M: 15, K: 2, Banks: 4, PerBank: 2})
 	cliflags.RegisterECC(flag.CommandLine, &eccSel)
+	cliflags.RegisterRepair(flag.CommandLine, &repairSel)
 	model := flag.String("model", "transient",
 		"fault model: "+strings.Join(faults.ModelNames(), ", "))
 	ser := flag.Float64("ser", 1e-4, "injection rate [FIT/bit; FIT/line for lines]")
@@ -124,7 +154,9 @@ func main() {
 	flag.Parse()
 
 	eccSel.Resolve()
+	repairSel.Resolve()
 	scheme, eccOn := eccSel.Scheme, eccSel.Enabled
+	repairOn := repairSel.Config.Enabled()
 	n, m, k, banks, perBank := &geo.N, &geo.M, &geo.K, &geo.Banks, &geo.PerBank
 	stop, err := tel.Serve()
 	if err != nil {
@@ -134,6 +166,7 @@ func main() {
 	defer stop()
 	cfg := fleet.Config{
 		Org: mmpu.Custom(*n, *banks, *perBank), M: *m, K: *k, ECCEnabled: eccOn, Scheme: scheme,
+		Repair: repairSel.Config,
 		Workers: workers, Seed: seed, Telemetry: tel.Registry(),
 	}
 	runAt := func(serPoint float64) campaign.Tally {
@@ -160,7 +193,11 @@ func main() {
 		Workers:  cfg.EffectiveWorkers(),
 		Hours:    *hours,
 		Skew:     *skew,
-		Run:      summarize(*ser, tl),
+		Run:      summarize(*ser, tl, repairOn),
+	}
+	if repairOn {
+		rep.RepairPolicy = repairSel.Config.Policy.String()
+		rep.RepairSpares = repairSel.Config.SpareBudget()
 	}
 	rep.Geometry.N, rep.Geometry.M, rep.Geometry.K = *n, *m, *k
 	rep.Geometry.Banks, rep.Geometry.PerBank = *banks, *perBank
@@ -186,7 +223,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "campaign: bad sweep point %q: %v\n", s, err)
 			os.Exit(2)
 		}
-		rep.Sweep = append(rep.Sweep, summarize(point, runAt(point)))
+		rep.Sweep = append(rep.Sweep, summarize(point, runAt(point), repairOn))
 	}
 	if tel.Snapshot {
 		snap := tel.Registry().Snapshot()

@@ -12,6 +12,7 @@
 //	fleetbench -scenario campaign -model stuck1 -ser 1e5
 //	fleetbench -scenario campaign -ecc hamming     # Hamming SEC-DED backend
 //	fleetbench -scenario uniform -ecc=false        # unprotected baseline
+//	fleetbench -scenario campaign -model stuck1 -repair verify+spare
 package main
 
 import (
@@ -33,11 +34,13 @@ func main() {
 	var geo cliflags.Geometry
 	var eccSel cliflags.ECC
 	var tel cliflags.Telemetry
+	var repairSel cliflags.Repair
 	var workers int
 	var seed int64
 	cliflags.RegisterGeometry(flag.CommandLine, &geo,
 		cliflags.Geometry{N: 45, M: 15, K: 2, Banks: 8, PerBank: 4})
 	cliflags.RegisterECC(flag.CommandLine, &eccSel)
+	cliflags.RegisterRepair(flag.CommandLine, &repairSel)
 	scenario := flag.String("scenario", "uniform",
 		"workload scenario: "+strings.Join(fleet.ScenarioNames(), ", "))
 	intensity := flag.Int("intensity", 0,
@@ -64,7 +67,9 @@ func main() {
 		os.Exit(2)
 	}
 	eccSel.Resolve()
+	repairSel.Resolve()
 	scheme, eccOn := eccSel.Scheme, eccSel.Enabled
+	repairOn := repairSel.Config.Enabled()
 	n, banks, perBank := &geo.N, &geo.Banks, &geo.PerBank
 	stop, err := tel.Serve()
 	if err != nil {
@@ -74,6 +79,7 @@ func main() {
 	defer stop()
 	cfg := fleet.Config{
 		Org: mmpu.Custom(geo.N, geo.Banks, geo.PerBank), M: geo.M, K: geo.K, ECCEnabled: eccOn, Scheme: scheme,
+		Repair:  repairSel.Config,
 		Workers: workers, Seed: seed, KernelWidth: *width, Telemetry: tel.Registry(),
 	}
 
@@ -123,10 +129,20 @@ func main() {
 		tl := total.Campaign
 		fmt.Printf("\n  campaign adjudication (%d rounds, %d faults):\n", tl.Rounds, tl.Injected)
 		for o := 0; o < campaign.NumOutcomes; o++ {
+			if o == int(campaign.Repaired) && !repairOn {
+				// The repaired outcome exists only with a repair policy;
+				// keep the default output byte-identical to pre-repair runs.
+				continue
+			}
 			fmt.Printf("    %-22s %d\n", campaign.Outcome(o).String(), tl.Counts[o])
 		}
 		fmt.Printf("    ref checks %d (mismatches %d) — conformant: %v\n",
 			tl.RefChecks, tl.RefMismatches, tl.Conformant())
+		if repairOn {
+			fmt.Printf("    repair %s (spares %d): %d verify mismatches, %d retired, %d exhausted\n",
+				repairSel.Config.Policy, repairSel.Config.SpareBudget(),
+				tl.VerifyMismatches, tl.CellsRetired, tl.SparesExhausted)
+		}
 	}
 
 	if tel.Snapshot {

@@ -19,6 +19,8 @@
 //	loadgen -faults-ser 3e5 -scrub-period 200    # scrubs correct live soft errors
 //	loadgen -workers 1                           # one worker serving all banks
 //	loadgen -ecc hamming -faults-ser 3e5         # serve over the Hamming SEC-DED backend
+//	loadgen -repair verify+spare -faults-model stuck1 -faults-ser 3e5
+//	                                             # self-heal stuck cells under live traffic
 package main
 
 import (
@@ -35,6 +37,7 @@ import (
 	"repro/internal/fleet"
 	"repro/internal/mmpu"
 	"repro/internal/pmem"
+	"repro/internal/repair"
 	"repro/internal/serve"
 	"repro/internal/telemetry"
 )
@@ -58,6 +61,8 @@ type options struct {
 	scrubPeriod int64
 	faultSER    float64
 	faultHours  float64
+	faultModel  string // fault overlay model ("" = historical transient stream)
+	repairCfg   repair.Config
 	seed        int64
 	telemetry   bool // embed the snapshot in the report
 }
@@ -84,6 +89,12 @@ type report struct {
 	} `json:"geometry"`
 	ScrubPeriod int64   `json:"scrub_period,omitempty"`
 	FaultSER    float64 `json:"fault_ser,omitempty"`
+	FaultModel  string  `json:"fault_model,omitempty"`
+
+	// Repair carries the self-healing configuration and activity, present
+	// only when a repair policy is active (default reports stay
+	// byte-identical to pre-repair goldens).
+	Repair *repairReport `json:"repair,omitempty"`
 
 	Served struct {
 		Requests      int64 `json:"requests"`
@@ -114,6 +125,17 @@ type report struct {
 	Telemetry *telemetry.Snapshot `json:"telemetry,omitempty"`
 }
 
+// repairReport is the self-healing block of the report: the active policy
+// plus the fleet-aggregated repair counters after the run.
+type repairReport struct {
+	Policy           string `json:"policy"`
+	Spares           int    `json:"spares"`
+	VerifyReads      int64  `json:"verify_reads"`
+	VerifyMismatches int64  `json:"verify_mismatches"`
+	CellsRetired     int64  `json:"cells_retired"`
+	SparesExhausted  int64  `json:"spares_exhausted"`
+}
+
 // run executes the whole load generation and renders the report. Split
 // from main so the determinism test can call it twice. reg, when
 // non-nil, instruments the memory and replay; the snapshot lands in the
@@ -121,7 +143,7 @@ type report struct {
 func run(o options, reg *telemetry.Registry) ([]byte, serve.Result, error) {
 	mem, err := pmem.New(pmem.Config{
 		Org: mmpu.Custom(o.n, o.banks, o.perBank), M: o.m, K: o.k, ECCEnabled: o.ecc,
-		Scheme: o.scheme,
+		Scheme: o.scheme, Repair: o.repairCfg,
 	})
 	if err != nil {
 		return nil, serve.Result{}, err
@@ -137,7 +159,7 @@ func run(o options, reg *telemetry.Registry) ([]byte, serve.Result, error) {
 	res, err := serve.Replay(serve.ReplayConfig{
 		Mem: mem, Workers: o.workers, BatchSize: o.batch,
 		ScrubPeriod: o.scrubPeriod, FaultSER: o.faultSER, FaultHours: o.faultHours,
-		Seed: o.seed, Telemetry: reg,
+		FaultModel: o.faultModel, Seed: o.seed, Telemetry: reg,
 	}, tr)
 	if err != nil {
 		return nil, serve.Result{}, err
@@ -155,6 +177,18 @@ func run(o options, reg *telemetry.Registry) ([]byte, serve.Result, error) {
 		rep.Geometry.Scheme = o.scheme
 	}
 	rep.ScrubPeriod, rep.FaultSER = o.scrubPeriod, o.faultSER
+	rep.FaultModel = o.faultModel
+	if o.repairCfg.Enabled() {
+		rs := mem.RepairStats()
+		rep.Repair = &repairReport{
+			Policy:           o.repairCfg.Policy.String(),
+			Spares:           o.repairCfg.SpareBudget(),
+			VerifyReads:      rs.VerifyReads,
+			VerifyMismatches: rs.Mismatches,
+			CellsRetired:     rs.Retired,
+			SparesExhausted:  rs.Exhausted,
+		}
+	}
 	st := res.Stats
 	rep.Served.Requests, rep.Served.Reads, rep.Served.Writes = st.Requests, st.Reads, st.Writes
 	rep.Served.Errors, rep.Served.Batches = st.Errors, st.Batches
@@ -187,9 +221,11 @@ func main() {
 	var geo cliflags.Geometry
 	var eccSel cliflags.ECC
 	var tel cliflags.Telemetry
+	var repairSel cliflags.Repair
 	cliflags.RegisterGeometry(flag.CommandLine, &geo,
 		cliflags.Geometry{N: 90, M: 15, K: 2, Banks: 16, PerBank: 2})
 	cliflags.RegisterECC(flag.CommandLine, &eccSel)
+	cliflags.RegisterRepair(flag.CommandLine, &repairSel)
 	flag.StringVar(&o.mode, "mode", "open", "client model: "+strings.Join(serve.ModeNames(), ", "))
 	flag.StringVar(&o.mix, "mix", "uniform", "address mix: "+strings.Join(serve.MixNames(), ", "))
 	flag.IntVar(&o.requests, "requests", 20000, "total requests")
@@ -203,14 +239,18 @@ func main() {
 	flag.Int64Var(&o.scrubPeriod, "scrub-period", 2000, "ticks between admitted crossbar scrubs per worker (0 = off); total scrub work scales with -workers")
 	flag.Float64Var(&o.faultSER, "faults-ser", 0, "fault overlay rate [FIT/bit] (0 = off)")
 	flag.Float64Var(&o.faultHours, "faults-hours", 1, "fault overlay exposure per scrub window [hours]")
+	flag.StringVar(&o.faultModel, "faults-model", "",
+		"fault overlay model (e.g. stuck1; empty = transient flips); requires -faults-ser")
 	cliflags.RegisterSeed(flag.CommandLine, &o.seed,
 		"trace and fault seed (the report is reproducible from this)")
 	cliflags.RegisterTelemetry(flag.CommandLine, &tel)
 	flag.Parse()
 
 	eccSel.Resolve()
+	repairSel.Resolve()
 	o.n, o.m, o.k, o.banks, o.perBank = geo.N, geo.M, geo.K, geo.Banks, geo.PerBank
 	o.ecc, o.scheme = eccSel.Enabled, eccSel.Scheme
+	o.repairCfg = repairSel.Config
 	o.telemetry = tel.Snapshot
 
 	stop, err := tel.Serve()

@@ -51,6 +51,7 @@ import (
 	"repro/internal/ecc"
 	"repro/internal/faults"
 	"repro/internal/machine"
+	"repro/internal/repair"
 	"repro/internal/synth"
 )
 
@@ -63,6 +64,11 @@ const (
 	Masked
 	SilentCorruption
 	Miscorrected
+	// Repaired is the self-healing outcome: the faulty cell was remapped
+	// onto a spare this round (write-verify or scrub-triggered
+	// retirement) and its data matches golden — the defect is out of the
+	// data path for good. Only produced with a repair policy active.
+	Repaired
 
 	// NumOutcomes is the number of outcome buckets (for histogram sizing).
 	NumOutcomes int = iota
@@ -81,6 +87,8 @@ func (o Outcome) String() string {
 		return "silent-corruption"
 	case Miscorrected:
 		return "miscorrected"
+	case Repaired:
+		return "repaired"
 	}
 	return fmt.Sprintf("Outcome(%d)", int(o))
 }
@@ -117,6 +125,13 @@ type Tally struct {
 	// and the reference decoder. Conformance demands it stays zero.
 	RefChecks     int64
 	RefMismatches int64
+
+	// Repair-layer activity (all zero with the repair policy off):
+	// persistent write-verify mismatches reported, cells retired onto
+	// spares, and retirements refused for lack of budget.
+	VerifyMismatches int64
+	CellsRetired     int64
+	SparesExhausted  int64
 }
 
 // Add returns the field-wise sum of two tallies. It is commutative and
@@ -133,6 +148,10 @@ func (t Tally) Add(o Tally) Tally {
 		M:             t.M,
 		RefChecks:     t.RefChecks + o.RefChecks,
 		RefMismatches: t.RefMismatches + o.RefMismatches,
+
+		VerifyMismatches: t.VerifyMismatches + o.VerifyMismatches,
+		CellsRetired:     t.CellsRetired + o.CellsRetired,
+		SparesExhausted:  t.SparesExhausted + o.SparesExhausted,
 	}
 	for i := range sum.Counts {
 		sum.Counts[i] = t.Counts[i] + o.Counts[i]
@@ -206,6 +225,7 @@ type Runner struct {
 	cfg            Config
 	faulty, golden *machine.Machine
 	stuck          *faults.StuckSet
+	repairOn       bool
 	loadRNG        *rand.Rand
 	faultRNG       *rand.Rand
 	tally          Tally
@@ -239,7 +259,9 @@ func New(cfg Config, seed int64) (*Runner, error) {
 	if err != nil {
 		return nil, err
 	}
-	golden := machine.MustNew(cfg.Machine) // same config already validated
+	gcfg := cfg.Machine
+	gcfg.Repair = repair.Config{}   // the golden twin is fault-free: no repair layer
+	golden := machine.MustNew(gcfg) // same geometry already validated
 	r := &Runner{
 		cfg:      cfg,
 		faulty:   faulty,
@@ -247,6 +269,16 @@ func New(cfg Config, seed int64) (*Runner, error) {
 		stuck:    faults.NewStuckSet(),
 		loadRNG:  rand.New(rand.NewSource(seed)),
 		faultRNG: rand.New(rand.NewSource(faults.DeriveSeed(seed, 0, 1))),
+	}
+	if cfg.Machine.Repair.Enabled() {
+		// With a repair policy active the machine owns the defect physics:
+		// stuck cells re-assert inside every LoadRow commit, so write-verify
+		// observes the defect the instant a laundering write lands instead
+		// of only at round boundaries. Repair reports are recorded for
+		// adjudication (drained each round).
+		r.faulty.AttachDefects(r.stuck)
+		r.faulty.RecordRepairs(true)
+		r.repairOn = true
 	}
 	if cfg.Machine.ECCEnabled {
 		r.tally.M = cfg.Machine.M
@@ -355,11 +387,40 @@ func (r *Runner) Round() RoundReport {
 		r.verifyFindings(preMem, preImg, active, findings, byBlock)
 	}
 
+	// 7b. Drain the round's repair reports: write-verify mismatches from
+	// the workload step plus retirements, write-time or scrub-triggered.
+	// A retired cell left r.stuck the moment it was evicted, so it is put
+	// back into the adjudication set here; reported-but-unrepaired cells
+	// count as detected at write time even when the scrub stays silent.
+	var retired, reported map[[2]int]bool
+	if r.repairOn {
+		retired = make(map[[2]int]bool)
+		reported = make(map[[2]int]bool)
+		for _, rp := range r.faulty.DrainRepairs() {
+			key := [2]int{rp.Row, rp.Col}
+			switch rp.Kind {
+			case machine.RepairMismatch:
+				reported[key] = true
+				r.tally.VerifyMismatches++
+			case machine.RepairRetired:
+				retired[key] = true
+				k := faults.Stuck0
+				if rp.Stuck {
+					k = faults.Stuck1
+				}
+				add(rp.Row, rp.Col, k)
+				r.tally.CellsRetired++
+			case machine.RepairExhausted:
+				r.tally.SparesExhausted++
+			}
+		}
+	}
+
 	// 8. Adjudicate every active fault cell against the golden image.
 	rep := RoundReport{Injected: len(active)}
 	m := r.cfg.Machine.M
 	for _, a := range active {
-		out := r.adjudicate(a, byBlock)
+		out := r.adjudicate(a, byBlock, retired, reported)
 		rep.Counts[out]++
 		r.tally.Injected++
 		r.tally.Counts[out]++
@@ -386,9 +447,10 @@ func (r *Runner) Round() RoundReport {
 	return rep
 }
 
-// adjudicate classifies one fault cell using the post-scrub memory images
-// and the scrub's block findings.
-func (r *Runner) adjudicate(a activeFault, byBlock map[[2]int][]machine.Finding) Outcome {
+// adjudicate classifies one fault cell using the post-scrub memory images,
+// the scrub's block findings, and the round's repair reports (retired and
+// reported cells; nil maps with the repair policy off).
+func (r *Runner) adjudicate(a activeFault, byBlock map[[2]int][]machine.Finding, retired, reported map[[2]int]bool) Outcome {
 	g := r.golden.MEM().Get(a.row, a.col)
 	f := r.faulty.MEM().Get(a.row, a.col)
 	if !r.faulty.Protected() {
@@ -402,6 +464,11 @@ func (r *Runner) adjudicate(a activeFault, byBlock map[[2]int][]machine.Finding)
 	lr, lc := a.row%m, a.col%m
 	blockFindings := byBlock[[2]int{a.row / m, a.col / m}]
 	if f == g {
+		if retired[[2]int{a.row, a.col}] {
+			// Remapped onto a spare this round with data intact: the defect
+			// is permanently out of the data path, stronger than Corrected.
+			return Repaired
+		}
 		for _, fd := range blockFindings {
 			if fd.Diag.Kind == ecc.DataError && r.probe.CoversCell(fd.Diag, lr, lc) {
 				if fr, fc := fd.DataCell(m); fr == a.row && fc == a.col {
@@ -427,6 +494,11 @@ func (r *Runner) adjudicate(a activeFault, byBlock map[[2]int][]machine.Finding)
 	}
 	switch {
 	case relevant == 0:
+		if reported[[2]int{a.row, a.col}] {
+			// The scrub's checks were laundered, but write-verify flagged
+			// the mismatch at write time — detected, not silent.
+			return DetectedUncorrectable
+		}
 		return SilentCorruption
 	case uncorrectable:
 		return DetectedUncorrectable

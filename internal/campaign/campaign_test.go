@@ -371,7 +371,7 @@ func TestOutcomeNames(t *testing.T) {
 	if len(names) != NumOutcomes {
 		t.Fatalf("%d names for %d outcomes", len(names), NumOutcomes)
 	}
-	want := []string{"corrected", "detected-uncorrectable", "masked", "silent-corruption", "miscorrected"}
+	want := []string{"corrected", "detected-uncorrectable", "masked", "silent-corruption", "miscorrected", "repaired"}
 	if !reflect.DeepEqual(names, want) {
 		t.Fatalf("names %v, want %v", names, want)
 	}

@@ -1,0 +1,175 @@
+package campaign
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/bitmat"
+	"repro/internal/faults"
+	"repro/internal/machine"
+	"repro/internal/repair"
+)
+
+// repairMachine returns the test geometry with a repair policy attached.
+func repairMachine(p repair.Policy, spares int) machine.Config {
+	cfg := testMachine
+	cfg.Repair = repair.Config{Policy: p, Spares: spares}
+	return cfg
+}
+
+// TestStuckLaunderingRepairedByWriteVerify is the closing of the loop: the
+// exact TestStuckWriteLaunderingEscapesECC scenario — the one silent
+// corruption the campaign engine ever produces — run again with the
+// verify+spare policy. The laundering write is caught at write time, the
+// cell is retired onto a spare, and the round adjudicates Repaired with
+// zero silent corruptions.
+func TestStuckLaunderingRepairedByWriteVerify(t *testing.T) {
+	r := newRunner(t, Config{
+		Machine: repairMachine(repair.VerifySpare, 4), Verify: true, Loads: -1,
+		Model: fixedFaults{[]faults.Fault{{Kind: faults.Stuck1, Row: 7, Col: 9, Span: 1}}},
+	}, 3)
+	// Round 1: data is 0, defect forces 1, checkbits say 0 → corrected.
+	rep := r.Round()
+	if rep.Counts[Corrected] != 1 {
+		t.Fatalf("round 1 %+v, want the stuck cell corrected", rep)
+	}
+	// The laundering write: host rewrites the row with zeros. With repair
+	// off this folds the phantom delta and corrupts silently; with
+	// verify+spare the read-back sees the defect win, retires the cell,
+	// rebuilds the block's checks, and the write lands clean.
+	zeros := bitmat.NewVec(45)
+	r.golden.LoadRow(7, zeros)
+	if err := r.faulty.LoadRow(7, zeros); err != nil {
+		t.Fatalf("write-verify retirement within budget should succeed: %v", err)
+	}
+	// Round 2: where the unrepaired machine adjudicated SilentCorruption,
+	// the self-healing machine adjudicates Repaired.
+	rep = r.Round()
+	if rep.Counts[SilentCorruption] != 0 {
+		t.Fatalf("round 2 %+v: silent corruption with repair active", rep.Counts)
+	}
+	if rep.Counts[Repaired] != 1 {
+		t.Fatalf("round 2 %+v, want the laundered cell repaired", rep.Counts)
+	}
+	tl := r.Tally()
+	if tl.CellsRetired != 1 || tl.VerifyMismatches == 0 {
+		t.Fatalf("tally %+v, want 1 retirement from ≥1 verify mismatch", tl)
+	}
+	if !tl.Conformant() {
+		t.Fatalf("repaired campaign not conformant: %+v", tl)
+	}
+}
+
+// TestStuckLaunderingDetectedByVerifyOnly: without spares the laundered
+// write cannot be healed, but verify still closes the silent hole twice
+// over — the write returns an explicit VerifyError, and the pre-write
+// metadata sync keeps the checks honest about the defect, so the next
+// scrub corrects it like any visible error instead of being misled by a
+// laundered image.
+func TestStuckLaunderingDetectedByVerifyOnly(t *testing.T) {
+	r := newRunner(t, Config{
+		Machine: repairMachine(repair.Verify, 0), Verify: true, Loads: -1,
+		Model: fixedFaults{[]faults.Fault{{Kind: faults.Stuck1, Row: 7, Col: 9, Span: 1}}},
+	}, 3)
+	if rep := r.Round(); rep.Counts[Corrected] != 1 {
+		t.Fatalf("round 1 %+v, want the stuck cell corrected", rep)
+	}
+	zeros := bitmat.NewVec(45)
+	r.golden.LoadRow(7, zeros)
+	err := r.faulty.LoadRow(7, zeros)
+	var ve *machine.VerifyError
+	if !errors.As(err, &ve) || ve.Row != 7 || len(ve.Cols) != 1 || ve.Cols[0] != 9 {
+		t.Fatalf("laundering write err = %v, want VerifyError{Row:7, Cols:[9]}", err)
+	}
+	rep := r.Round()
+	if rep.Counts[SilentCorruption] != 0 {
+		t.Fatalf("round 2 %+v: reported mismatch still counted silent", rep.Counts)
+	}
+	if rep.Counts[Corrected] != 1 {
+		t.Fatalf("round 2 %+v, want the un-laundered defect scrub-corrected", rep.Counts)
+	}
+	tl := r.Tally()
+	if tl.CellsRetired != 0 {
+		t.Fatalf("verify-only policy retired a cell: %+v", tl)
+	}
+	if tl.VerifyMismatches == 0 {
+		t.Fatalf("no verify mismatch tallied: %+v", tl)
+	}
+}
+
+// TestRepairSoakSilentZero soaks the randomized stuck campaign — the
+// workload whose laundering writes produce silent corruption with repair
+// off — and pins that verify+spare drives silent corruptions to zero
+// while actually exercising the retirement path (seeded, deterministic).
+func TestRepairSoakSilentZero(t *testing.T) {
+	r := newRunner(t, Config{
+		Machine: repairMachine(repair.VerifySpare, 8), Verify: true,
+		Model: fixedFaults{[]faults.Fault{{Kind: faults.Stuck1, Row: 7, Col: 9, Span: 1}}},
+	}, 5)
+	for i := 0; i < 60; i++ {
+		r.Round()
+	}
+	tl := r.Tally()
+	if tl.Counts[SilentCorruption] != 0 || tl.Counts[Miscorrected] != 0 {
+		t.Fatalf("soak with repair on: %+v", tl.Counts)
+	}
+	if tl.CellsRetired == 0 {
+		t.Fatalf("soak never exercised retirement (reseed?): %+v", tl)
+	}
+	if tl.Counts[Repaired] == 0 {
+		t.Fatalf("retirements never adjudicated repaired: %+v", tl.Counts)
+	}
+	if tl.RefMismatches != 0 {
+		t.Fatalf("reference decoder disagreed under repair: %+v", tl)
+	}
+}
+
+// TestRepairOffTallyUnchanged pins byte-identity of the default path: with
+// the zero repair config the repair tallies stay zero and the outcome
+// counts of the stuck campaign match the unrepaired engine exactly.
+func TestRepairOffTallyUnchanged(t *testing.T) {
+	run := func(mcfg machine.Config) Tally {
+		r := newRunner(t, Config{
+			Machine: mcfg, Verify: true,
+			Model: fixedFaults{[]faults.Fault{{Kind: faults.Stuck1, Row: 7, Col: 9, Span: 1}}},
+		}, 5)
+		for i := 0; i < 30; i++ {
+			r.Round()
+		}
+		return r.Tally()
+	}
+	base := run(testMachine)
+	off := run(repairMachine(repair.Off, 0))
+	if !tallyEqual(base, off) {
+		t.Fatalf("repair-off tally diverged:\n  base: %+v\n  off:  %+v", base, off)
+	}
+	if off.VerifyMismatches != 0 || off.CellsRetired != 0 || off.SparesExhausted != 0 {
+		t.Fatalf("repair-off produced repair activity: %+v", off)
+	}
+	if off.Counts[Repaired] != 0 {
+		t.Fatalf("repair-off adjudicated repaired: %+v", off.Counts)
+	}
+}
+
+// tallyEqual compares tallies field-wise including position histograms
+// (Tally contains slices, so == only works when they are nil).
+func tallyEqual(a, b Tally) bool {
+	if a.Rounds != b.Rounds || a.Injected != b.Injected || a.Counts != b.Counts ||
+		a.ByKind != b.ByKind || a.M != b.M || a.RefChecks != b.RefChecks ||
+		a.RefMismatches != b.RefMismatches || a.VerifyMismatches != b.VerifyMismatches ||
+		a.CellsRetired != b.CellsRetired || a.SparesExhausted != b.SparesExhausted {
+		return false
+	}
+	for o := range a.Positions {
+		x, y := a.Positions[o], b.Positions[o]
+		if len(x) != len(y) {
+			return false
+		}
+		for i := range x {
+			if x[i] != y[i] {
+				return false
+			}
+		}
+	}
+	return true
+}

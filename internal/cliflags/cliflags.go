@@ -17,6 +17,7 @@ import (
 	"syscall"
 
 	"repro/internal/ecc"
+	"repro/internal/repair"
 	"repro/internal/telemetry"
 )
 
@@ -63,6 +64,47 @@ func (e *ECC) ResolveErr() error {
 // print to stderr and exit 2.
 func (e *ECC) Resolve() {
 	if err := e.ResolveErr(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+}
+
+// Repair is the shared self-healing flag pair: -repair selects the
+// policy, -spares the per-crossbar spare budget. The zero value (flags
+// unset) resolves to the Off policy, whose repair.Config zero value flows
+// through machine/pmem/fleet as the fully disabled state — default
+// reports stay byte-identical.
+type Repair struct {
+	raw    string
+	spares int
+	Config repair.Config // valid after Resolve
+}
+
+// RegisterRepair binds -repair and -spares.
+func RegisterRepair(fs *flag.FlagSet, r *Repair) {
+	fs.StringVar(&r.raw, "repair", "off",
+		"self-healing policy: "+strings.Join(repair.PolicyNames(), ", "))
+	fs.IntVar(&r.spares, "spares", repair.DefaultSpares,
+		"per-crossbar spare-cell budget for -repair verify+spare (0 = refuse every retirement)")
+}
+
+// ResolveErr parses the raw -repair value (call after fs.Parse).
+func (r *Repair) ResolveErr() error {
+	p, err := repair.ParsePolicy(r.raw)
+	if err != nil {
+		return err
+	}
+	spares := r.spares
+	if spares <= 0 {
+		spares = -1 // -spares 0: an explicitly empty budget, not the default
+	}
+	r.Config = repair.Config{Policy: p, Spares: spares}
+	return nil
+}
+
+// Resolve is ResolveErr with the CLIs' usage-error behavior.
+func (r *Repair) Resolve() {
+	if err := r.ResolveErr(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}

@@ -4,6 +4,8 @@ import (
 	"flag"
 	"io"
 	"testing"
+
+	repairpkg "repro/internal/repair"
 )
 
 // newFS returns a quiet FlagSet so usage errors don't pollute test output.
@@ -62,6 +64,47 @@ func TestECCResolve(t *testing.T) {
 			t.Errorf("%v: resolved (%q, %v), want (%q, %v)",
 				c.args, e.Scheme, e.Enabled, c.scheme, c.enabled)
 		}
+	}
+}
+
+// TestRepairResolve: the -repair/-spares pair resolves policy spellings,
+// keeps the default fully off, and maps -spares 0 to an explicitly empty
+// budget (distinct from the unset default).
+func TestRepairResolve(t *testing.T) {
+	cases := []struct {
+		args    []string
+		policy  repairpkg.Policy
+		budget  int
+		wantErr bool
+	}{
+		{nil, repairpkg.Off, repairpkg.DefaultSpares, false}, // default
+		{[]string{"-repair", "verify"}, repairpkg.Verify, repairpkg.DefaultSpares, false},
+		{[]string{"-repair", "verify+spare", "-spares", "3"}, repairpkg.VerifySpare, 3, false},
+		{[]string{"-repair", "verify+spare", "-spares", "0"}, repairpkg.VerifySpare, 0, false},
+		{[]string{"-repair", "bogus"}, repairpkg.Off, 0, true},
+	}
+	for _, c := range cases {
+		fs := newFS()
+		var r Repair
+		RegisterRepair(fs, &r)
+		if err := fs.Parse(c.args); err != nil {
+			t.Fatalf("%v: parse: %v", c.args, err)
+		}
+		err := r.ResolveErr()
+		if (err != nil) != c.wantErr {
+			t.Fatalf("%v: err = %v, wantErr = %v", c.args, err, c.wantErr)
+		}
+		if err != nil {
+			continue
+		}
+		if r.Config.Policy != c.policy || r.Config.SpareBudget() != c.budget {
+			t.Errorf("%v: resolved (%v, budget %d), want (%v, %d)",
+				c.args, r.Config.Policy, r.Config.SpareBudget(), c.policy, c.budget)
+		}
+	}
+	var zero Repair
+	if zero.Config.Enabled() {
+		t.Fatal("zero-value Repair must resolve to the Off policy")
 	}
 }
 

@@ -168,6 +168,15 @@ func (c *CMEM) FlipCheckBit(f shifter.Family, d, br, bc int) {
 	}
 }
 
+// CheckBit reads one stored check bit (controller maintenance path — the
+// write-verify metadata sweep reads a block's stored state through this).
+func (c *CMEM) CheckBit(f shifter.Family, d, br, bc int) bool {
+	if f == shifter.Leading {
+		return c.lead[d].Get(br, bc)
+	}
+	return c.counter[d].Get(br, bc)
+}
+
 // SetCheckBit writes a stored check bit directly (controller maintenance
 // path, e.g. re-establishing parity over a scratch region).
 func (c *CMEM) SetCheckBit(f shifter.Family, d, br, bc int, v bool) {

@@ -243,6 +243,13 @@ func (h *hammingScheme) RebuildBlock(mem *bitmat.Mat, br, bc int) {
 	}
 }
 
+// RebuildRowWords: the Hamming unit is one horizontal word, fully
+// contained in its row — re-encode the single crossed word.
+func (h *hammingScheme) RebuildRowWords(mem *bitmat.Mat, r, bc int) bool {
+	h.rebuildWord(mem, r, bc)
+	return true
+}
+
 // ReferenceCheck re-derives each word's diagnosis bit-serially: every SEC
 // check bit's parity is recomputed by looping over its covered data
 // positions one at a time (no packed XOR of precomputed patterns), and the

@@ -114,6 +114,13 @@ func (s *parityScheme) CorrectBlock(mem *bitmat.Mat, br, bc int) []Diagnosis {
 	return s.CheckBlock(mem, br, bc)
 }
 
+// RebuildRowWords: the parity unit is one horizontal word, fully
+// contained in its row — recompute the single crossed parity bit.
+func (s *parityScheme) RebuildRowWords(mem *bitmat.Mat, r, bc int) bool {
+	s.par.Set(r, bc, s.wordParity(mem, r, bc))
+	return true
+}
+
 func (s *parityScheme) RebuildBlock(mem *bitmat.Mat, br, bc int) {
 	for lr := 0; lr < s.p.M; lr++ {
 		r := br*s.p.M + lr

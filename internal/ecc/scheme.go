@@ -81,6 +81,15 @@ type Scheme interface {
 	// memory image — the controller maintenance path used after unprotected
 	// scratch regions are reclaimed.
 	RebuildBlock(mem *bitmat.Mat, br, bc int)
+	// RebuildRowWords re-establishes, from the memory image, the check
+	// bits of every code unit that lies entirely within data row r of
+	// block column bc, and reports whether the scheme has such units.
+	// Word-based codes re-encode the one crossed word; the diagonal code's
+	// unit is the whole block, which no single row spans, so it does
+	// nothing and returns false. This is the narrowest sound maintenance
+	// action after a row's data has been independently verified: it can
+	// never absorb an error in a row it did not touch.
+	RebuildRowWords(mem *bitmat.Mat, r, bc int) bool
 	// ReferenceCheck recomputes the diagnoses of block (br,bc) bit-serially
 	// from first principles — obviously correct, allowed to be slow, and
 	// implemented independently of the production check path so the
@@ -238,6 +247,10 @@ func (s *diagonalScheme) CorrectBlock(mem *bitmat.Mat, br, bc int) []Diagnosis {
 	}
 	return nil
 }
+
+// RebuildRowWords: the diagonal code unit is the whole block — no unit
+// fits inside one row, so there is nothing row-scoped to re-encode.
+func (s *diagonalScheme) RebuildRowWords(*bitmat.Mat, int, int) bool { return false }
 
 func (s *diagonalScheme) RebuildBlock(mem *bitmat.Mat, br, bc int) {
 	p := s.cb.p

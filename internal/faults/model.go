@@ -114,6 +114,35 @@ func (s *StuckSet) Add(r, c int, v bool) bool {
 	return true
 }
 
+// Evict removes cell (r,c) from the set so it stops re-asserting — the
+// model-side half of repair: once the physical line is spared out
+// (post-package-repair style remap), the defect is no longer in the data
+// path and must not overwrite the replacement cell. Returns false if the
+// cell was not stuck. Insertion order of the surviving cells is preserved,
+// so campaigns with repair active still replay deterministically.
+func (s *StuckSet) Evict(r, c int) bool {
+	k := [2]int{r, c}
+	i, ok := s.idx[k]
+	if !ok {
+		return false
+	}
+	s.cells = append(s.cells[:i], s.cells[i+1:]...)
+	delete(s.idx, k)
+	for j := i; j < len(s.cells); j++ {
+		s.idx[[2]int{s.cells[j].Row, s.cells[j].Col}] = j
+	}
+	return true
+}
+
+// Stuck reports whether cell (r,c) is stuck, and at which value.
+func (s *StuckSet) Stuck(r, c int) (v bool, ok bool) {
+	i, ok := s.idx[[2]int{r, c}]
+	if !ok {
+		return false, false
+	}
+	return s.cells[i].Value, true
+}
+
 // Len returns the number of stuck cells.
 func (s *StuckSet) Len() int { return len(s.cells) }
 
@@ -129,6 +158,21 @@ func (s *StuckSet) Reassert(x *xbar.Crossbar) int {
 	changed := 0
 	for _, c := range s.cells {
 		if x.Get(c.Row, c.Col) != c.Value {
+			x.Set(c.Row, c.Col, c.Value)
+			changed++
+		}
+	}
+	return changed
+}
+
+// ReassertRow re-asserts only the stuck cells lying in row r — the write
+// path's view of the physics: committing a row drives every cell of that
+// line, and the defective ones snap straight back. Returns the number of
+// cells whose content changed.
+func (s *StuckSet) ReassertRow(x *xbar.Crossbar, r int) int {
+	changed := 0
+	for _, c := range s.cells {
+		if c.Row == r && x.Get(c.Row, c.Col) != c.Value {
 			x.Set(c.Row, c.Col, c.Value)
 			changed++
 		}

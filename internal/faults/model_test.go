@@ -87,6 +87,82 @@ func TestStuckAtReassertsAfterOverwrite(t *testing.T) {
 	}
 }
 
+// TestStuckSetEvictStopsReassertion is the repair-satellite contract:
+// evicting a cell (the model-side effect of sparing out the physical
+// line) stops its defect from re-asserting, while every unrepaired cell
+// keeps re-asserting exactly as before.
+func TestStuckSetEvictStopsReassertion(t *testing.T) {
+	x := xbar.New(8, 8)
+	s := NewStuckSet()
+	s.Add(1, 1, true)
+	s.Add(2, 2, true)
+	s.Add(3, 3, true)
+
+	if !s.Evict(2, 2) {
+		t.Fatal("evicting a stuck cell must succeed")
+	}
+	if s.Evict(2, 2) || s.Evict(5, 5) {
+		t.Fatal("evicting a non-stuck cell must return false")
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d after evict, want 2", s.Len())
+	}
+	// Insertion order of survivors is preserved (determinism contract).
+	cells := s.Cells()
+	if cells[0].Row != 1 || cells[1].Row != 3 {
+		t.Fatalf("survivor order corrupted: %+v", cells)
+	}
+	if _, ok := s.Stuck(2, 2); ok {
+		t.Fatal("evicted cell still reported stuck")
+	}
+	if v, ok := s.Stuck(3, 3); !ok || !v {
+		t.Fatal("unrepaired cell lost from the set")
+	}
+
+	// The evicted cell holds host data; unrepaired cells still re-assert.
+	if changed := s.Reassert(x); changed != 2 {
+		t.Fatalf("reassert changed %d cells, want 2", changed)
+	}
+	if x.Get(2, 2) {
+		t.Fatal("evicted defect re-asserted")
+	}
+	if !x.Get(1, 1) || !x.Get(3, 3) {
+		t.Fatal("unrepaired defects failed to re-assert")
+	}
+
+	// Eviction keeps the index consistent: re-adding and evicting the
+	// head exercises the reindex path.
+	s.Add(2, 2, false)
+	if !s.Evict(1, 1) {
+		t.Fatal("evicting head failed")
+	}
+	if v, ok := s.Stuck(2, 2); !ok || v {
+		t.Fatal("index corrupted after head eviction")
+	}
+}
+
+// TestStuckSetReassertRow pins the write-path physics: committing a row
+// re-asserts only that row's defects.
+func TestStuckSetReassertRow(t *testing.T) {
+	x := xbar.New(8, 8)
+	s := NewStuckSet()
+	s.Add(4, 0, true)
+	s.Add(4, 7, true)
+	s.Add(5, 3, true)
+	if changed := s.ReassertRow(x, 4); changed != 2 {
+		t.Fatalf("ReassertRow(4) changed %d cells, want 2", changed)
+	}
+	if !x.Get(4, 0) || !x.Get(4, 7) {
+		t.Fatal("row-4 defects not re-asserted")
+	}
+	if x.Get(5, 3) {
+		t.Fatal("row-5 defect re-asserted by a row-4 write")
+	}
+	if changed := s.ReassertRow(x, 4); changed != 0 {
+		t.Fatalf("idempotent ReassertRow changed %d cells", changed)
+	}
+}
+
 func TestStuckSetFirstDefectWins(t *testing.T) {
 	s := NewStuckSet()
 	if !s.Add(1, 2, true) {

@@ -29,6 +29,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/mmpu"
 	"repro/internal/netlist"
+	"repro/internal/repair"
 	"repro/internal/synth"
 	"repro/internal/telemetry"
 )
@@ -43,6 +44,10 @@ type Config struct {
 	// Scheme selects the protection code for every machine in the fleet
 	// (ecc.SchemeByName; empty = the paper's diagonal code).
 	Scheme string
+
+	// Repair is the self-healing policy applied to every machine in the
+	// fleet (write-verify, spare remap, retirement); the zero value is off.
+	Repair repair.Config
 
 	Workers   int   // shard count; <=0 uses GOMAXPROCS, capped at Banks
 	Seed      int64 // campaign base seed
@@ -80,7 +85,7 @@ func (c Config) EffectiveWorkers() int {
 
 // machineConfig is the per-crossbar machine geometry.
 func (c Config) machineConfig() machine.Config {
-	return machine.Config{N: c.Org.CrossbarN, M: c.M, K: c.K, ECCEnabled: c.ECCEnabled, Scheme: c.Scheme}
+	return machine.Config{N: c.Org.CrossbarN, M: c.M, K: c.K, ECCEnabled: c.ECCEnabled, Scheme: c.Scheme, Repair: c.Repair}
 }
 
 // AdderKernel builds the fleet's SIMD kernel: a width-bit ripple-carry

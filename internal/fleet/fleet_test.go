@@ -4,7 +4,9 @@ import (
 	"reflect"
 	"testing"
 
+	"repro/internal/campaign"
 	"repro/internal/mmpu"
+	"repro/internal/repair"
 )
 
 // testOrg is a 6-bank, 12-crossbar fleet of the minimum 45×45 geometry.
@@ -249,6 +251,43 @@ func TestCampaignDeterministicAcrossWorkers(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestRepairCampaignDeterministicAcrossWorkers: with the self-healing
+// policy active — write-verify retirements mutating per-machine repair
+// state mid-round — the fleet result must still be identical at every
+// worker count, and the stuck campaign that silently corrupts with repair
+// off must come back silent-free.
+func TestRepairCampaignDeterministicAcrossWorkers(t *testing.T) {
+	org := mmpu.Custom(45, 32, 1) // 32 banks so a 32-worker run is 32 real shards
+	w := Campaign{Rounds: 6, Model: "stuck1", SER: 2e5}
+	cfg := Config{
+		Org: org, M: 15, K: 2, ECCEnabled: true, Seed: 77, Workers: 1,
+		Repair: repair.Config{Policy: repair.VerifySpare, Spares: 8},
+	}
+	ref, err := Run(cfg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ref.Campaign.Counts[campaign.SilentCorruption]; got != 0 {
+		t.Fatalf("silent corruptions = %d with verify+spare, want 0", got)
+	}
+	if got := ref.Campaign.Counts[campaign.Miscorrected]; got != 0 {
+		t.Fatalf("miscorrections = %d with verify+spare, want 0", got)
+	}
+	if ref.Campaign.CellsRetired == 0 {
+		t.Fatal("fleet campaign never exercised retirement (raise rounds or rate?)")
+	}
+	for _, workers := range []int{8, 32} {
+		cfg.Workers = workers
+		got, err := Run(cfg, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(ref, got) {
+			t.Fatalf("workers=%d diverged:\n  1: %+v\n  %d: %+v", workers, ref, workers, got)
+		}
 	}
 }
 

@@ -17,6 +17,8 @@ import (
 	"repro/internal/bitmat"
 	"repro/internal/cmem"
 	"repro/internal/ecc"
+	"repro/internal/faults"
+	"repro/internal/repair"
 	"repro/internal/shifter"
 	"repro/internal/synth"
 	"repro/internal/telemetry"
@@ -35,6 +37,12 @@ type Config struct {
 	// pipeline exactly as before the scheme layer existed; any other
 	// registered scheme runs through the generic ecc.Scheme path.
 	Scheme string
+
+	// Repair configures the self-healing layer (write-verify read-backs,
+	// spare remapping, scrub-triggered retirement — see internal/repair).
+	// The zero value is off: the write path behaves exactly as before the
+	// repair layer existed.
+	Repair repair.Config
 }
 
 // SchemeName resolves the configured protection code name ("" defaults to
@@ -70,6 +78,15 @@ type Machine struct {
 	// with one counter add.
 	tel         Telemetry
 	updateReads int64
+
+	// rt is the self-healing state (nil = repair off); defects is the
+	// attached stuck-cell set whose faults the write path re-asserts and
+	// retirement evicts; repairLog collects RepairReports while enabled
+	// (see repair.go).
+	rt         *repair.Table
+	defects    *faults.StuckSet
+	repairLog  []RepairReport
+	logRepairs bool
 }
 
 // Telemetry is the machine's probe set: per-scheme ECC outcome counters,
@@ -87,8 +104,14 @@ type Telemetry struct {
 	// applied per protected line write) — the "reads stolen from
 	// compute" axis of the paper's cost claim, now observable live.
 	UpdateReads *telemetry.Counter
-	Events      *telemetry.Ring
-	Bank, Xbar  int
+	// Repair-layer probes: committed-line read-backs, persistent verify
+	// mismatches, spare remaps, and budget-exhausted refusals.
+	VerifyReads      *telemetry.Counter
+	VerifyMismatches *telemetry.Counter
+	CellsRetired     *telemetry.Counter
+	SparesExhausted  *telemetry.Counter
+	Events           *telemetry.Ring
+	Bank, Xbar       int
 }
 
 // TelemetryFor resolves the per-scheme machine probe set from a registry
@@ -105,7 +128,13 @@ func TelemetryFor(reg *telemetry.Registry, scheme string) Telemetry {
 		Corrections:   reg.Counter("ecc_corrections_total", "scheme", scheme),
 		Uncorrectable: reg.Counter("ecc_uncorrectable_total", "scheme", scheme),
 		UpdateReads:   reg.Counter("ecc_update_reads_total", "scheme", scheme),
-		Events:        reg.Events(),
+
+		VerifyReads:      reg.Counter("repair_verify_reads_total", "scheme", scheme),
+		VerifyMismatches: reg.Counter("repair_verify_mismatch_total", "scheme", scheme),
+		CellsRetired:     reg.Counter("repair_cells_retired_total", "scheme", scheme),
+		SparesExhausted:  reg.Counter("repair_spares_exhausted_total", "scheme", scheme),
+
+		Events: reg.Events(),
 	}
 }
 
@@ -118,6 +147,9 @@ func (m *Machine) Instrument(t Telemetry) { m.tel = t }
 func (cfg Config) Validate() error {
 	if cfg.N <= 0 {
 		return fmt.Errorf("machine: non-positive crossbar side %d", cfg.N)
+	}
+	if err := cfg.Repair.Validate(); err != nil {
+		return fmt.Errorf("machine: %w", err)
 	}
 	if cfg.ECCEnabled {
 		if cfg.SchemeName() == ecc.SchemeDiagonal {
@@ -145,6 +177,9 @@ func New(cfg Config) (*Machine, error) {
 		return nil, err
 	}
 	m := &Machine{cfg: cfg, mem: xbar.New(cfg.N, cfg.N)}
+	if cfg.Repair.Enabled() {
+		m.rt = repair.NewTable(cfg.Repair, cfg.N)
+	}
 	if cfg.ECCEnabled {
 		if cfg.SchemeName() == ecc.SchemeDiagonal {
 			m.cm = cmem.New(cmem.Config{N: cfg.N, M: cfg.M, K: cfg.K})
@@ -220,6 +255,12 @@ type Stats struct {
 	InputChecks   int
 	Corrections   int
 	Uncorrectable int
+
+	// Repair-layer activity (all zero with the repair policy off).
+	VerifyReads      int
+	VerifyMismatches int
+	CellsRetired     int
+	SparesExhausted  int
 }
 
 // Add returns the field-wise sum of two stats. It is commutative and
@@ -232,24 +273,51 @@ func (s Stats) Add(o Stats) Stats {
 		InputChecks:   s.InputChecks + o.InputChecks,
 		Corrections:   s.Corrections + o.Corrections,
 		Uncorrectable: s.Uncorrectable + o.Uncorrectable,
+
+		VerifyReads:      s.VerifyReads + o.VerifyReads,
+		VerifyMismatches: s.VerifyMismatches + o.VerifyMismatches,
+		CellsRetired:     s.CellsRetired + o.CellsRetired,
+		SparesExhausted:  s.SparesExhausted + o.SparesExhausted,
 	}
 }
 
 // Stats returns accumulated statistics.
 func (m *Machine) Stats() Stats {
-	return Stats{
+	s := Stats{
 		MEMCycles:     m.mem.Stats().Cycles,
 		CriticalOps:   m.criticalOps,
 		InputChecks:   m.inputChecks,
 		Corrections:   m.corrections,
 		Uncorrectable: m.uncorrectable,
 	}
+	if m.rt != nil {
+		rs := m.rt.Stats()
+		s.VerifyReads = int(rs.VerifyReads)
+		s.VerifyMismatches = int(rs.Mismatches)
+		s.CellsRetired = int(rs.Retired)
+		s.SparesExhausted = int(rs.Exhausted)
+	}
+	return s
 }
 
 // LoadRow writes data into MEM row r through the controller write path
 // and brings the check bits up to date (ECC is computed along writes, as
-// in a conventional protected memory).
-func (m *Machine) LoadRow(r int, v *bitmat.Vec) {
+// in a conventional protected memory). With a repair policy configured
+// the committed line immediately re-asserts any attached defects (the
+// device physics) and is read back and verified; the returned error is a
+// *VerifyError (errors.Is-able against ErrVerify) when cells persistently
+// refuse the write and the policy cannot (or may not) retire them. With
+// repair off the error is always nil.
+func (m *Machine) LoadRow(r int, v *bitmat.Vec) error {
+	if m.rt != nil {
+		// Pre-write metadata sync: the delta fold below cancels the OLD
+		// row's contribution as read from the array, so any cell where
+		// the stored checks disagree with the physical state (a defect
+		// scrub corrected and the device re-asserted) would fold a
+		// phantom delta and leave the checks stale. Sync them to the
+		// physical row first; write-verify governs this row from here.
+		m.syncRowChecks(r)
+	}
 	old := m.mem.Mat().Row(r).Clone()
 	m.mem.WriteRow(r, v)
 	if m.cm != nil {
@@ -262,20 +330,29 @@ func (m *Machine) LoadRow(r int, v *bitmat.Vec) {
 	if m.Protected() {
 		m.tel.UpdateReads.Add(m.updateReads)
 	}
+	if m.defects != nil {
+		// Device physics: the driven line's stuck cells snap straight
+		// back, whether or not anyone is checking.
+		m.defects.ReassertRow(m.mem, r)
+	}
+	if m.rt == nil {
+		return nil
+	}
+	return m.verifyRow(r, v)
 }
 
 // UpdateRow is the read-modify-write primitive of the serving layer: it
 // hands mutate a copy of MEM row r and, if mutate reports the row dirty,
 // commits it through the protected write path (one ECC delta update for
 // the whole mutation, however many bits changed). A clean row costs no
-// write and no ECC work. Reports whether the row was written.
-func (m *Machine) UpdateRow(r int, mutate func(*bitmat.Vec) bool) bool {
+// write and no ECC work. Reports whether the row was written; the error
+// is LoadRow's write-verify verdict (always nil with repair off).
+func (m *Machine) UpdateRow(r int, mutate func(*bitmat.Vec) bool) (bool, error) {
 	row := m.mem.Mat().Row(r).Clone()
 	if !mutate(row) {
-		return false
+		return false, nil
 	}
-	m.LoadRow(r, row)
-	return true
+	return true, m.LoadRow(r, row)
 }
 
 // InjectDataFault flips a memristor in MEM — a soft error.
@@ -351,6 +428,19 @@ func (m *Machine) ScrubFindings() []Finding {
 			}
 			m.tallyDiag(d)
 			out = append(out, Finding{BR: br, BC: bc, Diag: d})
+		}
+	}
+	if m.rt != nil {
+		// Scrub-triggered retirement: every repaired data cell takes a
+		// strike in the bounded offender table; repeat offenders crossing
+		// the threshold are remapped onto spares right here, online —
+		// the scan is complete, so rebuilding a retired cell's block
+		// checks cannot perturb the findings above.
+		for _, f := range out {
+			if f.Diag.Kind == ecc.DataError {
+				r, c := f.DataCell(m.cfg.M)
+				m.noteScrubRepair(r, c)
+			}
 		}
 	}
 	return out

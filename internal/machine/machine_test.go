@@ -436,12 +436,15 @@ func TestScrubFindingsLocateFaults(t *testing.T) {
 
 func TestUpdateRowKeepsECCConsistent(t *testing.T) {
 	m := MustNew(testCfg)
-	wrote := m.UpdateRow(7, func(v *bitmat.Vec) bool {
+	wrote, err := m.UpdateRow(7, func(v *bitmat.Vec) bool {
 		v.Set(3, true)
 		v.Set(44, true)
 		v.Set(20, true)
 		return true
 	})
+	if err != nil {
+		t.Fatalf("UpdateRow: %v", err)
+	}
 	if !wrote {
 		t.Fatal("dirty mutation not written")
 	}
@@ -465,7 +468,7 @@ func TestUpdateRowKeepsECCConsistent(t *testing.T) {
 func TestUpdateRowCleanSkipsWrite(t *testing.T) {
 	m := MustNew(testCfg)
 	before := m.Stats()
-	if m.UpdateRow(3, func(v *bitmat.Vec) bool { v.Set(1, true); return false }) {
+	if wrote, _ := m.UpdateRow(3, func(v *bitmat.Vec) bool { v.Set(1, true); return false }); wrote {
 		t.Fatal("clean mutation reported written")
 	}
 	if m.MEM().Get(3, 1) {

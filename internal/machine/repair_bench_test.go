@@ -1,0 +1,31 @@
+package machine
+
+import (
+	"testing"
+
+	"repro/internal/bitmat"
+	"repro/internal/repair"
+)
+
+// BenchmarkUpdateRowRepair measures the write-verify tax on the hot write
+// path across the repair policies, on a healthy machine — the common case
+// every serve request takes. Sub-benchmark names carry the /repair= tag
+// cmd/benchjson parses into the snapshot's repair field.
+func BenchmarkUpdateRowRepair(b *testing.B) {
+	for _, p := range []repair.Policy{repair.Off, repair.Verify, repair.VerifySpare} {
+		b.Run("repair="+p.String(), func(b *testing.B) {
+			m := MustNew(repairCfg(p, repair.DefaultSpares))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r := i % testCfg.N
+				_, err := m.UpdateRow(r, func(v *bitmat.Vec) bool {
+					v.Set(i%testCfg.N, i&1 == 0)
+					return true
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,392 @@
+package machine
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/bitmat"
+	"repro/internal/faults"
+	"repro/internal/repair"
+	"repro/internal/telemetry"
+)
+
+// repairCfg returns the test geometry with the given repair policy.
+func repairCfg(p repair.Policy, spares int) Config {
+	cfg := testCfg
+	cfg.Repair = repair.Config{Policy: p, Spares: spares}
+	return cfg
+}
+
+// stuckMachine builds a protected machine with repair policy p and one
+// cell stuck at 1, defects attached.
+func stuckMachine(t *testing.T, p repair.Policy, spares int, cells ...[2]int) (*Machine, *faults.StuckSet) {
+	t.Helper()
+	m := MustNew(repairCfg(p, spares))
+	s := faults.NewStuckSet()
+	for _, rc := range cells {
+		s.Add(rc[0], rc[1], true)
+		m.MEM().Set(rc[0], rc[1], true)
+	}
+	m.AttachDefects(s)
+	return m, s
+}
+
+// TestUpdateRowVerifyErrorPaths is the table-driven error-path satellite:
+// every (policy, defect, budget) combination lands in the documented
+// verdict.
+func TestUpdateRowVerifyErrorPaths(t *testing.T) {
+	cases := []struct {
+		name      string
+		policy    repair.Policy
+		spares    int
+		stuck     [][2]int // cells stuck at 1 before the write
+		row       int
+		wantErr   bool
+		wantCols  []int // VerifyError.Cols when wantErr
+		wantTired int   // cells retired after the write
+	}{
+		{name: "off/no-defect", policy: repair.Off, row: 3},
+		{name: "off/stuck-silent", policy: repair.Off,
+			stuck: [][2]int{{3, 9}}, row: 3}, // the laundering hole: no error
+		{name: "verify/clean-row", policy: repair.Verify, row: 4},
+		{name: "verify/stuck-reported", policy: repair.Verify,
+			stuck: [][2]int{{3, 9}}, row: 3, wantErr: true, wantCols: []int{9}},
+		{name: "verify/two-cells", policy: repair.Verify,
+			stuck: [][2]int{{3, 2}, {3, 40}}, row: 3, wantErr: true, wantCols: []int{2, 40}},
+		{name: "verify/defect-other-row", policy: repair.Verify,
+			stuck: [][2]int{{7, 9}}, row: 3},
+		{name: "spare/stuck-retired", policy: repair.VerifySpare, spares: 4,
+			stuck: [][2]int{{3, 9}}, row: 3, wantTired: 1},
+		{name: "spare/two-retired", policy: repair.VerifySpare, spares: 4,
+			stuck: [][2]int{{3, 2}, {3, 40}}, row: 3, wantTired: 2},
+		{name: "spare/budget-exhausted", policy: repair.VerifySpare, spares: 1,
+			stuck: [][2]int{{3, 2}, {3, 40}}, row: 3, wantErr: true, wantCols: []int{40}, wantTired: 1},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			m, s := stuckMachine(t, c.policy, c.spares, c.stuck...)
+			zeros := bitmat.NewVec(testCfg.N)
+			wrote, err := m.UpdateRow(c.row, func(v *bitmat.Vec) bool {
+				v.CopyFrom(zeros)
+				return true
+			})
+			if !wrote {
+				t.Fatal("dirty mutation not written")
+			}
+			if (err != nil) != c.wantErr {
+				t.Fatalf("err = %v, wantErr %v", err, c.wantErr)
+			}
+			if err != nil {
+				if !errors.Is(err, ErrVerify) {
+					t.Fatalf("error %v is not errors.Is(ErrVerify)", err)
+				}
+				var ve *VerifyError
+				if !errors.As(err, &ve) {
+					t.Fatalf("error %T is not a *VerifyError", err)
+				}
+				if ve.Row != c.row {
+					t.Errorf("VerifyError.Row = %d, want %d", ve.Row, c.row)
+				}
+				if len(ve.Cols) != len(c.wantCols) {
+					t.Fatalf("VerifyError.Cols = %v, want %v", ve.Cols, c.wantCols)
+				}
+				for i := range ve.Cols {
+					if ve.Cols[i] != c.wantCols[i] {
+						t.Fatalf("VerifyError.Cols = %v, want %v", ve.Cols, c.wantCols)
+					}
+				}
+			}
+			if got := m.Stats().CellsRetired; got != c.wantTired {
+				t.Errorf("CellsRetired = %d, want %d", got, c.wantTired)
+			}
+			// Retired cells hold the intended data, left the defect set,
+			// and the machine's check bits are coherent again.
+			if c.wantTired > 0 && !c.wantErr {
+				for _, rc := range c.stuck {
+					if m.MEM().Get(rc[0], rc[1]) {
+						t.Errorf("retired cell (%d,%d) still holds the stuck value", rc[0], rc[1])
+					}
+					if _, stillStuck := s.Stuck(rc[0], rc[1]); stillStuck {
+						t.Errorf("retired cell (%d,%d) still in the defect set", rc[0], rc[1])
+					}
+				}
+				if !m.CheckConsistent() {
+					t.Error("check bits stale after retirement")
+				}
+			}
+		})
+	}
+}
+
+// TestWriteVerifyCatchesLaundering pins the mechanism at machine level:
+// with repair off a stuck cell's laundering write leaves the machine
+// check-consistent while the data is wrong (the PR 3 hole); with verify
+// the same write errors; with verify+spare it self-heals.
+func TestWriteVerifyCatchesLaundering(t *testing.T) {
+	launder := func(m *Machine) error {
+		// The laundering sequence: checks rebuilt over golden data, the
+		// defect re-asserts, then the host writes the non-stuck value.
+		m.RebuildChecks()
+		m.MEM().Set(7, 9, true) // defect re-asserts
+		zeros := bitmat.NewVec(testCfg.N)
+		return m.LoadRow(7, zeros)
+	}
+
+	m := MustNew(repairCfg(repair.Off, 0))
+	if err := launder(m); err != nil {
+		t.Fatalf("repair-off LoadRow: %v", err)
+	}
+	m.MEM().Set(7, 9, true) // the defect re-asserts; nothing observes it
+	if !m.CheckConsistent() {
+		t.Fatal("laundering should leave checks consistent — that is the hole")
+	}
+
+	mv, _ := stuckMachine(t, repair.Verify, 0, [2]int{7, 9})
+	if err := launder(mv); !errors.Is(err, ErrVerify) {
+		t.Fatalf("verify policy: err = %v, want ErrVerify", err)
+	}
+
+	ms, _ := stuckMachine(t, repair.VerifySpare, 4, [2]int{7, 9})
+	if err := launder(ms); err != nil {
+		t.Fatalf("verify+spare policy: %v", err)
+	}
+	if ms.MEM().Get(7, 9) {
+		t.Fatal("retired cell did not take the intended value")
+	}
+	if !ms.CheckConsistent() {
+		t.Fatal("check bits stale after write-verify retirement")
+	}
+	if ms.Stats().CellsRetired != 1 {
+		t.Fatalf("CellsRetired = %d, want 1", ms.Stats().CellsRetired)
+	}
+}
+
+// TestScrubTriggeredRetirement drives a repeat-offender cell through
+// scrubs until the threshold retires it online.
+func TestScrubTriggeredRetirement(t *testing.T) {
+	cfg := repairCfg(repair.VerifySpare, 4)
+	cfg.Repair.RetireAfter = 2
+	m := MustNew(cfg)
+	s := faults.NewStuckSet()
+	s.Add(5, 6, true)
+	m.AttachDefects(s)
+
+	// Scrub 1: the defect flips the healthy cell; the scrub corrects it
+	// (strike 1), the defect re-asserts afterwards.
+	s.Reassert(m.MEM())
+	if c, u := m.Scrub(); c != 1 || u != 0 {
+		t.Fatalf("scrub 1 corrected=%d uncorrectable=%d, want 1/0", c, u)
+	}
+	if m.Stats().CellsRetired != 0 {
+		t.Fatal("retired before crossing the threshold")
+	}
+	s.Reassert(m.MEM())
+
+	// Scrub 2: strike 2 crosses RetireAfter=2 — retired on the spot.
+	if c, _ := m.Scrub(); c != 1 {
+		t.Fatalf("scrub 2 corrected=%d, want 1", c)
+	}
+	if m.Stats().CellsRetired != 1 {
+		t.Fatalf("CellsRetired = %d, want 1", m.Stats().CellsRetired)
+	}
+	if _, stillStuck := s.Stuck(5, 6); stillStuck {
+		t.Fatal("retired cell still in the defect set")
+	}
+	if m.MEM().Get(5, 6) {
+		t.Fatal("retired cell holds the stuck value")
+	}
+	if !m.CheckConsistent() {
+		t.Fatal("check bits stale after scrub-triggered retirement")
+	}
+	// The defect no longer re-asserts: subsequent scrubs stay clean.
+	s.Reassert(m.MEM())
+	if c, u := m.Scrub(); c != 0 || u != 0 {
+		t.Fatalf("post-retirement scrub corrected=%d uncorrectable=%d, want 0/0", c, u)
+	}
+}
+
+// TestRepairLogAndTelemetry checks the repair log entries and the
+// telemetry counters/ring events the CI smoke asserts on.
+func TestRepairLogAndTelemetry(t *testing.T) {
+	reg := telemetry.New()
+	m, _ := stuckMachine(t, repair.VerifySpare, 1, [2]int{3, 2}, [2]int{3, 40})
+	tel := TelemetryFor(reg, "diagonal")
+	tel.Bank, tel.Xbar = 2, 1
+	m.Instrument(tel)
+	m.RecordRepairs(true)
+
+	zeros := bitmat.NewVec(testCfg.N)
+	_, err := m.UpdateRow(3, func(v *bitmat.Vec) bool { v.CopyFrom(zeros); return true })
+	if !errors.Is(err, ErrVerify) {
+		t.Fatalf("err = %v, want ErrVerify (budget 1 < 2 defects)", err)
+	}
+
+	log := m.DrainRepairs()
+	var mism, retired, exhausted int
+	for _, r := range log {
+		if !r.Stuck {
+			t.Errorf("log entry %+v lost the observed stuck value", r)
+		}
+		switch r.Kind {
+		case RepairMismatch:
+			mism++
+		case RepairRetired:
+			retired++
+		case RepairExhausted:
+			exhausted++
+		}
+	}
+	if mism != 2 || retired != 1 || exhausted != 1 {
+		t.Fatalf("log mismatch/retired/exhausted = %d/%d/%d, want 2/1/1 (%+v)", mism, retired, exhausted, log)
+	}
+	if got := m.DrainRepairs(); got != nil {
+		t.Fatal("drain did not clear the log")
+	}
+
+	st := m.Stats()
+	if st.VerifyMismatches != 2 || st.CellsRetired != 1 || st.SparesExhausted != 1 {
+		t.Fatalf("stats %+v, want 2 mismatches / 1 retired / 1 exhausted", st)
+	}
+	if st.VerifyReads == 0 {
+		t.Fatal("verify read-backs not counted")
+	}
+
+	var sawMismatch, sawRetired, sawExhausted bool
+	for _, e := range reg.Events().Recent(0) {
+		if e.Bank != 2 || e.Xbar != 1 {
+			continue
+		}
+		switch e.Kind {
+		case telemetry.EvVerifyMismatch:
+			sawMismatch = true
+		case telemetry.EvCellRetired:
+			sawRetired = true
+		case telemetry.EvSpareExhausted:
+			sawExhausted = true
+		}
+	}
+	if !sawMismatch || !sawRetired || !sawExhausted {
+		t.Fatalf("ring events mismatch/retired/exhausted seen = %v/%v/%v, want all true",
+			sawMismatch, sawRetired, sawExhausted)
+	}
+}
+
+// TestVerifyClearsStaleSyndrome pins the inverse laundering case: after a
+// scrub corrects a stuck cell the checks encode the corrected value while
+// the defect re-asserts; a host write of the STUCK value then reads back
+// clean — the data is exactly what was intended — but the delta fold
+// (computed from the physical old value) leaves the checks encoding the
+// pre-write logical image. With repair off the next scrub "corrects"
+// verified-good data; with verify on the metadata sweep re-syncs the
+// checks and the scrub stays quiet.
+func TestVerifyClearsStaleSyndrome(t *testing.T) {
+	stuckValueRow := bitmat.NewVec(testCfg.N)
+	stuckValueRow.Set(9, true)
+
+	// Repair off: the stale syndrome survives the write and the scrub
+	// miscorrects the freshly written data.
+	m := MustNew(repairCfg(repair.Off, 0))
+	m.MEM().Set(7, 9, true) // defect asserts over the all-zero image
+	m.Scrub()               // corrected: checks and data both say 0
+	m.MEM().Set(7, 9, true) // defect re-asserts
+	if err := m.LoadRow(7, stuckValueRow); err != nil {
+		t.Fatalf("repair-off LoadRow: %v", err)
+	}
+	if m.CheckConsistent() {
+		t.Fatal("stale syndrome expected with repair off — that is the hazard")
+	}
+	if c, _ := m.Scrub(); c != 1 || m.MEM().Get(7, 9) {
+		t.Fatalf("scrub corrected=%d cell=%v: expected the miscorrection of good data", c, m.MEM().Get(7, 9))
+	}
+
+	// Verify on: the metadata sweep patches the checks at write time.
+	mv, _ := stuckMachine(t, repair.Verify, 0, [2]int{7, 9})
+	mv.Scrub() // corrects the defect against the all-zero image
+	mv.Defects().Reassert(mv.MEM())
+	if err := mv.LoadRow(7, stuckValueRow); err != nil {
+		t.Fatalf("writing the stuck value should verify clean: %v", err)
+	}
+	if !mv.CheckConsistent() {
+		t.Fatal("metadata sweep left a stale syndrome")
+	}
+	if c, u := mv.Scrub(); c != 0 || u != 0 {
+		t.Fatalf("scrub corrected=%d uncorrectable=%d after a verified write, want 0/0", c, u)
+	}
+	if !mv.MEM().Get(7, 9) {
+		t.Fatal("verified data was disturbed")
+	}
+}
+
+// TestRepairGenericSchemes runs the retirement path under the pluggable
+// scheme backends: write-verify and sparing are code-agnostic, and the
+// covering-unit rebuild must leave each scheme's own check state coherent.
+func TestRepairGenericSchemes(t *testing.T) {
+	for _, scheme := range []string{"hamming", "parity"} {
+		t.Run(scheme, func(t *testing.T) {
+			cfg := repairCfg(repair.VerifySpare, 4)
+			cfg.Scheme = scheme
+			m := MustNew(cfg)
+			s := faults.NewStuckSet()
+			s.Add(7, 9, true)
+			m.MEM().Set(7, 9, true)
+			m.AttachDefects(s)
+
+			zeros := bitmat.NewVec(testCfg.N)
+			if err := m.LoadRow(7, zeros); err != nil {
+				t.Fatalf("laundering write should retire within budget: %v", err)
+			}
+			if got := m.Stats().CellsRetired; got != 1 {
+				t.Fatalf("CellsRetired = %d, want 1", got)
+			}
+			if m.MEM().Get(7, 9) {
+				t.Fatal("retired cell did not take the intended value")
+			}
+			if !m.CheckConsistent() {
+				t.Fatalf("%s check state stale after retirement", scheme)
+			}
+		})
+	}
+
+	// The stale-metadata sweep through the generic CheckBlock path: only
+	// hamming can correct (and therefore miscorrect), so only it needs the
+	// write-time re-sync when the host writes the stuck value.
+	cfg := repairCfg(repair.Verify, 0)
+	cfg.Scheme = "hamming"
+	m := MustNew(cfg)
+	s := faults.NewStuckSet()
+	s.Add(12, 30, true)
+	m.MEM().Set(12, 30, true)
+	m.AttachDefects(s)
+	m.Scrub() // corrects the defect against the all-zero image
+	s.Reassert(m.MEM())
+	row := bitmat.NewVec(testCfg.N)
+	row.Set(30, true) // host writes the stuck value
+	if err := m.LoadRow(12, row); err != nil {
+		t.Fatalf("writing the stuck value should verify clean: %v", err)
+	}
+	if !m.CheckConsistent() {
+		t.Fatal("hamming metadata sweep left a stale word syndrome")
+	}
+	if c, u := m.Scrub(); c != 0 || u != 0 {
+		t.Fatalf("scrub corrected=%d uncorrectable=%d after a verified write, want 0/0", c, u)
+	}
+}
+
+// TestVerifyNoDefectsNoCost pins that a repair-enabled machine with no
+// defects verifies cleanly and never errors — the common case every
+// serve request takes.
+func TestVerifyNoDefectsNoCost(t *testing.T) {
+	m := MustNew(repairCfg(repair.Verify, 0))
+	row := bitmat.NewVec(testCfg.N)
+	row.Fill(true)
+	if err := m.LoadRow(11, row); err != nil {
+		t.Fatalf("LoadRow on a healthy machine: %v", err)
+	}
+	st := m.Stats()
+	if st.VerifyReads != 1 {
+		t.Fatalf("VerifyReads = %d, want 1 (single read-back, no retry)", st.VerifyReads)
+	}
+	if st.VerifyMismatches != 0 || st.CellsRetired != 0 {
+		t.Fatalf("healthy write produced repair activity: %+v", st)
+	}
+}

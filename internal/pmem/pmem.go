@@ -21,12 +21,14 @@ package pmem
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
 
 	"repro/internal/bitmat"
 	"repro/internal/faults"
 	"repro/internal/machine"
 	"repro/internal/mmpu"
+	"repro/internal/repair"
 	"repro/internal/telemetry"
 )
 
@@ -47,6 +49,13 @@ type Config struct {
 	// Scheme selects the protection code for every crossbar
 	// (ecc.SchemeByName; empty = the paper's diagonal code).
 	Scheme string
+
+	// Repair configures each crossbar's self-healing layer (write-verify,
+	// spare remapping, scrub-triggered retirement — internal/repair). With
+	// it enabled every crossbar gets its own defect set, so stuck-at
+	// faults injected through InjectModel re-assert on writes and can be
+	// retired online. The zero value is off.
+	Repair repair.Config
 }
 
 // Memory is a bank-organized set of protected crossbars.
@@ -135,14 +144,33 @@ func New(cfg Config) (*Memory, error) {
 	for i := range m.xbs {
 		xb, err := machine.New(machine.Config{
 			N: cfg.Org.CrossbarN, M: cfg.M, K: cfg.K, ECCEnabled: cfg.ECCEnabled,
-			Scheme: cfg.Scheme,
+			Scheme: cfg.Scheme, Repair: cfg.Repair,
 		})
 		if err != nil {
 			return nil, err
 		}
+		// Each crossbar owns a defect set: stuck-at faults injected by
+		// the model-based overlay land here and re-assert on every write
+		// (an empty set costs nothing). With repair enabled, write-verify
+		// observes them and retirement evicts them.
+		xb.AttachDefects(faults.NewStuckSet())
 		m.xbs[i] = xb
 	}
 	return m, nil
+}
+
+// RepairStats aggregates the repair-layer activity of every crossbar
+// (zero with the repair policy off).
+func (m *Memory) RepairStats() repair.Stats {
+	var s repair.Stats
+	for b := 0; b < m.cfg.Org.Banks; b++ {
+		m.banks[b].Lock()
+		for x := 0; x < m.cfg.Org.PerBank; x++ {
+			s = s.Add(m.at(b, x).RepairStats())
+		}
+		m.banks[b].Unlock()
+	}
+	return s
 }
 
 // Config returns the memory configuration.
@@ -186,7 +214,10 @@ func (m *Memory) locate(bit int64) (xb *machine.Machine, bank, row, col int, err
 // crossbar row to fn; if fn reports the row dirty, the row is committed
 // through the protected write path — one ECC delta update for the whole
 // coalesced mutation. It is the primitive the serving layer batches
-// same-row requests into.
+// same-row requests into. With a repair policy active the committed row
+// is write-verified; a persistent mismatch surfaces as a
+// machine.VerifyError (errors.Is-able against machine.ErrVerify) after
+// the write has been escalated per policy.
 func (m *Memory) AccessRow(bank, xb, row int, fn func(v *bitmat.Vec) (dirty bool)) error {
 	if bank < 0 || bank >= m.cfg.Org.Banks || xb < 0 || xb >= m.cfg.Org.PerBank ||
 		row < 0 || row >= m.cfg.Org.CrossbarN {
@@ -195,9 +226,9 @@ func (m *Memory) AccessRow(bank, xb, row int, fn func(v *bitmat.Vec) (dirty bool
 	}
 	m.banks[bank].Lock()
 	defer m.banks[bank].Unlock()
-	m.at(bank, xb).UpdateRow(row, fn)
+	_, err := m.at(bank, xb).UpdateRow(row, fn)
 	m.probe(bank).rmw.Inc()
-	return nil
+	return err
 }
 
 // WriteBit stores one bit, keeping the owning crossbar's check bits
@@ -209,12 +240,12 @@ func (m *Memory) WriteBit(bit int64, v bool) error {
 	}
 	m.banks[bank].Lock()
 	defer m.banks[bank].Unlock()
-	xb.UpdateRow(row, func(r *bitmat.Vec) bool {
+	_, err = xb.UpdateRow(row, func(r *bitmat.Vec) bool {
 		r.Set(col, v)
 		return true
 	})
 	m.probe(bank).writes.Inc()
-	return nil
+	return err
 }
 
 // ReadBit returns one stored bit (no correction on the read path; the
@@ -290,7 +321,7 @@ func (m *Memory) writeSegments(bit, nbits int64, src []uint64) error {
 	return m.cfg.Org.ForEachSegment(bit, nbits, func(s mmpu.Segment) error {
 		m.banks[s.Bank].Lock()
 		defer m.banks[s.Bank].Unlock()
-		m.at(s.Bank, s.Crossbar).UpdateRow(s.Row, func(r *bitmat.Vec) bool {
+		_, err := m.at(s.Bank, s.Crossbar).UpdateRow(s.Row, func(r *bitmat.Vec) bool {
 			for i := 0; i < s.Bits; i++ {
 				j := s.Off + int64(i)
 				r.Set(s.Col+i, src[j>>6]>>(uint(j)&63)&1 != 0)
@@ -298,7 +329,7 @@ func (m *Memory) writeSegments(bit, nbits int64, src []uint64) error {
 			return true
 		})
 		m.probe(s.Bank).writes.Inc()
-		return nil
+		return err
 	})
 }
 
@@ -409,6 +440,29 @@ func (m *Memory) InjectWindow(bank, xb int, inj *faults.Injector, hours float64)
 			bank, xb, int64(flips), 0)
 	}
 	return flips
+}
+
+// InjectModel exposes one crossbar to a fault model for `hours` under the
+// bank lock — the model-based generalization of InjectWindow. Transient
+// models flip bits exactly as the Injector-based overlay does (identical
+// rng stream given the same seed); stuck-at models additionally land in
+// the crossbar's defect set, so the cells re-assert on every write and the
+// repair layer can observe and retire them. Returns the number of
+// affected cells.
+func (m *Memory) InjectModel(bank, xb int, model faults.Model, rng *rand.Rand, hours float64) int {
+	m.banks[bank].Lock()
+	defer m.banks[bank].Unlock()
+	mach := m.at(bank, xb)
+	cells := 0
+	for _, f := range model.Apply(mach.MEM(), mach.Defects(), rng, hours) {
+		f.Cells(func(r, c int) { cells++ })
+	}
+	if cells > 0 {
+		m.probe(bank).injected.Add(int64(cells))
+		m.ring.Emit(telemetry.EvInject, int64(mach.MEM().Stats().Cycles),
+			bank, xb, int64(cells), 0)
+	}
+	return cells
 }
 
 // CampaignResult summarizes one error-injection window.

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"fmt"
+	"math/rand"
 	"sync"
 
 	"repro/internal/faults"
@@ -25,10 +26,13 @@ const (
 	costCoalRead  = 1 // read served from the open row
 	costCoalWrite = 2 // write merged into the open row's single commit
 	costScrubBlk  = 8 // per ECC block checked during a scrub
+	costVerify    = 1 // committed-line read-back per written segment (repair ≥ verify)
 )
 
-// reqCost charges one served request.
-func reqCost(info execInfo) int64 {
+// reqCost charges one served request. verify adds the write-verify
+// read-back tax: one tick per committed row segment (a coalesced write
+// shares its row's single commit and single read-back).
+func reqCost(info execInfo, verify bool) int64 {
 	if info.coalesced {
 		if info.write {
 			return costCoalWrite
@@ -38,6 +42,9 @@ func reqCost(info execInfo) int64 {
 	base := int64(costRead)
 	if info.write {
 		base = costWrite
+		if verify {
+			base += costVerify
+		}
 	}
 	segs := int64(info.segments)
 	if segs < 1 {
@@ -78,6 +85,12 @@ type ReplayConfig struct {
 	// per-crossbar stream derived from Seed.
 	FaultSER   float64
 	FaultHours float64
+	// FaultModel selects the overlay's fault model (faults.ModelByName).
+	// Empty keeps the historical transient-flip stream byte-identical;
+	// stuck-at models land in each crossbar's defect set, so the defects
+	// re-assert against live traffic and the repair layer (the memory's
+	// pmem/machine Repair config) can observe and retire them online.
+	FaultModel string
 	// Seed derives the per-crossbar fault streams.
 	Seed int64
 
@@ -182,6 +195,13 @@ func Replay(cfg ReplayConfig, tr *Trace) (Result, error) {
 		cfg.BatchSize = 32
 	}
 	closed := tr.Mode == "closed"
+	var model faults.Model
+	if cfg.FaultSER > 0 && cfg.FaultModel != "" {
+		var err error
+		if model, err = faults.ModelByName(cfg.FaultModel, cfg.FaultSER); err != nil {
+			return Result{}, err
+		}
+	}
 	workers := modelWorkers(cfg.Workers, org.Banks)
 	res := Result{
 		Workers:   workers,
@@ -200,7 +220,7 @@ func Replay(cfg ReplayConfig, tr *Trace) (Result, error) {
 		wg.Add(1)
 		go func(w int, banks []int) {
 			defer wg.Done()
-			res.PerWorker[w], scrubs[w] = replayWorker(cfg, org, banks, tr, closed, &stats[w], tel)
+			res.PerWorker[w], scrubs[w] = replayWorker(cfg, model, org, banks, tr, closed, &stats[w], tel)
 		}(w, banks)
 	}
 	wg.Wait()
@@ -247,10 +267,11 @@ func mergeStreams(tr *Trace, banks []int) []TimedReq {
 
 // replayWorker simulates one modeled worker's service timeline over its
 // banks, returning its final clock and per-owned-bank scrub counts.
-func replayWorker(cfg ReplayConfig, org mmpu.Organization, banks []int, tr *Trace, closed bool, st *Stats, tel probes) (int64, []int64) {
+func replayWorker(cfg ReplayConfig, model faults.Model, org mmpu.Organization, banks []int, tr *Trace, closed bool, st *Stats, tel probes) (int64, []int64) {
 	reqs := mergeStreams(tr, banks)
 	ex := executor{mem: cfg.Mem, org: org}
 	sCost := scrubCost(cfg.Mem.Config())
+	verify := cfg.Mem.Config().Repair.Enabled()
 	bankSlot := make(map[int]int, len(banks)) // bank → index in banks
 	var xbs [][2]int                          // scrub rotation over the worker's crossbars
 	for i, b := range banks {
@@ -265,7 +286,8 @@ func replayWorker(cfg ReplayConfig, org mmpu.Organization, banks []int, tr *Trac
 		cursor     int
 		bankScrubs = make([]int64, len(banks))
 		injs       map[[2]int]*faults.Injector
-		prevDone   map[int]int64 // closed loop: client → completion of previous round
+		rngs       map[[2]int]*rand.Rand // model-based overlay streams
+		prevDone   map[int]int64         // closed loop: client → completion of previous round
 		batch      = make([]Request, 0, cfg.BatchSize)
 	)
 	if closed {
@@ -277,7 +299,11 @@ func replayWorker(cfg ReplayConfig, org mmpu.Organization, banks []int, tr *Trac
 		}
 	}
 	if cfg.FaultSER > 0 {
-		injs = make(map[[2]int]*faults.Injector)
+		if model != nil {
+			rngs = make(map[[2]int]*rand.Rand)
+		} else {
+			injs = make(map[[2]int]*faults.Injector)
+		}
 	}
 	hours := cfg.FaultHours
 	if hours <= 0 {
@@ -306,7 +332,7 @@ func replayWorker(cfg ReplayConfig, org mmpu.Organization, banks []int, tr *Trac
 		tel.batches.Inc()
 		tel.backlog.Observe(int64(j - i))
 		ex.run(batch, func(k int, resp Response, info execInfo) {
-			charge := reqCost(info)
+			charge := reqCost(info, verify)
 			clock += charge
 			tq := reqs[i+k]
 			arrived := tq.At
@@ -326,7 +352,16 @@ func replayWorker(cfg ReplayConfig, org mmpu.Organization, banks []int, tr *Trac
 		if cfg.ScrubPeriod > 0 && clock >= nextScrub && len(xbs) > 0 {
 			bx := xbs[cursor]
 			cursor = (cursor + 1) % len(xbs)
-			if cfg.FaultSER > 0 {
+			switch {
+			case model != nil:
+				rng := rngs[bx]
+				if rng == nil {
+					rng = rand.New(rand.NewSource(
+						faults.DeriveSeed(cfg.Seed^0x5e7e, bx[0], bx[1])))
+					rngs[bx] = rng
+				}
+				st.Injected += int64(cfg.Mem.InjectModel(bx[0], bx[1], model, rng, hours))
+			case cfg.FaultSER > 0:
 				inj := injs[bx]
 				if inj == nil {
 					inj = faults.NewInjector(cfg.FaultSER,

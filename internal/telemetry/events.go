@@ -31,6 +31,16 @@ const (
 	// EvInject is one fault-overlay exposure window: A = bit flips
 	// injected.
 	EvInject
+	// EvVerifyMismatch is one persistent write-verify failure: a committed
+	// cell read back differing from the intended data after a rewrite
+	// retry. A = row, B = column.
+	EvVerifyMismatch
+	// EvCellRetired is one cell remapped onto a spare (write-verify or
+	// scrub-triggered retirement). A = row, B = column.
+	EvCellRetired
+	// EvSpareExhausted is one retirement refused because the crossbar's
+	// spare budget ran out. A = row, B = column.
+	EvSpareExhausted
 
 	numEventKinds
 )
@@ -50,6 +60,12 @@ func (k EventKind) String() string {
 		return "coalesce"
 	case EvInject:
 		return "inject"
+	case EvVerifyMismatch:
+		return "verify_mismatch"
+	case EvCellRetired:
+		return "cell_retired"
+	case EvSpareExhausted:
+		return "spare_exhausted"
 	}
 	return fmt.Sprintf("EventKind(%d)", uint8(k))
 }
