@@ -1,0 +1,134 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"testing"
+
+	"repro/internal/serve"
+)
+
+// computeOpts is smokeOpts plus a compute-monopolizing tenant sharing
+// the memory with an interactive one, under an admission budget.
+func computeOpts(admit int64) options {
+	o := smokeOpts(4)
+	o.mix = "uniform"
+	o.faultSER = 0
+	o.compute = "search"
+	o.tenants = []serve.TenantMix{
+		{Name: "client", ReadFrac: 50, WriteFrac: 50},
+		{Name: "batch", ComputeFrac: 100},
+	}
+	o.admit = admit
+	return o
+}
+
+// TestDefaultReportMatchesGolden pins the no-compute CLI surface: the
+// exact flags the CI smoke runs must render byte-identically to the
+// checked-in pre-compute golden. Any new report field that leaks into
+// the default path (a forgotten omitempty) fails here before it fails
+// in CI.
+func TestDefaultReportMatchesGolden(t *testing.T) {
+	golden, err := os.ReadFile("testdata/golden_default.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := options{
+		n: 90, m: 15, k: 2, banks: 16, perBank: 2, ecc: true,
+		mode: "open", mix: "uniform", requests: 20000, clients: 8,
+		rate: 0.2, writeFrac: 0.5, width: 32,
+		batch: 32, scrubPeriod: 500, faultSER: 3e5, faultHours: 1, seed: 1,
+	}
+	out, _, err := run(o, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, golden) {
+		t.Fatalf("default report drifted from testdata/golden_default.json (%d vs %d bytes)",
+			len(out), len(golden))
+	}
+}
+
+// TestComputeReportShapeAndReproducibility: the multi-tenant report is
+// byte-reproducible at fixed flags and carries the E13 fields — the
+// kernel, the admission budget, compute counts, and one SLO block per
+// tenant with its own latency digest.
+func TestComputeReportShapeAndReproducibility(t *testing.T) {
+	a, res, err := run(computeOpts(400), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := run(computeOpts(400), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("compute report not reproducible:\n%s\n---\n%s", a, b)
+	}
+	if res.Stats.Errors != 0 {
+		t.Fatalf("%d serve errors", res.Stats.Errors)
+	}
+	var rep map[string]any
+	if err := json.Unmarshal(a, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep["compute"] != "search" || rep["admit_budget"].(float64) != 400 {
+		t.Fatalf("compute header wrong: compute=%v admit=%v", rep["compute"], rep["admit_budget"])
+	}
+	served := rep["served"].(map[string]any)
+	if served["computes"].(float64) == 0 || served["compute_ticks"].(float64) == 0 {
+		t.Fatalf("compute traffic missing from served block: %v", served)
+	}
+	tenants := rep["tenants"].([]any)
+	if len(tenants) != 2 {
+		t.Fatalf("want 2 tenant blocks, got %d", len(tenants))
+	}
+	var total float64
+	for i, name := range []string{"client", "batch"} {
+		tb := tenants[i].(map[string]any)
+		if tb["name"] != name {
+			t.Fatalf("tenant %d named %v, want %s", i, tb["name"], name)
+		}
+		lat := tb["latency_ticks"].(map[string]any)
+		if lat["count"].(float64) != tb["requests"].(float64) {
+			t.Fatalf("tenant %s: %v latencies for %v requests", name, lat["count"], tb["requests"])
+		}
+		if lat["p99"].(float64) < lat["p50"].(float64) {
+			t.Fatalf("tenant %s: p99 %v below p50 %v", name, lat["p99"], lat["p50"])
+		}
+		if tb["throughput_per_kilotick"].(float64) <= 0 {
+			t.Fatalf("tenant %s: no throughput", name)
+		}
+		total += tb["requests"].(float64)
+	}
+	if total != served["requests"].(float64) {
+		t.Fatalf("tenant requests sum to %v of %v served", total, served["requests"])
+	}
+	batch := tenants[1].(map[string]any)
+	if batch["computes"].(float64) != batch["requests"].(float64) {
+		t.Fatalf("batch tenant not compute-only: %v", batch)
+	}
+}
+
+// TestAdmitFlagProtectsClientP99 is the report-level view of the E13
+// claim: the client tenant's p99 under an admission budget must be far
+// below its FIFO p99 at otherwise identical flags.
+func TestAdmitFlagProtectsClientP99(t *testing.T) {
+	clientP99 := func(admit int64) float64 {
+		out, _, err := run(computeOpts(admit), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rep map[string]any
+		if err := json.Unmarshal(out, &rep); err != nil {
+			t.Fatal(err)
+		}
+		tb := rep["tenants"].([]any)[0].(map[string]any)
+		return tb["latency_ticks"].(map[string]any)["p99"].(float64)
+	}
+	fifo, bounded := clientP99(0), clientP99(400)
+	if bounded*10 > fifo {
+		t.Fatalf("client p99 %v (admit=400) not an order below FIFO %v", bounded, fifo)
+	}
+}

@@ -21,6 +21,9 @@
 //	loadgen -ecc hamming -faults-ser 3e5         # serve over the Hamming SEC-DED backend
 //	loadgen -repair verify+spare -faults-model stuck1 -faults-ser 3e5
 //	                                             # self-heal stuck cells under live traffic
+//	loadgen -compute search                      # mixed tenant issuing online SIMD pipelines
+//	loadgen -tenants "client=50/50/0,batch=0/0/100" -admit 400
+//	                                             # bound how long batch compute may starve clients
 package main
 
 import (
@@ -56,6 +59,10 @@ type options struct {
 	writeFrac float64
 	width     int
 
+	compute string            // SIMD kernel for OpCompute traffic ("" = none)
+	tenants []serve.TenantMix // multi-tenant mixes (nil = legacy single tenant)
+	admit   int64             // per-round compute admission budget (0 = FIFO)
+
 	workers     int
 	batch       int
 	scrubPeriod int64
@@ -79,8 +86,14 @@ type report struct {
 	Width     int     `json:"width"`
 	WriteFrac float64 `json:"write_frac"`
 	Rate      float64 `json:"rate,omitempty"`
-	Workers   int     `json:"workers"`
-	Geometry  struct {
+	// Compute names the SIMD kernel the trace's OpCompute requests run;
+	// AdmitBudget is the per-round compute admission budget in model
+	// ticks. Both are omitted for compute-free runs, so default reports
+	// stay byte-identical to pre-compute goldens.
+	Compute     string `json:"compute,omitempty"`
+	AdmitBudget int64  `json:"admit_budget,omitempty"`
+	Workers     int    `json:"workers"`
+	Geometry    struct {
 		N, M, K, Banks, PerBank int
 		ECC                     bool
 		// Scheme names the protection code; omitted for the default
@@ -97,9 +110,13 @@ type report struct {
 	Repair *repairReport `json:"repair,omitempty"`
 
 	Served struct {
-		Requests      int64 `json:"requests"`
-		Reads         int64 `json:"reads"`
-		Writes        int64 `json:"writes"`
+		Requests int64 `json:"requests"`
+		Reads    int64 `json:"reads"`
+		Writes   int64 `json:"writes"`
+		// Computes counts served OpCompute requests; ComputeTicks is the
+		// total virtual time they occupied (the admission-control currency).
+		Computes      int64 `json:"computes,omitempty"`
+		ComputeTicks  int64 `json:"compute_ticks,omitempty"`
 		Errors        int64 `json:"errors"`
 		Batches       int64 `json:"batches"`
 		Coalesced     int64 `json:"coalesced"`
@@ -118,11 +135,28 @@ type report struct {
 	PerWorkerTicks        []int64          `json:"per_worker_ticks"`
 	PerBank               []serve.BankLoad `json:"per_bank"`
 
+	// Tenants is the per-tenant SLO block of multi-tenant runs (one entry
+	// per -tenants stream, trace order); omitted for single-tenant runs.
+	Tenants []tenantReport `json:"tenants,omitempty"`
+
 	// Telemetry is the run's metric snapshot, present only under
 	// -telemetry (the pointer + omitempty keep default reports
 	// byte-identical to pre-telemetry goldens). At fixed flags the
 	// snapshot is byte-reproducible: every series update commutes.
 	Telemetry *telemetry.Snapshot `json:"telemetry,omitempty"`
+}
+
+// tenantReport is one tenant's slice of the report: its op counts and
+// latency distribution (P99 is the per-tenant SLO figure E13 sweeps).
+type tenantReport struct {
+	Name                  string            `json:"name"`
+	Requests              int64             `json:"requests"`
+	Reads                 int64             `json:"reads"`
+	Writes                int64             `json:"writes"`
+	Computes              int64             `json:"computes"`
+	Errors                int64             `json:"errors"`
+	ThroughputPerKilotick float64           `json:"throughput_per_kilotick"`
+	LatencyTicks          fleet.HistSummary `json:"latency_ticks"`
 }
 
 // repairReport is the self-healing block of the report: the active policy
@@ -152,6 +186,7 @@ func run(o options, reg *telemetry.Registry) ([]byte, serve.Result, error) {
 	tr, err := serve.GenTrace(mem.Config().Org, serve.TraceOpts{
 		Mode: o.mode, Mix: o.mix, Requests: o.requests, Clients: o.clients,
 		Rate: o.rate, WriteFrac: o.writeFrac, Width: o.width, Seed: o.seed,
+		Tenants: o.tenants, Compute: o.compute,
 	})
 	if err != nil {
 		return nil, serve.Result{}, err
@@ -159,7 +194,7 @@ func run(o options, reg *telemetry.Registry) ([]byte, serve.Result, error) {
 	res, err := serve.Replay(serve.ReplayConfig{
 		Mem: mem, Workers: o.workers, BatchSize: o.batch,
 		ScrubPeriod: o.scrubPeriod, FaultSER: o.faultSER, FaultHours: o.faultHours,
-		FaultModel: o.faultModel, Seed: o.seed, Telemetry: reg,
+		FaultModel: o.faultModel, ComputeAdmit: o.admit, Seed: o.seed, Telemetry: reg,
 	}, tr)
 	if err != nil {
 		return nil, serve.Result{}, err
@@ -178,6 +213,10 @@ func run(o options, reg *telemetry.Registry) ([]byte, serve.Result, error) {
 	}
 	rep.ScrubPeriod, rep.FaultSER = o.scrubPeriod, o.faultSER
 	rep.FaultModel = o.faultModel
+	if tr.Plan != nil {
+		rep.Compute = tr.Plan.Kernel
+	}
+	rep.AdmitBudget = o.admit
 	if o.repairCfg.Enabled() {
 		rs := mem.RepairStats()
 		rep.Repair = &repairReport{
@@ -191,6 +230,7 @@ func run(o options, reg *telemetry.Registry) ([]byte, serve.Result, error) {
 	}
 	st := res.Stats
 	rep.Served.Requests, rep.Served.Reads, rep.Served.Writes = st.Requests, st.Reads, st.Writes
+	rep.Served.Computes, rep.Served.ComputeTicks = st.Computes, st.ComputeTicks
 	rep.Served.Errors, rep.Served.Batches = st.Errors, st.Batches
 	rep.Served.Coalesced, rep.Served.Spanning, rep.Served.Segments = st.Coalesced, st.Spanning, st.Segments
 	rep.Served.Scrubs, rep.Served.Corrected = st.Scrubs, st.Corrected
@@ -202,6 +242,17 @@ func run(o options, reg *telemetry.Registry) ([]byte, serve.Result, error) {
 	}
 	rep.PerWorkerTicks = res.PerWorker
 	rep.PerBank = res.PerBank
+	for _, ts := range st.Tenants {
+		t := tenantReport{
+			Name: ts.Name, Requests: ts.Requests, Reads: ts.Reads,
+			Writes: ts.Writes, Computes: ts.Computes, Errors: ts.Errors,
+			LatencyTicks: ts.Lat.Summary(),
+		}
+		if res.Ticks > 0 {
+			t.ThroughputPerKilotick = float64(ts.Requests) * 1000 / float64(res.Ticks)
+		}
+		rep.Tenants = append(rep.Tenants, t)
+	}
 	if o.telemetry && reg != nil {
 		snap := reg.Snapshot()
 		rep.Telemetry = &snap
@@ -222,10 +273,12 @@ func main() {
 	var eccSel cliflags.ECC
 	var tel cliflags.Telemetry
 	var repairSel cliflags.Repair
+	var traffic cliflags.Traffic
 	cliflags.RegisterGeometry(flag.CommandLine, &geo,
 		cliflags.Geometry{N: 90, M: 15, K: 2, Banks: 16, PerBank: 2})
 	cliflags.RegisterECC(flag.CommandLine, &eccSel)
 	cliflags.RegisterRepair(flag.CommandLine, &repairSel)
+	cliflags.RegisterTraffic(flag.CommandLine, &traffic)
 	flag.StringVar(&o.mode, "mode", "open", "client model: "+strings.Join(serve.ModeNames(), ", "))
 	flag.StringVar(&o.mix, "mix", "uniform", "address mix: "+strings.Join(serve.MixNames(), ", "))
 	flag.IntVar(&o.requests, "requests", 20000, "total requests")
@@ -248,9 +301,11 @@ func main() {
 
 	eccSel.Resolve()
 	repairSel.Resolve()
+	traffic.Resolve()
 	o.n, o.m, o.k, o.banks, o.perBank = geo.N, geo.M, geo.K, geo.Banks, geo.PerBank
 	o.ecc, o.scheme = eccSel.Enabled, eccSel.Scheme
 	o.repairCfg = repairSel.Config
+	o.compute, o.tenants, o.admit = traffic.Compute, traffic.Mixes, traffic.Admit
 	o.telemetry = tel.Snapshot
 
 	stop, err := tel.Serve()

@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/ecc"
 	"repro/internal/repair"
+	"repro/internal/serve"
 	"repro/internal/telemetry"
 )
 
@@ -105,6 +106,54 @@ func (r *Repair) ResolveErr() error {
 // Resolve is ResolveErr with the CLIs' usage-error behavior.
 func (r *Repair) Resolve() {
 	if err := r.ResolveErr(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+}
+
+// Traffic is the serve-traffic flag trio of the compute-capable CLIs:
+// -compute selects the SIMD kernel, -tenants the multi-tenant mix spec,
+// -admit the per-round compute admission budget. The zero value (flags
+// unset) is fully off — single-tenant legacy traffic, no compute, FIFO
+// admission — so default reports stay byte-identical.
+type Traffic struct {
+	Compute string
+	Tenants string
+	Admit   int64
+
+	Mixes []serve.TenantMix // valid after Resolve
+}
+
+// RegisterTraffic binds -compute, -tenants, and -admit.
+func RegisterTraffic(fs *flag.FlagSet, t *Traffic) {
+	fs.StringVar(&t.Compute, "compute", "",
+		"SIMD compute kernel for OpCompute traffic: "+strings.Join(serve.ComputeKernelNames(), ", ")+
+			" (empty = none; implies a default mixed tenant unless -tenants is set)")
+	fs.StringVar(&t.Tenants, "tenants", "",
+		`multi-tenant traffic spec "name=read/write/compute,..." — relative weights, normalized per tenant (empty = single tenant)`)
+	fs.Int64Var(&t.Admit, "admit", 0,
+		"per-round compute admission budget in model ticks; bounds how long a compute burst may starve client requests (0 = FIFO)")
+}
+
+// ResolveErr parses the tenant spec (call after fs.Parse). A -compute
+// kernel without a -tenants spec resolves to one default mixed tenant
+// (40/40/20), so the flag generates compute traffic on its own.
+func (t *Traffic) ResolveErr() error {
+	spec := t.Tenants
+	if spec == "" && t.Compute != "" {
+		spec = "mixed=40/40/20"
+	}
+	mixes, err := serve.ParseTenants(spec)
+	if err != nil {
+		return err
+	}
+	t.Mixes = mixes
+	return nil
+}
+
+// Resolve is ResolveErr with the CLIs' usage-error behavior.
+func (t *Traffic) Resolve() {
+	if err := t.ResolveErr(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}

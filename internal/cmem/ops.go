@@ -74,6 +74,14 @@ func (c *CMEM) UpdateCritical(pcID int, u CriticalUpdate) {
 // 3 transfer-in cycles + 1 init + 8 NOR cycles + 1 write-back.
 const PCBusyCycles = 2 * (3 + 1 + xbar.XOR3CyclesPerBit + 1)
 
+// CriticalUpdateMEMCycles is the number of cycles MEM itself is occupied
+// by one critical operation: the old-value and new-value transfers into
+// the processing crossbar. The XOR3 delta fold runs inside the PC
+// pipeline (PCBusyCycles), overlapped with subsequent MEM operations, so
+// from the memory's point of view a critical update costs only the two
+// copies — the Θ(1) claim the serving layer's compute cost model charges.
+const CriticalUpdateMEMCycles = 2
+
 // CheckLine verifies and repairs one row of blocks (orientation
 // RowParallel checks block-column `blockIdx`; ColParallel checks block-row
 // `blockIdx`... following the paper we describe the block-row case). The

@@ -54,6 +54,39 @@ func (cfg Config) SchemeName() string {
 	return cfg.Scheme
 }
 
+// ComputeCost models the MEM-occupancy cost, in cycles, of executing one
+// SIMPLER mapping on a crossbar of this configuration — the currency the
+// serving layer's virtual-time replay charges per compute request. It
+// counts only cycles during which the data crossbar itself is busy
+// (grounded in the cmem pipeline constants): the mapping's own latency,
+// plus with ECC enabled the pre-execution input checks (one block-line
+// check per input block-column, CheckLineMEMCycles each per block row),
+// the per-critical-op old/new transfers (the XOR3 fold runs in the PC
+// pipeline for the diagonal code; generic schemes charge their
+// LineUpdateReads hook), and the post-execution working-region reconcile
+// (every working block-column's check bits rebuilt from the image).
+func (cfg Config) ComputeCost(mp *synth.Mapping) int64 {
+	cost := int64(mp.Latency())
+	if !cfg.ECCEnabled {
+		return cost
+	}
+	m := cfg.M
+	blocks := cfg.N / m
+	inputBlocks := (mp.Netlist.NumInputs() + m - 1) / m
+	cost += int64(inputBlocks * blocks * cmem.CheckLineMEMCycles(m))
+	upd := int64(cmem.CriticalUpdateMEMCycles)
+	if cfg.SchemeName() != ecc.SchemeDiagonal {
+		if spec, err := ecc.SchemeByName(cfg.SchemeName()); err == nil {
+			upd = int64(spec.New(ecc.Params{N: cfg.N, M: m}, nil).LineUpdateReads(1))
+		}
+	}
+	cost += int64(mp.CriticalOps()) * upd
+	firstBC := mp.Netlist.NumInputs() / m
+	lastBC := (mp.RowSize - 1) / m
+	cost += int64((lastBC - firstBC + 1) * blocks * cmem.CheckLineMEMCycles(m))
+	return cost
+}
+
 // Machine is one crossbar plus its check memory.
 type Machine struct {
 	cfg Config

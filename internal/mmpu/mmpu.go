@@ -108,8 +108,11 @@ func (o Organization) ForEachSegment(bit, nbits int64, fn func(Segment) error) e
 	if nbits < 0 {
 		return fmt.Errorf("mmpu: negative range width %d", nbits)
 	}
-	if bit < 0 || bit+nbits > o.DataBits() {
-		return fmt.Errorf("mmpu: range [%d,%d) outside [0,%d)", bit, bit+nbits, o.DataBits())
+	// bit > DataBits()-nbits is the overflow-safe form of bit+nbits >
+	// DataBits(): adversarial near-MaxInt64 starts must not wrap negative
+	// and skate past the guard.
+	if bit < 0 || nbits > o.DataBits() || bit > o.DataBits()-nbits {
+		return fmt.Errorf("mmpu: range %d+%d outside [0,%d)", bit, nbits, o.DataBits())
 	}
 	var off int64
 	for off < nbits {

@@ -2,6 +2,7 @@ package mmpu
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -224,6 +225,13 @@ func TestForEachSegmentRejectsBadRanges(t *testing.T) {
 	}
 	if err := org.ForEachSegment(org.DataBits()-1, 2, nop); err == nil {
 		t.Fatal("overrunning range accepted")
+	}
+	// bit+nbits near MaxInt64 must not wrap negative past the guard.
+	if err := org.ForEachSegment(math.MaxInt64-4, 8, nop); err == nil {
+		t.Fatal("overflowing range accepted")
+	}
+	if err := org.ForEachSegment(math.MaxInt64, 1, nop); err == nil {
+		t.Fatal("MaxInt64 start accepted")
 	}
 }
 

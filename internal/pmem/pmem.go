@@ -29,6 +29,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/mmpu"
 	"repro/internal/repair"
+	"repro/internal/synth"
 	"repro/internal/telemetry"
 )
 
@@ -80,6 +81,7 @@ type bankProbes struct {
 	corrected     *telemetry.Counter // scrub corrections applied
 	uncorrectable *telemetry.Counter // scrub uncorrectable blocks
 	injected      *telemetry.Counter // fault-overlay bit flips
+	computes      *telemetry.Counter // SIMD pipelines executed
 }
 
 // Instrument attaches a telemetry registry: per-bank access/RMW/scrub
@@ -107,6 +109,7 @@ func (m *Memory) Instrument(reg *telemetry.Registry) {
 			corrected:     reg.Counter("pmem_scrub_corrected_total", "bank", id),
 			uncorrectable: reg.Counter("pmem_scrub_uncorrectable_total", "bank", id),
 			injected:      reg.Counter("pmem_injected_total", "bank", id),
+			computes:      reg.Counter("pmem_compute_total", "bank", id),
 		}
 	}
 	scheme := "none"
@@ -191,9 +194,11 @@ func (m *Memory) checkSpan(bit, nbits int64) error {
 	if nbits < 0 {
 		return fmt.Errorf("pmem: span of %d bits at %d: %w", nbits, bit, ErrSpan)
 	}
-	if bit < 0 || bit+nbits > m.cfg.Org.DataBits() {
-		return fmt.Errorf("pmem: range [%d,%d) outside [0,%d): %w",
-			bit, bit+nbits, m.cfg.Org.DataBits(), ErrRange)
+	// bit > DataBits()-nbits is the overflow-safe form of bit+nbits >
+	// DataBits(): near-MaxInt64 starts must not wrap negative and pass.
+	if bit < 0 || nbits > m.cfg.Org.DataBits() || bit > m.cfg.Org.DataBits()-nbits {
+		return fmt.Errorf("pmem: range %d+%d outside [0,%d): %w",
+			bit, nbits, m.cfg.Org.DataBits(), ErrRange)
 	}
 	return nil
 }
@@ -229,6 +234,32 @@ func (m *Memory) AccessRow(bank, xb, row int, fn func(v *bitmat.Vec) (dirty bool
 	_, err := m.at(bank, xb).UpdateRow(row, fn)
 	m.probe(bank).rmw.Inc()
 	return err
+}
+
+// ExecuteSIMD runs a SIMPLER mapping on one crossbar with MAGIC row
+// parallelism, under the owning bank's lock — the online compute
+// primitive the serving layer routes OpCompute requests to. The
+// crossbar's cells [0, mapping.RowSize) in every selected row become the
+// pipeline's working region (inputs are whatever the rows currently
+// hold; intermediate cells are scratch); with ECC enabled the machine
+// checks input block-columns first, keeps check bits current through the
+// critical-update protocol, and reconciles the working region afterward,
+// so a subsequent scrub finds the crossbar clean.
+func (m *Memory) ExecuteSIMD(bank, xb int, mp *synth.Mapping, rows *bitmat.Vec) error {
+	if bank < 0 || bank >= m.cfg.Org.Banks || xb < 0 || xb >= m.cfg.Org.PerBank {
+		return fmt.Errorf("pmem: compute target (bank %d, crossbar %d) outside organization: %w",
+			bank, xb, ErrRange)
+	}
+	m.banks[bank].Lock()
+	defer m.banks[bank].Unlock()
+	mach := m.at(bank, xb)
+	if err := mach.ExecuteSIMD(mp, rows); err != nil {
+		return err
+	}
+	m.probe(bank).computes.Inc()
+	m.ring.Emit(telemetry.EvCompute, int64(mach.MEM().Stats().Cycles),
+		bank, xb, int64(mp.Latency()), int64(mp.CriticalOps()))
+	return nil
 }
 
 // WriteBit stores one bit, keeping the owning crossbar's check bits

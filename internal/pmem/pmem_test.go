@@ -2,6 +2,7 @@ package pmem
 
 import (
 	"errors"
+	"math"
 	"strings"
 	"testing"
 
@@ -208,6 +209,11 @@ func TestErrorPaths(t *testing.T) {
 		{"WriteRange short buffer", func() error { return m.WriteRange(0, []uint64{0}, 65) }, ErrSpan},
 		{"AccessRow bad bank", func() error { return m.AccessRow(9, 0, 0, nil) }, ErrRange},
 		{"AccessRow bad row", func() error { return m.AccessRow(0, 0, 45, nil) }, ErrRange},
+		// bit+nbits near MaxInt64 must not wrap negative past the guard.
+		{"ReadRange overflowing span", func() error { _, err := m.ReadRange(math.MaxInt64-4, 8); return err }, ErrRange},
+		{"WriteRange overflowing span", func() error { return m.WriteRange(math.MaxInt64-4, []uint64{0}, 8) }, ErrRange},
+		{"ExecuteSIMD bad bank", func() error { return m.ExecuteSIMD(9, 0, nil, nil) }, ErrRange},
+		{"ExecuteSIMD bad crossbar", func() error { return m.ExecuteSIMD(0, 9, nil, nil) }, ErrRange},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -1,6 +1,8 @@
 package serve
 
 import (
+	"fmt"
+
 	"repro/internal/bitmat"
 	"repro/internal/mmpu"
 	"repro/internal/pmem"
@@ -10,6 +12,7 @@ import (
 // the cost model and the statistics both derive from.
 type execInfo struct {
 	write     bool
+	compute   bool // an OpCompute SIMD pipeline (never coalesced)
 	coalesced bool // served from the previous request's open row
 	segments  int  // crossbar-row segments touched (1 for in-row requests)
 }
@@ -35,7 +38,11 @@ type executor struct {
 // row, returning its segment. Malformed requests and row-crossing spans
 // both take the spanning path, which produces the validation error.
 func (ex *executor) singleRow(r Request) (mmpu.Segment, bool) {
-	if r.Width <= 0 || r.Width > 64 || r.Addr < 0 || r.Addr+int64(r.Width) > ex.org.DataBits() {
+	// Addr > DataBits()-Width is the overflow-safe form of Addr+Width >
+	// DataBits(): a near-MaxInt64 address must not wrap negative and
+	// skate past the guard into Locate. (Width is already in [1,64], so
+	// the subtraction cannot itself underflow.)
+	if r.Width <= 0 || r.Width > 64 || r.Addr < 0 || r.Addr > ex.org.DataBits()-int64(r.Width) {
 		return mmpu.Segment{}, false
 	}
 	a, err := ex.org.Locate(r.Addr)
@@ -68,10 +75,38 @@ func (ex *executor) runSpanning(r Request) (Response, execInfo) {
 	return resp, info
 }
 
+// runCompute serves one OpCompute request: the plan's SIMD pipeline runs
+// on the crossbar owning the request's address, under that bank's lock.
+// Compute never coalesces — each pipeline is its own row-region pass.
+func (ex *executor) runCompute(r Request) (Response, execInfo) {
+	info := execInfo{compute: true, segments: 1}
+	if r.Plan == nil || r.Plan.Mapping == nil {
+		return Response{Err: fmt.Errorf("serve: compute request without a plan")}, info
+	}
+	a, err := ex.org.Locate(r.Addr)
+	if err != nil {
+		return Response{Err: fmt.Errorf("serve: %w", err)}, info
+	}
+	rows := r.Plan.Rows
+	if rows == nil {
+		return Response{Err: fmt.Errorf("serve: compute plan without a row set")}, info
+	}
+	if err := ex.mem.ExecuteSIMD(a.Bank, a.Crossbar, r.Plan.Mapping, rows); err != nil {
+		return Response{Err: err}, info
+	}
+	return Response{}, info
+}
+
 // run executes reqs in arrival order, emitting each request's response
 // and execution facts in that same order.
 func (ex *executor) run(reqs []Request, emit func(i int, resp Response, info execInfo)) {
 	for i := 0; i < len(reqs); {
+		if reqs[i].Op == OpCompute {
+			resp, info := ex.runCompute(reqs[i])
+			emit(i, resp, info)
+			i++
+			continue
+		}
 		seg, ok := ex.singleRow(reqs[i])
 		if !ok {
 			resp, info := ex.runSpanning(reqs[i])

@@ -85,6 +85,17 @@ type ReplayConfig struct {
 	// per-crossbar stream derived from Seed.
 	FaultSER   float64
 	FaultHours float64
+	// ComputeAdmit is the admission-control budget bounding how long a
+	// bank's compute burst may starve pending client requests: per service
+	// round a worker admits compute requests only while their modeled cost
+	// (machine.Config.ComputeCost, in ticks — the same currency the clock
+	// advances by) stays under this budget, deferring the rest behind the
+	// next client drain. A client request arriving behind a compute burst
+	// therefore waits at most ~one budget plus one in-flight pipeline; at
+	// least one compute is admitted per round so a compute-only bank still
+	// drains. 0 — the default — is pure FIFO: computes serve strictly in
+	// arrival order, byte-identical to pre-admission replays.
+	ComputeAdmit int64
 	// FaultModel selects the overlay's fault model (faults.ModelByName).
 	// Empty keeps the historical transient-flip stream byte-identical;
 	// stuck-at models land in each crossbar's defect set, so the defects
@@ -209,9 +220,20 @@ func Replay(cfg ReplayConfig, tr *Trace) (Result, error) {
 		PerWorker: make([]int64, workers),
 	}
 	stats := make([]Stats, workers)
+	if len(tr.Tenants) > 0 {
+		// Pre-size every worker's tenant tally so merges align by index
+		// whichever workers a tenant's traffic lands on.
+		for w := range stats {
+			stats[w].Tenants = make([]TenantStats, len(tr.Tenants))
+			for t, name := range tr.Tenants {
+				stats[w].Tenants[t].Name = name
+			}
+		}
+	}
 	scrubs := make([][]int64, workers) // per worker: scrubs per owned bank
 	shards := org.ShardBanks(workers)
 	tel := replayProbes(cfg.Telemetry)
+	tel.bindTenants(cfg.Telemetry, tr.Tenants)
 	var wg sync.WaitGroup
 	for w, banks := range shards {
 		for _, b := range banks {
@@ -272,6 +294,7 @@ func replayWorker(cfg ReplayConfig, model faults.Model, org mmpu.Organization, b
 	ex := executor{mem: cfg.Mem, org: org}
 	sCost := scrubCost(cfg.Mem.Config())
 	verify := cfg.Mem.Config().Repair.Enabled()
+	cost := computeCostFor(cfg.Mem.Config())
 	bankSlot := make(map[int]int, len(banks)) // bank → index in banks
 	var xbs [][2]int                          // scrub rotation over the worker's crossbars
 	for i, b := range banks {
@@ -289,6 +312,8 @@ func replayWorker(cfg ReplayConfig, model faults.Model, org mmpu.Organization, b
 		rngs       map[[2]int]*rand.Rand // model-based overlay streams
 		prevDone   map[int]int64         // closed loop: client → completion of previous round
 		batch      = make([]Request, 0, cfg.BatchSize)
+		btq        = make([]TimedReq, 0, cfg.BatchSize) // the round actually served, in service order
+		deferred   []TimedReq                           // computes held over under the admission budget
 	)
 	if closed {
 		prevDone = make(map[int]int64)
@@ -309,32 +334,73 @@ func replayWorker(cfg ReplayConfig, model faults.Model, org mmpu.Organization, b
 	if hours <= 0 {
 		hours = 1
 	}
-	for i := 0; i < len(reqs); {
-		if !closed && reqs[i].At > clock {
+	for i := 0; i < len(reqs) || len(deferred) > 0; {
+		// The clock jumps to the next arrival only when no deferred work
+		// is pending — deferred computes are already past their arrival
+		// and must keep draining at the current time.
+		if !closed && len(deferred) == 0 && reqs[i].At > clock {
 			clock = reqs[i].At // idle until the next arrival
 		}
-		j := i + 1
-		for j < len(reqs) && j-i < cfg.BatchSize {
+		// The eligible new-arrival window [i, j). With no deferral this
+		// reproduces the historical batching exactly (the first request is
+		// always eligible: closed trivially, open via the clock jump).
+		j := i
+		if i < len(reqs) {
 			if closed {
-				if reqs[j].At != reqs[i].At {
-					break // next client round
+				for j < len(reqs) && j-i < cfg.BatchSize && reqs[j].At == reqs[i].At {
+					j++ // same client round
 				}
-			} else if reqs[j].At > clock {
-				break // not yet arrived
+			} else {
+				for j < len(reqs) && j-i < cfg.BatchSize && reqs[j].At <= clock {
+					j++ // arrived
+				}
 			}
-			j++
 		}
+		// Assemble the service round. Admission control serves the
+		// window's client requests first, then admits computes (oldest
+		// deferred first) while the budget lasts — at least one per round,
+		// so a compute-monopolized bank still drains. The loop re-checks
+		// arrivals each round, so a client request arriving behind a
+		// compute burst waits at most ~one budget plus one pipeline.
+		btq = btq[:0]
+		if cfg.ComputeAdmit <= 0 {
+			btq = append(btq, reqs[i:j]...)
+		} else {
+			comps := deferred
+			for _, tq := range reqs[i:j] {
+				if tq.Req.Op == OpCompute {
+					comps = append(comps, tq)
+				} else {
+					btq = append(btq, tq)
+				}
+			}
+			var spent int64
+			adm := 0
+			for adm < len(comps) && (adm == 0 || spent < cfg.ComputeAdmit) {
+				spent += cost(comps[adm].Req.Plan)
+				adm++
+			}
+			btq = append(btq, comps[:adm]...)
+			deferred = comps[adm:]
+		}
+		i = j
 		batch = batch[:0]
-		for _, tq := range reqs[i:j] {
+		for _, tq := range btq {
 			batch = append(batch, tq.Req)
 		}
 		st.Batches++
 		tel.batches.Inc()
-		tel.backlog.Observe(int64(j - i))
+		tel.backlog.Observe(int64(len(btq)))
 		ex.run(batch, func(k int, resp Response, info execInfo) {
-			charge := reqCost(info, verify)
+			var charge int64
+			if info.compute {
+				charge = cost(btq[k].Req.Plan)
+				st.ComputeTicks += charge
+			} else {
+				charge = reqCost(info, verify)
+			}
 			clock += charge
-			tq := reqs[i+k]
+			tq := btq[k]
 			arrived := tq.At
 			if closed {
 				arrived = prevDone[tq.Client]
@@ -343,12 +409,13 @@ func replayWorker(cfg ReplayConfig, model faults.Model, org mmpu.Organization, b
 			st.tally(resp, info)
 			lat := clock - arrived
 			st.Lat.Observe(lat)
+			st.tallyTenant(tq.Tenant, resp, info, lat)
 			tel.tally(resp, info)
+			tel.tallyTenant(tq.Tenant, lat)
 			tel.latency.Observe(lat)
 			tel.service.Observe(charge)
 			tel.wait.Observe(lat - charge)
 		})
-		i = j
 		if cfg.ScrubPeriod > 0 && clock >= nextScrub && len(xbs) > 0 {
 			bx := xbs[cursor]
 			cursor = (cursor + 1) % len(xbs)

@@ -45,14 +45,23 @@ const (
 	OpRead OpKind = iota
 	// OpWrite stores up to 64 bits starting at a bit address.
 	OpWrite
+	// OpCompute executes the request's ComputePlan on the crossbar owning
+	// Addr (SIMD over the plan's row set). Width and Data are unused; the
+	// crossbar's working region [0, plan.Mapping.RowSize) is scratch.
+	OpCompute
 )
 
 // Request is one client memory operation.
 type Request struct {
 	Op    OpKind
-	Addr  int64  // starting bit address
-	Width int    // bits, 1..64 (0 is a valid no-op)
+	Addr  int64  // starting bit address (OpCompute: selects the crossbar)
+	Width int    // bits, 1..64 (0 is a valid no-op; unused by OpCompute)
 	Data  uint64 // OpWrite payload, LSB first
+
+	// Plan is the prepared SIMD pipeline an OpCompute request executes
+	// (required for OpCompute, ignored otherwise). Plans are immutable and
+	// shared: every compute request of a trace points at the same plan.
+	Plan *ComputePlan
 }
 
 // Response answers one request.
@@ -61,8 +70,14 @@ type Response struct {
 	Err  error
 }
 
-// ErrClosed reports a submission to a server that has shut down.
-var ErrClosed = errors.New("serve: server closed")
+// ErrServerClosed reports a submission to a server that has shut down.
+// Submit checks the closed flag under the same lock Close closes the
+// queues under, so a racing Submit either enqueues before the close or
+// returns this error — it can never send on a closed queue.
+var ErrServerClosed = errors.New("serve: server closed")
+
+// ErrClosed is the historical name of ErrServerClosed.
+var ErrClosed = ErrServerClosed
 
 // Config sizes a server.
 type Config struct {
@@ -82,6 +97,16 @@ type Config struct {
 	// crossbars. 0 disables background scrubbing.
 	ScrubEvery int
 
+	// ComputeAdmit bounds how long a compute burst may starve pending
+	// client requests: per service round a worker admits compute requests
+	// only while their modeled cost (machine.Config.ComputeCost, in
+	// cycles) stays under this budget, deferring the rest until after the
+	// next client drain — so a client request arriving behind a compute
+	// burst waits at most ~one budget plus one in-flight pipeline. At
+	// least one compute is admitted per round (progress). 0 = FIFO: no
+	// deferral, computes serve strictly in arrival order.
+	ComputeAdmit int64
+
 	// Telemetry, when non-nil, receives the live service series
 	// (serve_requests_total, wall-clock latency/wait histograms, the
 	// queue-depth gauge) and admission/coalescing events. Nil — the
@@ -96,8 +121,17 @@ type Stats struct {
 	Requests int64
 	Reads    int64
 	Writes   int64
+	Computes int64
 	Errors   int64
 	Batches  int64
+
+	// ComputeTicks is the total virtual time charged to compute requests
+	// (Replay only; the live server accounts wall time in Lat).
+	ComputeTicks int64
+
+	// Tenants is the per-tenant breakdown, index-aligned with the trace's
+	// tenant list; nil for single-tenant (legacy) traffic.
+	Tenants []TenantStats
 
 	Coalesced int64 // requests served from an already-open row
 	Spanning  int64 // requests crossing a row boundary
@@ -117,6 +151,9 @@ func (s Stats) Merge(o Stats) Stats {
 		Requests:      s.Requests + o.Requests,
 		Reads:         s.Reads + o.Reads,
 		Writes:        s.Writes + o.Writes,
+		Computes:      s.Computes + o.Computes,
+		ComputeTicks:  s.ComputeTicks + o.ComputeTicks,
+		Tenants:       mergeTenants(append([]TenantStats(nil), s.Tenants...), o.Tenants),
 		Errors:        s.Errors + o.Errors,
 		Batches:       s.Batches + o.Batches,
 		Coalesced:     s.Coalesced + o.Coalesced,
@@ -134,9 +171,12 @@ func (s Stats) Merge(o Stats) Stats {
 // the live and replay paths account time differently).
 func (s *Stats) tally(resp Response, info execInfo) {
 	s.Requests++
-	if info.write {
+	switch {
+	case info.compute:
+		s.Computes++
+	case info.write:
 		s.Writes++
-	} else {
+	default:
 		s.Reads++
 	}
 	if resp.Err != nil {
@@ -149,6 +189,28 @@ func (s *Stats) tally(resp Response, info execInfo) {
 		s.Spanning++
 	}
 	s.Segments += int64(info.segments)
+}
+
+// tallyTenant records one served request into the tenant breakdown
+// (no-op when the index is outside the trace's tenant list).
+func (s *Stats) tallyTenant(tenant int, resp Response, info execInfo, lat int64) {
+	if tenant < 0 || tenant >= len(s.Tenants) {
+		return
+	}
+	ts := &s.Tenants[tenant]
+	ts.Requests++
+	switch {
+	case info.compute:
+		ts.Computes++
+	case info.write:
+		ts.Writes++
+	default:
+		ts.Reads++
+	}
+	if resp.Err != nil {
+		ts.Errors++
+	}
+	ts.Lat.Observe(lat)
 }
 
 // call carries a request through a worker queue.
@@ -306,27 +368,78 @@ func (s *Server) worker(w int, banks []int) {
 	cursor, credit := 0, 0
 	calls := make([]*call, 0, s.cfg.BatchSize)
 	reqs := make([]Request, 0, s.cfg.BatchSize)
+	var deferred []*call // computes held over under the admission budget
+	cost := computeCostFor(s.cfg.Mem.Config())
 	q := s.queues[w]
 	for {
-		c, ok := <-q
-		if !ok {
-			return
-		}
-		calls = append(calls[:0], c)
-	drain:
-		for len(calls) < s.cfg.BatchSize {
+		open := true
+		if len(deferred) == 0 {
+			c, ok := <-q
+			if !ok {
+				return
+			}
+			calls = append(calls[:0], c)
+		} else {
+			// Deferred compute work is pending: pick up arrivals without
+			// blocking so the held-back pipelines keep making progress.
+			calls = calls[:0]
 			select {
-			case c2, ok2 := <-q:
-				if !ok2 {
-					break drain
+			case c, ok := <-q:
+				if !ok {
+					open = false
+				} else {
+					calls = append(calls, c)
 				}
-				calls = append(calls, c2)
 			default:
-				break drain
 			}
 		}
+		if open {
+		drain:
+			for len(calls) < s.cfg.BatchSize {
+				select {
+				case c2, ok2 := <-q:
+					if !ok2 {
+						open = false
+						break drain
+					}
+					calls = append(calls, c2)
+				default:
+					break drain
+				}
+			}
+		}
+		round := calls
+		if s.cfg.ComputeAdmit > 0 {
+			// Admission control: this round's client requests go first,
+			// then computes (oldest deferred first) while their modeled
+			// cost stays under the budget — at least one per round, so a
+			// compute-monopolized bank still drains.
+			var clients, comps []*call
+			for _, c := range calls {
+				if c.req.Op == OpCompute {
+					comps = append(comps, c)
+				} else {
+					clients = append(clients, c)
+				}
+			}
+			comps = append(deferred, comps...)
+			var spent int64
+			adm := 0
+			for adm < len(comps) && (adm == 0 || spent < s.cfg.ComputeAdmit) {
+				spent += cost(comps[adm].req.Plan)
+				adm++
+			}
+			deferred = comps[adm:]
+			round = append(clients, comps[:adm]...)
+		}
+		if len(round) == 0 {
+			if !open && len(deferred) == 0 {
+				return
+			}
+			continue
+		}
 		reqs = reqs[:0]
-		for _, c := range calls {
+		for _, c := range round {
 			reqs = append(reqs, c.req)
 		}
 		st.Batches++
@@ -334,20 +447,20 @@ func (s *Server) worker(w int, banks []int) {
 		if s.tel.enabled {
 			s.tel.queueDepth.Set(int64(len(q)))
 			start := time.Now()
-			for _, c := range calls {
+			for _, c := range round {
 				s.tel.wait.Observe(start.Sub(c.t0).Nanoseconds())
 			}
 		}
 		ex.run(reqs, func(i int, resp Response, info execInfo) {
 			st.tally(resp, info)
-			lat := time.Since(calls[i].t0).Nanoseconds()
+			lat := time.Since(round[i].t0).Nanoseconds()
 			st.Lat.Observe(lat)
 			s.tel.tally(resp, info)
 			s.tel.latency.Observe(lat)
-			calls[i].resp <- resp
+			round[i].resp <- resp
 		})
 		if s.cfg.ScrubEvery > 0 && len(xbs) > 0 {
-			credit += len(calls)
+			credit += len(round)
 			for credit >= s.cfg.ScrubEvery {
 				credit -= s.cfg.ScrubEvery
 				bx := xbs[cursor]

@@ -11,14 +11,15 @@ import "repro/internal/telemetry"
 type probes struct {
 	enabled bool
 
-	readReqs  *telemetry.Counter
-	writeReqs *telemetry.Counter
-	errors    *telemetry.Counter
-	batches   *telemetry.Counter
-	coalesced *telemetry.Counter
-	spanning  *telemetry.Counter
-	segments  *telemetry.Counter
-	scrubAdm  *telemetry.Counter
+	readReqs    *telemetry.Counter
+	writeReqs   *telemetry.Counter
+	computeReqs *telemetry.Counter
+	errors      *telemetry.Counter
+	batches     *telemetry.Counter
+	coalesced   *telemetry.Counter
+	spanning    *telemetry.Counter
+	segments    *telemetry.Counter
+	scrubAdm    *telemetry.Counter
 
 	queueDepth *telemetry.Gauge     // live server: backlog after a drain
 	backlog    *telemetry.Histogram // replay: eligible requests per batch
@@ -27,22 +28,58 @@ type probes struct {
 	wait    *telemetry.Histogram // submit → start of service
 	service *telemetry.Histogram // replay only: ticks charged per request
 
+	// tenants holds per-tenant series, index-aligned with the trace's
+	// tenant list (bindTenants); empty for single-tenant traffic, so
+	// default snapshots carry no tenant series.
+	tenants []tenantProbes
+
 	ring *telemetry.Ring
+}
+
+// tenantProbes is one tenant's series pair.
+type tenantProbes struct {
+	reqs *telemetry.Counter
+	lat  *telemetry.Histogram
+}
+
+// bindTenants resolves per-tenant series (serve_tenant_requests_total and
+// serve_tenant_latency_ticks, labeled tenant=name) for a tenant-named
+// trace. No-op without a registry or tenants.
+func (p *probes) bindTenants(reg *telemetry.Registry, names []string) {
+	if reg == nil || len(names) == 0 {
+		return
+	}
+	for _, n := range names {
+		p.tenants = append(p.tenants, tenantProbes{
+			reqs: reg.Counter("serve_tenant_requests_total", "tenant", n),
+			lat:  reg.Histogram("serve_tenant_latency_ticks", "tenant", n),
+		})
+	}
+}
+
+// tallyTenant mirrors Stats.tallyTenant onto the tenant series.
+func (p probes) tallyTenant(t int, lat int64) {
+	if t < 0 || t >= len(p.tenants) {
+		return
+	}
+	p.tenants[t].reqs.Inc()
+	p.tenants[t].lat.Observe(lat)
 }
 
 // commonProbes resolves the series shared by the live and replay paths.
 func commonProbes(reg *telemetry.Registry) probes {
 	return probes{
-		enabled:   true,
-		readReqs:  reg.Counter("serve_requests_total", "op", "read"),
-		writeReqs: reg.Counter("serve_requests_total", "op", "write"),
-		errors:    reg.Counter("serve_errors_total"),
-		batches:   reg.Counter("serve_batches_total"),
-		coalesced: reg.Counter("serve_coalesced_total"),
-		spanning:  reg.Counter("serve_spanning_total"),
-		segments:  reg.Counter("serve_segments_total"),
-		scrubAdm:  reg.Counter("serve_scrub_admissions_total"),
-		ring:      reg.Events(),
+		enabled:     true,
+		readReqs:    reg.Counter("serve_requests_total", "op", "read"),
+		writeReqs:   reg.Counter("serve_requests_total", "op", "write"),
+		computeReqs: reg.Counter("serve_requests_total", "op", "compute"),
+		errors:      reg.Counter("serve_errors_total"),
+		batches:     reg.Counter("serve_batches_total"),
+		coalesced:   reg.Counter("serve_coalesced_total"),
+		spanning:    reg.Counter("serve_spanning_total"),
+		segments:    reg.Counter("serve_segments_total"),
+		scrubAdm:    reg.Counter("serve_scrub_admissions_total"),
+		ring:        reg.Events(),
 	}
 }
 
@@ -78,9 +115,12 @@ func replayProbes(reg *telemetry.Registry) probes {
 
 // tally mirrors Stats.tally onto the live series.
 func (p probes) tally(resp Response, info execInfo) {
-	if info.write {
+	switch {
+	case info.compute:
+		p.computeReqs.Inc()
+	case info.write:
 		p.writeReqs.Inc()
-	} else {
+	default:
 		p.readReqs.Inc()
 	}
 	if resp.Err != nil {

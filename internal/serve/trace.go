@@ -14,6 +14,7 @@ import (
 type TimedReq struct {
 	At     int64
 	Client int
+	Tenant int // index into the trace's tenant list (0 for legacy traffic)
 	Req    Request
 }
 
@@ -26,6 +27,13 @@ type TimedReq struct {
 type Trace struct {
 	Mode    string // "open" | "closed"
 	PerBank [][]TimedReq
+
+	// Tenants names the trace's tenant streams, index-aligned with
+	// TimedReq.Tenant; nil for single-tenant legacy traffic.
+	Tenants []string
+	// Plan is the shared compute pipeline every OpCompute request of the
+	// trace executes; nil when no tenant issues compute.
+	Plan *ComputePlan
 }
 
 // Requests returns the total request count across banks.
@@ -48,6 +56,16 @@ type TraceOpts struct {
 	WriteFrac float64 // fraction of writes (default 0.5)
 	Width     int     // request width in bits, 1..64 (default 64)
 	Seed      int64
+
+	// Tenants, when non-empty, generates multi-tenant traffic: clients
+	// round-robin over the tenant list (client c belongs to tenant
+	// c % len(Tenants)) and each tenant draws its op from its own
+	// read/write/compute mix. Empty keeps the legacy single-tenant
+	// traffic byte-identical.
+	Tenants []TenantMix
+	// Compute names the kernel compute requests execute
+	// (BuildComputePlan; default "search" when any tenant computes).
+	Compute string
 }
 
 // withDefaults resolves zero values.
@@ -84,10 +102,11 @@ func ModeNames() []string { return []string{"open", "closed"} }
 
 // addrGen draws bank-confined addresses for one traffic mix.
 type addrGen struct {
-	org     mmpu.Organization
-	width   int64
-	zipf    *rand.Zipf
-	cursors []int64 // scan: per-client position
+	org      mmpu.Organization
+	width    int64
+	zipf     *rand.Zipf
+	bankZipf *rand.Zipf // zipf over one bank's word range (closed loop)
+	cursors  []int64    // scan: per-client position
 }
 
 func newAddrGen(org mmpu.Organization, o TraceOpts, rng *rand.Rand) *addrGen {
@@ -96,6 +115,12 @@ func newAddrGen(org mmpu.Organization, o TraceOpts, rng *rand.Rand) *addrGen {
 	case "zipf":
 		// Hot 64-bit slots, heaviest first — hot-row (and hot-bank) traffic.
 		g.zipf = rand.NewZipf(rng, 1.2, 8, uint64(org.DataBits()/64-1))
+		// Bank-confined variant for closed-loop home addressing: the zipf
+		// support is one bank's word range, so the head concentrates at
+		// each bank's start instead of a global-range sample smeared
+		// mod-bankBits across the bank. (NewZipf draws nothing from rng,
+		// so open-loop streams are unchanged by the extra generator.)
+		g.bankZipf = rand.NewZipf(rng, 1.2, 8, uint64(org.BankBits()/64-1))
 	case "scan":
 		g.cursors = make([]int64, o.Clients)
 		span := org.DataBits() / int64(o.Clients)
@@ -140,7 +165,7 @@ func (g *addrGen) homeAddr(client, bank int, rng *rand.Rand) int64 {
 	lo := int64(bank) * bankBits
 	switch {
 	case g.zipf != nil:
-		return g.clampBank(lo + int64(g.zipf.Uint64())*64%bankBits)
+		return g.clampBank(lo + int64(g.bankZipf.Uint64())*64)
 	case g.cursors != nil:
 		a := g.cursors[client] % bankBits
 		g.cursors[client] += g.width
@@ -165,8 +190,62 @@ func GenTrace(org mmpu.Organization, o TraceOpts) (*Trace, error) {
 		return nil, fmt.Errorf("serve: unknown mix %q (have %v)", o.Mix, MixNames())
 	}
 	tr := &Trace{Mode: o.Mode, PerBank: make([][]TimedReq, org.Banks)}
+
+	// Resolve the tenant streams. Legacy single-tenant traffic is the
+	// one-element read/write mix below: its op draw (one Float64 against
+	// WriteFrac, one Uint64 per write) reproduces the historical rng
+	// sequence exactly, so traces without TraceOpts.Tenants stay
+	// byte-identical to pre-tenant generations.
+	var tenants []TenantMix
+	if len(o.Tenants) == 0 {
+		tenants = []TenantMix{{ReadFrac: 1 - o.WriteFrac, WriteFrac: o.WriteFrac}}
+	} else {
+		tenants = append(tenants, o.Tenants...) // normalize a copy, not the caller's slice
+		for i := range tenants {
+			if tenants[i].ReadFrac+tenants[i].WriteFrac+tenants[i].ComputeFrac <= 0 {
+				return nil, fmt.Errorf("serve: tenant %q has no positive weights", tenants[i].Name)
+			}
+			tenants[i] = tenants[i].normalized()
+		}
+		tr.Tenants = make([]string, len(tenants))
+		computes := false
+		for i, t := range tenants {
+			tr.Tenants[i] = t.Name
+			computes = computes || t.ComputeFrac > 0
+		}
+		if computes {
+			kernel := o.Compute
+			if kernel == "" {
+				kernel = "search"
+			}
+			plan, err := BuildComputePlan(kernel, org.CrossbarN, o.Seed)
+			if err != nil {
+				return nil, err
+			}
+			tr.Plan = plan
+		}
+	}
+
 	rng := rand.New(rand.NewSource(o.Seed))
 	gen := newAddrGen(org, o, rng)
+	// draw builds one request for a client: address first, then the op
+	// split (read below WriteFrac+...: the single Float64 keeps the
+	// legacy stream), payload only for writes.
+	draw := func(tenant int, addr int64) Request {
+		mix := tenants[tenant]
+		req := Request{Op: OpRead, Addr: addr, Width: o.Width}
+		u := rng.Float64()
+		switch {
+		case u < mix.WriteFrac:
+			req.Op = OpWrite
+			req.Data = rng.Uint64()
+		case u < mix.WriteFrac+mix.ComputeFrac:
+			req.Op = OpCompute
+			req.Width = 0
+			req.Plan = tr.Plan
+		}
+		return req
+	}
 	switch o.Mode {
 	case "open":
 		// Poisson arrivals: exponential inter-arrival gaps at the target
@@ -175,14 +254,11 @@ func GenTrace(org mmpu.Organization, o TraceOpts) (*Trace, error) {
 		for i := 0; i < o.Requests; i++ {
 			t += rng.ExpFloat64() / o.Rate
 			client := i % o.Clients
-			req := Request{Op: OpRead, Addr: gen.next(client, rng), Width: o.Width}
-			if rng.Float64() < o.WriteFrac {
-				req.Op = OpWrite
-				req.Data = rng.Uint64()
-			}
+			tenant := client % len(tenants)
+			req := draw(tenant, gen.next(client, rng))
 			bank := req.Addr / org.BankBits()
 			tr.PerBank[bank] = append(tr.PerBank[bank], TimedReq{
-				At: int64(t), Client: client, Req: req,
+				At: int64(t), Client: client, Tenant: tenant, Req: req,
 			})
 		}
 	case "closed":
@@ -195,13 +271,10 @@ func GenTrace(org mmpu.Organization, o TraceOpts) (*Trace, error) {
 					break
 				}
 				bank := c % org.Banks
-				req := Request{Op: OpRead, Addr: gen.homeAddr(c, bank, rng), Width: o.Width}
-				if rng.Float64() < o.WriteFrac {
-					req.Op = OpWrite
-					req.Data = rng.Uint64()
-				}
+				tenant := c % len(tenants)
+				req := draw(tenant, gen.homeAddr(c, bank, rng))
 				tr.PerBank[bank] = append(tr.PerBank[bank], TimedReq{
-					At: int64(r), Client: c, Req: req,
+					At: int64(r), Client: c, Tenant: tenant, Req: req,
 				})
 			}
 		}

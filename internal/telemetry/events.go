@@ -41,6 +41,10 @@ const (
 	// EvSpareExhausted is one retirement refused because the crossbar's
 	// spare budget ran out. A = row, B = column.
 	EvSpareExhausted
+	// EvCompute is one SIMD compute pipeline executed on a crossbar:
+	// A = the mapping's gate-cycle latency, B = its critical-op count.
+	// Appended after the PR-7 kinds so persisted traces keep their values.
+	EvCompute
 
 	numEventKinds
 )
@@ -66,6 +70,8 @@ func (k EventKind) String() string {
 		return "cell_retired"
 	case EvSpareExhausted:
 		return "spare_exhausted"
+	case EvCompute:
+		return "compute"
 	}
 	return fmt.Sprintf("EventKind(%d)", uint8(k))
 }
