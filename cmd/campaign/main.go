@@ -18,6 +18,8 @@
 //	campaign -sweep 1e-5,1e-4,1e-3,1e-2
 //	campaign -ecc hamming -ser 1e-4        # horizontal Hamming SEC-DED backend
 //	campaign -ecc parity -ser 1e-4         # detect-only parity baseline
+//	campaign -ecc diagonal-x4 -model lines:4   # interleaved: line bursts decompose
+//	campaign -schemes all -model lines:4   # scheme-comparison matrix, one row per code
 //	campaign -ecc=false -ser 1e-4          # the unprotected baseline
 //	campaign -model stuck1 -repair verify+spare   # self-healing: silent → repaired
 //	campaign -model stuck1 -repair verify+spare -spares 0   # exhausted budget, still never silent
@@ -31,6 +33,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/area"
 	"repro/internal/campaign"
 	"repro/internal/cliflags"
 	"repro/internal/ecc"
@@ -88,11 +91,56 @@ type report struct {
 	Positions map[string][]int64 `json:"positions,omitempty"`
 	Sweep     []runReport        `json:"sweep,omitempty"`
 
+	// SchemeMatrix is the area/coverage comparison emitted under -schemes:
+	// one row per protection code, pairing the campaign's outcome tally
+	// with the scheme's cost point (stored bits, device budget, update
+	// reads). Omitted without the flag, keeping default reports
+	// byte-identical.
+	SchemeMatrix []schemeRow `json:"scheme_matrix,omitempty"`
+
 	// Telemetry is the run's metric snapshot, present only under
 	// -telemetry (pointer + omitempty keep default reports
 	// byte-identical). Adjudication outcomes appear as
 	// campaign_outcomes_total{outcome="..."} series.
 	Telemetry *telemetry.Snapshot `json:"telemetry,omitempty"`
+}
+
+// schemeRow is one row of the -schemes comparison matrix.
+type schemeRow struct {
+	Scheme string `json:"scheme"`
+	// Area is the scheme's cost point at this geometry (check bits,
+	// device budget, update reads); its Err field is set when the scheme
+	// rejects the geometry, in which case no campaign ran.
+	Area area.SchemePoint `json:"area"`
+	// Run is the scheme's campaign tally under the identical model, seed,
+	// and rounds; nil when the geometry was rejected.
+	Run *runReport `json:"run,omitempty"`
+	// CorrectedFrac is corrected/injected — the coverage axis of the
+	// matrix (repaired cells count as corrected coverage).
+	CorrectedFrac float64 `json:"corrected_frac,omitempty"`
+}
+
+// schemeList resolves the -schemes flag: "all" means every registered
+// scheme, otherwise a comma-separated list of names.
+func schemeList(v string) ([]string, error) {
+	if v == "all" {
+		return ecc.SchemeNames(), nil
+	}
+	var names []string
+	for _, s := range strings.Split(v, ",") {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			continue
+		}
+		if _, err := ecc.SchemeByName(s); err != nil {
+			return nil, err
+		}
+		names = append(names, s)
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("campaign: -schemes %q names no schemes", v)
+	}
+	return names, nil
 }
 
 func summarize(ser float64, tl campaign.Tally, repairOn bool) runReport {
@@ -150,6 +198,8 @@ func main() {
 	cliflags.RegisterWorkers(flag.CommandLine, &workers, "worker shards (0 = GOMAXPROCS, capped at banks)")
 	cliflags.RegisterSeed(flag.CommandLine, &seed, "campaign base seed (runs are reproducible from this)")
 	sweep := flag.String("sweep", "", "comma-separated extra SER points to sweep (same seed each)")
+	schemesFlag := flag.String("schemes", "",
+		"emit a scheme-comparison matrix: 'all' or a comma-separated list of registered schemes, each run under the identical campaign")
 	cliflags.RegisterTelemetry(flag.CommandLine, &tel)
 	flag.Parse()
 
@@ -169,7 +219,7 @@ func main() {
 		Repair: repairSel.Config,
 		Workers: workers, Seed: seed, Telemetry: tel.Registry(),
 	}
-	runAt := func(serPoint float64) campaign.Tally {
+	runWith := func(c fleet.Config, serPoint float64) campaign.Tally {
 		w, err := fleet.ScenarioWithOptions("campaign", fleet.ScenarioOptions{
 			Intensity: *rounds, Model: *model, SER: serPoint, Hours: *hours, Skew: *skew,
 		})
@@ -177,13 +227,14 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
-		res, err := fleet.Run(cfg, w)
+		res, err := fleet.Run(c, w)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		return res.Campaign
 	}
+	runAt := func(serPoint float64) campaign.Tally { return runWith(cfg, serPoint) }
 
 	tl := runAt(*ser)
 	rep := report{
@@ -224,6 +275,35 @@ func main() {
 			os.Exit(2)
 		}
 		rep.Sweep = append(rep.Sweep, summarize(point, runAt(point), repairOn))
+	}
+	if *schemesFlag != "" {
+		names, err := schemeList(*schemesFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		ac := area.Config{N: *n, M: *m, K: *k}
+		for _, name := range names {
+			pt, err := ac.PointFor(name)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			row := schemeRow{Scheme: name, Area: pt}
+			if pt.Err == "" {
+				scfg := cfg
+				scfg.ECCEnabled = true
+				scfg.Scheme = name
+				stl := runWith(scfg, *ser)
+				run := summarize(*ser, stl, repairOn)
+				row.Run = &run
+				if stl.Injected > 0 {
+					row.CorrectedFrac = float64(stl.Counts[campaign.Corrected]+stl.Counts[campaign.Repaired]) /
+						float64(stl.Injected)
+				}
+			}
+			rep.SchemeMatrix = append(rep.SchemeMatrix, row)
+		}
 	}
 	if tel.Snapshot {
 		snap := tel.Registry().Snapshot()

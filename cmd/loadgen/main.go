@@ -24,6 +24,8 @@
 //	loadgen -compute search                      # mixed tenant issuing online SIMD pipelines
 //	loadgen -tenants "client=50/50/0,batch=0/0/100" -admit 400
 //	                                             # bound how long batch compute may starve clients
+//	loadgen -schemes all -n 60                   # serve the identical trace under every
+//	                                             # registered scheme: throughput tax vs area matrix
 package main
 
 import (
@@ -35,6 +37,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/area"
 	"repro/internal/cliflags"
 	"repro/internal/ecc"
 	"repro/internal/fleet"
@@ -170,6 +173,113 @@ type repairReport struct {
 	SparesExhausted  int64  `json:"spares_exhausted"`
 }
 
+// loadSchemeRow is one row of the -schemes serving-cost matrix: the
+// scheme's area/overhead point beside the throughput it sustains on the
+// identical trace, and the fractional throughput tax against the plain
+// diagonal baseline.
+type loadSchemeRow struct {
+	Scheme string           `json:"scheme"`
+	Area   area.SchemePoint `json:"area"`
+	// The serving figures are omitted when the scheme rejects the
+	// geometry (Area.Err says why).
+	ThroughputPerKilotick float64 `json:"throughput_per_kilotick,omitempty"`
+	// ThroughputTax is 1 − throughput/diagonal-throughput: the fraction
+	// of serving capacity this scheme's update discipline costs relative
+	// to the paper's diagonal code on the same trace.
+	ThroughputTax float64 `json:"throughput_tax"`
+	Ticks         int64   `json:"ticks,omitempty"`
+	Corrected     int64   `json:"corrected"`
+	Uncorrectable int64   `json:"uncorrectable"`
+	Errors        int64   `json:"errors"`
+}
+
+// schemeMatrixDoc is the JSON document of the -schemes mode.
+type schemeMatrixDoc struct {
+	Scenario string `json:"scenario"`
+	Seed     int64  `json:"seed"`
+	Geometry struct {
+		N, M, K, Banks, PerBank int
+	} `json:"geometry"`
+	Requests int             `json:"requests"`
+	Matrix   []loadSchemeRow `json:"scheme_matrix"`
+}
+
+// runSchemeMatrix replays the identical trace under each named scheme
+// (plus the diagonal baseline for the tax reference) and renders the
+// comparison matrix.
+func runSchemeMatrix(o options, sel string) ([]byte, error) {
+	var names []string
+	if sel == "all" {
+		names = ecc.SchemeNames()
+	} else {
+		for _, s := range strings.Split(sel, ",") {
+			s = strings.TrimSpace(s)
+			if s == "" {
+				continue
+			}
+			if _, err := ecc.SchemeByName(s); err != nil {
+				return nil, err
+			}
+			names = append(names, s)
+		}
+		if len(names) == 0 {
+			return nil, fmt.Errorf("loadgen: -schemes %q names no schemes", sel)
+		}
+	}
+	throughput := func(scheme string) (float64, serve.Result, error) {
+		so := o
+		so.ecc, so.scheme = true, scheme
+		_, res, err := run(so, nil)
+		if err != nil {
+			return 0, res, err
+		}
+		tp := 0.0
+		if res.Ticks > 0 {
+			tp = float64(res.Stats.Requests) * 1000 / float64(res.Ticks)
+		}
+		return tp, res, nil
+	}
+	baseTp, _, err := throughput(ecc.SchemeDiagonal)
+	if err != nil {
+		return nil, err
+	}
+	ac := area.Config{N: o.n, M: o.m, K: o.k}
+	var doc schemeMatrixDoc
+	doc.Scenario = "loadgen-schemes"
+	doc.Seed = o.seed
+	doc.Geometry.N, doc.Geometry.M, doc.Geometry.K = o.n, o.m, o.k
+	doc.Geometry.Banks, doc.Geometry.PerBank = o.banks, o.perBank
+	doc.Requests = o.requests
+	for _, name := range names {
+		pt, err := ac.PointFor(name)
+		if err != nil {
+			return nil, err
+		}
+		row := loadSchemeRow{Scheme: name, Area: pt}
+		if pt.Err == "" {
+			tp, res, err := throughput(name)
+			if err != nil {
+				return nil, err
+			}
+			row.ThroughputPerKilotick = tp
+			if baseTp > 0 {
+				row.ThroughputTax = 1 - tp/baseTp
+			}
+			row.Ticks = res.Ticks
+			row.Corrected, row.Uncorrectable = res.Stats.Corrected, res.Stats.Uncorrectable
+			row.Errors = res.Stats.Errors
+		}
+		doc.Matrix = append(doc.Matrix, row)
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
 // run executes the whole load generation and renders the report. Split
 // from main so the determinism test can call it twice. reg, when
 // non-nil, instruments the memory and replay; the snapshot lands in the
@@ -296,6 +406,8 @@ func main() {
 		"fault overlay model (e.g. stuck1; empty = transient flips); requires -faults-ser")
 	cliflags.RegisterSeed(flag.CommandLine, &o.seed,
 		"trace and fault seed (the report is reproducible from this)")
+	schemesFlag := flag.String("schemes", "",
+		"replay the identical trace under 'all' or a comma-separated list of schemes and emit the throughput-tax/area matrix instead of the standard report")
 	cliflags.RegisterTelemetry(flag.CommandLine, &tel)
 	flag.Parse()
 
@@ -314,6 +426,17 @@ func main() {
 		os.Exit(1)
 	}
 	defer stop()
+
+	if *schemesFlag != "" {
+		out, err := runSchemeMatrix(o, *schemesFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		os.Stdout.Write(out)
+		tel.Wait()
+		return
+	}
 
 	t0 := time.Now()
 	out, res, err := run(o, tel.Registry())

@@ -97,6 +97,84 @@ func TestReportShape(t *testing.T) {
 	}
 }
 
+// TestSchemeMatrixShapeAndTax pins the -schemes sweep: every registered
+// scheme reports an area point, the document is byte-reproducible at
+// fixed flags, the diagonal baseline's throughput tax is identically
+// zero (the serving clock's delta discipline is the priced default), and
+// the word-recode schemes pay a strictly positive tax for their extra
+// per-line update reads.
+func TestSchemeMatrixShapeAndTax(t *testing.T) {
+	// 60×60 is the geometry every registered scheme accepts, interleaved
+	// widths included.
+	o := smokeOpts(2)
+	o.n, o.banks = 60, 4
+	a, err := runSchemeMatrix(o, "all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := runSchemeMatrix(o, "all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("same flags, different matrices:\n%s\n---\n%s", a, b)
+	}
+	var doc struct {
+		Scenario string `json:"scenario"`
+		Matrix   []struct {
+			Scheme string `json:"scheme"`
+			Area   struct {
+				OverheadBits int    `json:"overhead_bits"`
+				UpdateReads  int    `json:"update_reads"`
+				Err          string `json:"err"`
+			} `json:"area"`
+			Throughput float64 `json:"throughput_per_kilotick"`
+			Tax        float64 `json:"throughput_tax"`
+		} `json:"scheme_matrix"`
+	}
+	if err := json.Unmarshal(a, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Scenario != "loadgen-schemes" {
+		t.Fatalf("scenario = %q", doc.Scenario)
+	}
+	rows := make(map[string]int) // scheme → matrix index
+	for i, r := range doc.Matrix {
+		rows[r.Scheme] = i
+		if r.Area.Err != "" {
+			t.Errorf("%s rejected the 60×60 geometry: %s", r.Scheme, r.Area.Err)
+		}
+		if r.Area.OverheadBits <= 0 || r.Throughput <= 0 {
+			t.Errorf("%s row incomplete: %+v", r.Scheme, r)
+		}
+	}
+	for _, want := range []string{"dec", "diagonal", "diagonal-x2", "diagonal-x4", "hamming", "parity"} {
+		if _, ok := rows[want]; !ok {
+			t.Fatalf("registered scheme %s missing from matrix (got %v)", want, rows)
+		}
+	}
+	for scheme, i := range rows {
+		r := doc.Matrix[i]
+		switch r.Area.UpdateReads {
+		case 2: // delta discipline: no surcharge, tax identically zero
+			if r.Tax != 0 {
+				t.Errorf("%s: delta scheme taxed %+.4f, want exactly 0", scheme, r.Tax)
+			}
+		default: // word recode: strictly positive tax on a write-bearing mix
+			if r.Tax <= 0 {
+				t.Errorf("%s: word-recode scheme untaxed (%+.4f)", scheme, r.Tax)
+			}
+		}
+	}
+	// Check-bit cost ordering at 60×60: parity < diagonal = interleaved < hamming < dec.
+	ob := func(s string) int { return doc.Matrix[rows[s]].Area.OverheadBits }
+	if !(ob("parity") < ob("diagonal") && ob("diagonal") == ob("diagonal-x4") &&
+		ob("diagonal") < ob("hamming") && ob("hamming") < ob("dec")) {
+		t.Errorf("overhead ordering wrong: parity=%d diagonal=%d x4=%d hamming=%d dec=%d",
+			ob("parity"), ob("diagonal"), ob("diagonal-x4"), ob("hamming"), ob("dec"))
+	}
+}
+
 // TestTelemetryReportReproducible: the -telemetry snapshot is
 // byte-reproducible at fixed flags, carries the expected series, and its
 // counters agree with the served block of the same report.

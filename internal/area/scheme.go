@@ -1,0 +1,93 @@
+// Per-scheme cost points: the bridge between the registered protection
+// codes (internal/ecc) and the paper's Table II device-count model. Every
+// scheme in the registry reports one SchemePoint — stored check bits, the
+// in-array device budget, and the per-line update cost — so the campaign's
+// scheme-comparison matrix can put coverage and cost side by side.
+//
+// The accounting follows the paper's convention of counting in-situ fabric
+// only. The diagonal family (plain and interleaved) computes its checks
+// inside the array, so its points carry the full Table II support budget:
+// processing and checking crossbars, shifters, and the connection unit.
+// An interleaved code time-multiplexes the same pipelines across its k
+// sub-codes — same fabric, same stored bits, k× the clustered-fault
+// budget. The horizontal word schemes (parity, hamming, dec) decode in
+// the controller; their in-array cost is check storage alone, and their
+// real price surfaces in UpdateReads: a word code re-reads all M data
+// bits of every crossed word per line write, where the diagonal placement
+// pays only the old/new copy of the written cells.
+package area
+
+import (
+	"sort"
+
+	"repro/internal/ecc"
+)
+
+// SchemePoint is one scheme's row in the area/coverage comparison matrix.
+type SchemePoint struct {
+	Scheme   string `json:"scheme"`
+	Corrects int    `json:"corrects"` // per-unit correction budget between scrubs
+	Detects  int    `json:"detects"`  // per-unit detection (never miscorrect) budget
+
+	OverheadBits int     `json:"overhead_bits"` // stored check bits for this geometry
+	OverheadFrac float64 `json:"overhead_frac"` // OverheadBits / n² data bits
+
+	// ExtraMemristors counts check storage plus any in-array compute
+	// fabric; ExtraTransistors counts steering support (shifters and the
+	// connection unit). Controller-side decode logic of the word schemes
+	// is outside the Table II model and not counted.
+	ExtraMemristors  int `json:"extra_memristors"`
+	ExtraTransistors int `json:"extra_transistors"`
+
+	// UpdateReads is the stored-bit reads needed to maintain the checks
+	// across a single-line MAGIC write (ecc.Scheme.LineUpdateReads(1)).
+	UpdateReads int `json:"update_reads"`
+
+	// Err is non-empty when the scheme rejects this geometry; the numeric
+	// fields are zero in that case.
+	Err string `json:"err,omitempty"`
+}
+
+// PointFor builds the cost point of one registered scheme at this
+// geometry. An invalid geometry is reported in the point's Err field, not
+// as an error — the matrix keeps a row for every registered scheme.
+func (c Config) PointFor(name string) (SchemePoint, error) {
+	spec, err := ecc.SchemeByName(name)
+	if err != nil {
+		return SchemePoint{}, err
+	}
+	pt := SchemePoint{Scheme: spec.Name, Corrects: spec.Corrects, Detects: spec.Detects}
+	p := ecc.Params{N: c.N, M: c.M}
+	if err := spec.Validate(p); err != nil {
+		pt.Err = err.Error()
+		return pt, nil
+	}
+	sch := spec.New(p, nil)
+	pt.OverheadBits = sch.OverheadBits()
+	pt.OverheadFrac = float64(pt.OverheadBits) / float64(c.N*c.N)
+	pt.UpdateReads = sch.LineUpdateReads(1)
+	pt.ExtraMemristors = pt.OverheadBits
+	if ecc.IsDiagonalFamily(spec.Name) {
+		// In-array check pipelines: processing + checking crossbar
+		// memristors, shifter + connection-unit transistors (Table II).
+		pt.ExtraMemristors += c.ProcessingXBs().Memristors + c.CheckingXB().Memristors
+		pt.ExtraTransistors = c.Shifters().Transistors + c.ConnectionUnit().Transistors
+	}
+	return pt, nil
+}
+
+// AllPoints returns one point per registered scheme, sorted by name —
+// the raw material of the scheme-comparison matrix.
+func (c Config) AllPoints() []SchemePoint {
+	names := ecc.SchemeNames()
+	sort.Strings(names)
+	pts := make([]SchemePoint, 0, len(names))
+	for _, name := range names {
+		pt, err := c.PointFor(name)
+		if err != nil { // registry names always resolve; keep the row anyway
+			pt = SchemePoint{Scheme: name, Err: err.Error()}
+		}
+		pts = append(pts, pt)
+	}
+	return pts
+}

@@ -1,0 +1,98 @@
+package area
+
+import (
+	"testing"
+
+	"repro/internal/ecc"
+)
+
+// TestAllPointsCoverRegistry: every registered scheme gets exactly one
+// row, sorted by name, and at the universal 60×60 geometry every row is
+// complete (no Err, positive overhead, update reads matching the
+// scheme's discipline).
+func TestAllPointsCoverRegistry(t *testing.T) {
+	c := Config{N: 60, M: 15, K: 2}
+	pts := c.AllPoints()
+	names := ecc.SchemeNames()
+	if len(pts) != len(names) {
+		t.Fatalf("got %d points for %d registered schemes", len(pts), len(names))
+	}
+	for i, pt := range pts {
+		if pt.Scheme != names[i] {
+			t.Errorf("point %d: scheme %q, want %q (sorted registry order)", i, pt.Scheme, names[i])
+		}
+		if pt.Err != "" {
+			t.Errorf("%s rejected the universal geometry: %s", pt.Scheme, pt.Err)
+			continue
+		}
+		if pt.OverheadBits <= 0 || pt.UpdateReads <= 0 {
+			t.Errorf("%s point incomplete: %+v", pt.Scheme, pt)
+		}
+		wantFrac := float64(pt.OverheadBits) / float64(60*60)
+		if pt.OverheadFrac != wantFrac {
+			t.Errorf("%s: overhead frac %v, want %v", pt.Scheme, pt.OverheadFrac, wantFrac)
+		}
+	}
+}
+
+// TestPointForFabricAccounting pins the Table II split: the diagonal
+// family carries the in-array pipeline budget (processing + checking
+// crossbar memristors, shifter + connection-unit transistors) on top of
+// its stored checks, while the controller-decoded word schemes count
+// check storage only.
+func TestPointForFabricAccounting(t *testing.T) {
+	c := Config{N: 60, M: 15, K: 2}
+	fabricMem := c.ProcessingXBs().Memristors + c.CheckingXB().Memristors
+	fabricTr := c.Shifters().Transistors + c.ConnectionUnit().Transistors
+	if fabricMem <= 0 || fabricTr <= 0 {
+		t.Fatalf("degenerate fabric budget: mem=%d tr=%d", fabricMem, fabricTr)
+	}
+	for _, tc := range []struct {
+		scheme  string
+		inArray bool
+	}{
+		{"diagonal", true},
+		{"diagonal-x2", true},
+		{"diagonal-x4", true},
+		{"parity", false},
+		{"hamming", false},
+		{"dec", false},
+	} {
+		pt, err := c.PointFor(tc.scheme)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantMem, wantTr := pt.OverheadBits, 0
+		if tc.inArray {
+			wantMem += fabricMem
+			wantTr = fabricTr
+		}
+		if pt.ExtraMemristors != wantMem || pt.ExtraTransistors != wantTr {
+			t.Errorf("%s: devices (%d mem, %d tr), want (%d, %d)",
+				tc.scheme, pt.ExtraMemristors, pt.ExtraTransistors, wantMem, wantTr)
+		}
+	}
+}
+
+// TestPointForInvalidGeometry: a scheme that rejects the geometry keeps
+// its matrix row, with the reason in Err and the numeric fields zero.
+func TestPointForInvalidGeometry(t *testing.T) {
+	// 45 is not a multiple of the interleave width 2.
+	pt, err := (Config{N: 45, M: 15, K: 2}).PointFor("diagonal-x2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.Err == "" {
+		t.Fatal("diagonal-x2 accepted n=45")
+	}
+	if pt.OverheadBits != 0 || pt.ExtraMemristors != 0 || pt.UpdateReads != 0 {
+		t.Errorf("rejected point carries numbers: %+v", pt)
+	}
+	if pt.Corrects != 1 || pt.Detects != 2 {
+		t.Errorf("rejected point loses its budget: %+v", pt)
+	}
+	// An unregistered name is a caller error, not a matrix row.
+	if _, err := (Config{N: 60, M: 15, K: 2}).PointFor("nope"); err == nil {
+		t.Fatal("unknown scheme accepted")
+	}
+}

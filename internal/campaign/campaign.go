@@ -462,7 +462,12 @@ func (r *Runner) adjudicate(a activeFault, byBlock map[[2]int][]machine.Finding,
 	}
 	m := r.cfg.Machine.M
 	lr, lc := a.row%m, a.col%m
-	blockFindings := byBlock[[2]int{a.row / m, a.col / m}]
+	// Join on the *home* block of the code unit covering this cell: for
+	// column-local schemes that is the cell's own block, but striped codes
+	// (interleaved diagonal) report a unit's diagnoses under the home block
+	// of the sub-code, which is generally a different block-column.
+	ubr, ubc, _ := r.probe.UnitOf(a.row, a.col)
+	blockFindings := byBlock[[2]int{ubr, ubc}]
 	if f == g {
 		if retired[[2]int{a.row, a.col}] {
 			// Remapped onto a spare this round with data intact: the defect
@@ -526,7 +531,11 @@ func (r *Runner) verifyFindings(preMem *bitmat.Mat, preImg ecc.Scheme,
 	}
 	m := r.cfg.Machine.M
 	for _, a := range active {
+		// Suspect both the cell's own block and the home block of its
+		// covering code unit — distinct for striped schemes.
 		mark(a.row/m, a.col/m)
+		ubr, ubc, _ := r.probe.UnitOf(a.row, a.col)
+		mark(ubr, ubc)
 	}
 	for _, f := range findings {
 		mark(f.BR, f.BC)

@@ -310,6 +310,15 @@ func (h *hammingScheme) ReferenceCheck(mem *bitmat.Mat, br, bc int) []Diagnosis 
 // LR to the in-block word row).
 func (h *hammingScheme) CoversCell(d Diagnosis, lr, _ int) bool { return d.LR == lr }
 
+// UnitOf: the codeword is word bc of row r — reported under the cell's
+// own block with the word row as the sub-unit index.
+func (h *hammingScheme) UnitOf(r, c int) (ubr, ubc, sub int) {
+	return r / h.p.M, c / h.p.M, r % h.p.M
+}
+
+// HomeColumns: words are block-column-local.
+func (h *hammingScheme) HomeColumns(firstBC, lastBC int) (int, int) { return firstBC, lastBC }
+
 // OverheadBits: (nCheck+1) bits per M-bit word, N/M words per row, N rows.
 func (h *hammingScheme) OverheadBits() int {
 	return h.p.N * (h.p.N / h.p.M) * (h.nCheck + 1)

@@ -1,0 +1,319 @@
+package ecc
+
+// The interleaved-diagonal backend: k independent diagonal codes striped
+// across the crossbar columns, so a clustered line fault — the plain
+// diagonal code's detected-uncorrectable worst case — decomposes into at
+// most one error per sub-code and becomes k correctable singles.
+//
+// Striping: global cell (r,c) belongs to sub-code s = (r+c) mod k. Along
+// any row the sub-code index cycles with the column, and along any column
+// it cycles with the row, so a contiguous burst of span ≤ k on either a
+// wordline or a bitline touches k *distinct* sub-codes — each sees a
+// single error and corrects it independently.
+//
+// Each sub-code is a plain diagonal code over its own logical array: for
+// fixed s the cells of row r with (r+c) mod k == s are c = k·j + ((s−r)
+// mod k) for j = 0..N/k−1, giving a logical N×(N/k) array addressed by
+// (r, j=c/k). That logical array tiles into M×M logical blocks exactly as
+// the paper's code does, with the same per-diagonal parity bits and the
+// same decode rule; M must divide N/k.
+//
+// The Θ(1) update property survives interleaving: a line-parallel MAGIC
+// operation writes one cell per crossed line, and within one logical
+// block the changed cells of a single physical row (or column) have
+// distinct logical columns (rows) — hence distinct diagonals. So each
+// check bit still sees at most one changed bit per operation and
+// LineUpdateReads stays 2·lines, while total check-bit storage equals the
+// plain diagonal code's 2·m·(n/m)².
+//
+// Home blocks: the physical block grid is (N/M)×(N/M); the code has
+// k · (N/M) · (N/(k·M)) = (N/M)² logical units. Unit (s, lbr, lbc) is
+// homed at physical block (br=lbr, bc=lbc·k+s) — a bijection, so every
+// physical block is home to exactly one unit and per-block scrub loops
+// visit each unit exactly once. A unit's diagnoses use the home block's
+// frame: LR is the physical row offset within the home block row, LC the
+// physical column minus bc·M (which may fall outside [0,M) — the unit
+// spans the whole column group — but BR·m+LR / BC·m+LC still name the
+// exact physical cell).
+import (
+	"fmt"
+	mathbits "math/bits"
+
+	"repro/internal/bitmat"
+)
+
+// validateInterleavedGeometry checks the striped-diagonal constraints:
+// the base diagonal geometry, k columns groups tiling the row, and M
+// logical blocks tiling each sub-code's N/k logical columns. M ≤ 63 keeps
+// each diagonal-parity family of a unit in one machine word.
+func validateInterleavedGeometry(p Params, k int) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	if k < 2 {
+		return fmt.Errorf("ecc: interleave width k=%d too small (need k ≥ 2)", k)
+	}
+	if p.M > 63 {
+		return fmt.Errorf("ecc: block size m=%d too large for interleaving (need m ≤ 63)", p.M)
+	}
+	if p.N%k != 0 {
+		return fmt.Errorf("ecc: crossbar size n=%d must be a multiple of the interleave width k=%d", p.N, k)
+	}
+	if (p.N/k)%p.M != 0 {
+		return fmt.Errorf("ecc: logical width n/k=%d must be a multiple of m=%d", p.N/k, p.M)
+	}
+	return nil
+}
+
+// interleavedScheme stores, per logical unit, one M-bit parity mask per
+// diagonal family. Units are indexed by home block (br,bc) in row-major
+// order over the physical block grid.
+type interleavedScheme struct {
+	p    Params
+	k    int
+	side int      // N/M, physical blocks per side
+	lead []uint64 // [side*side] leading-diagonal parity masks, bit d = diagonal d
+	ctr  []uint64 // counter-diagonal parity masks
+
+	delta *bitmat.Vec // scratch for the line-delta updates
+}
+
+// newInterleavedScheme implements SchemeSpec.New for width k.
+func newInterleavedScheme(p Params, mem *bitmat.Mat, k int) Scheme {
+	if err := validateInterleavedGeometry(p, k); err != nil {
+		panic(err)
+	}
+	side := p.N / p.M
+	s := &interleavedScheme{
+		p: p, k: k, side: side,
+		lead:  make([]uint64, side*side),
+		ctr:   make([]uint64, side*side),
+		delta: bitmat.NewVec(p.N),
+	}
+	if mem != nil {
+		for r := 0; r < p.N; r++ {
+			mem.Row(r).ForEachOne(func(c int) { s.flipFor(r, c) })
+		}
+	}
+	return s
+}
+
+func (s *interleavedScheme) Name() string   { return fmt.Sprintf("%s%d", interleavedPrefix, s.k) }
+func (s *interleavedScheme) Params() Params { return s.p }
+
+func (s *interleavedScheme) Clone() Scheme {
+	out := &interleavedScheme{
+		p: s.p, k: s.k, side: s.side,
+		lead:  append([]uint64(nil), s.lead...),
+		ctr:   append([]uint64(nil), s.ctr...),
+		delta: bitmat.NewVec(s.p.N),
+	}
+	return out
+}
+
+func (s *interleavedScheme) Equal(o Scheme) bool {
+	oi, ok := o.(*interleavedScheme)
+	if !ok || s.p != oi.p || s.k != oi.k {
+		return false
+	}
+	for i := range s.lead {
+		if s.lead[i] != oi.lead[i] || s.ctr[i] != oi.ctr[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// unitAt maps physical cell (r,c) to the index of its covering unit (its
+// home block, row-major) and the cell's logical in-block coordinates.
+func (s *interleavedScheme) unitAt(r, c int) (u, lr, lj int) {
+	j := c / s.k // logical column within sub-code (r+c) mod k
+	br, bc := r/s.p.M, (j/s.p.M)*s.k+(r+c)%s.k
+	return br*s.side + bc, r % s.p.M, j % s.p.M
+}
+
+// flipFor toggles the two diagonal parity bits covering cell (r,c).
+func (s *interleavedScheme) flipFor(r, c int) {
+	u, lr, lj := s.unitAt(r, c)
+	s.lead[u] ^= 1 << uint(s.p.LeadIdx(lr, lj))
+	s.ctr[u] ^= 1 << uint(s.p.CounterIdx(lr, lj))
+}
+
+func (s *interleavedScheme) UpdateWrite(r, c int, oldVal, newVal bool) {
+	if oldVal != newVal {
+		s.flipFor(r, c)
+	}
+}
+
+func (s *interleavedScheme) UpdateRowWrite(r int, oldRow, newRow, cols *bitmat.Vec) {
+	s.delta.Xor(oldRow, newRow)
+	s.delta.And(s.delta, cols)
+	s.delta.ForEachOne(func(c int) { s.flipFor(r, c) })
+}
+
+func (s *interleavedScheme) UpdateColumnWrite(c int, oldCol, newCol, rows *bitmat.Vec) {
+	s.delta.Xor(oldCol, newCol)
+	s.delta.And(s.delta, rows)
+	s.delta.ForEachOne(func(r int) { s.flipFor(r, c) })
+}
+
+// unitHome decodes home block (br,bc) into the unit's sub-code and
+// logical block coordinates.
+func (s *interleavedScheme) unitHome(br, bc int) (sub, lbr, lbc int) {
+	return bc % s.k, br, bc / s.k
+}
+
+// physCol returns the physical column of logical cell (r, j) within
+// sub-code sub: the unique column of group j whose stripe index matches.
+func (s *interleavedScheme) physCol(sub, r, j int) int {
+	return s.k*j + ((sub-r)%s.k+s.k)%s.k
+}
+
+// syndrome computes the unit's lead/counter syndrome masks: the stored
+// parities XORed with parities recomputed from the memory image.
+func (s *interleavedScheme) syndrome(mem *bitmat.Mat, br, bc int) (lead, ctr uint64) {
+	u := br*s.side + bc
+	lead, ctr = s.lead[u], s.ctr[u]
+	sub, lbr, lbc := s.unitHome(br, bc)
+	m := s.p.M
+	for lr := 0; lr < m; lr++ {
+		r := lbr*m + lr
+		row := mem.Row(r)
+		// The unit's cells in this row sit k columns apart starting at
+		// the stripe offset of the block's first column group.
+		c0 := s.physCol(sub, r, lbc*m)
+		for lj := 0; lj < m; lj++ {
+			if row.Get(c0 + lj*s.k) {
+				lead ^= 1 << uint(s.p.LeadIdx(lr, lj))
+				ctr ^= 1 << uint(s.p.CounterIdx(lr, lj))
+			}
+		}
+	}
+	return lead, ctr
+}
+
+// diagnose decodes the unit's syndrome into home-block-frame diagnoses.
+func (s *interleavedScheme) diagnose(mem *bitmat.Mat, br, bc int) []Diagnosis {
+	lead, ctr := s.syndrome(mem, br, bc)
+	if lead == 0 && ctr == 0 {
+		return nil
+	}
+	sub, lbr, lbc := s.unitHome(br, bc)
+	m := s.p.M
+	switch ln, cn := mathbits.OnesCount64(lead), mathbits.OnesCount64(ctr); {
+	case ln == 1 && cn == 1:
+		lr, lj := s.p.Intersect(mathbits.TrailingZeros64(lead), mathbits.TrailingZeros64(ctr))
+		r := lbr*m + lr
+		c := s.physCol(sub, r, lbc*m+lj)
+		return []Diagnosis{{Kind: DataError, LR: lr, LC: c - bc*m}}
+	case ln == 1 && cn == 0:
+		return []Diagnosis{{Kind: LeadCheckError, Diag: mathbits.TrailingZeros64(lead)}}
+	case ln == 0 && cn == 1:
+		return []Diagnosis{{Kind: CounterCheckError, Diag: mathbits.TrailingZeros64(ctr)}}
+	default:
+		return []Diagnosis{{Kind: Uncorrectable}}
+	}
+}
+
+func (s *interleavedScheme) CheckBlock(mem *bitmat.Mat, br, bc int) []Diagnosis {
+	return s.diagnose(mem, br, bc)
+}
+
+func (s *interleavedScheme) CorrectBlock(mem *bitmat.Mat, br, bc int) []Diagnosis {
+	ds := s.diagnose(mem, br, bc)
+	for _, d := range ds {
+		u := br*s.side + bc
+		switch d.Kind {
+		case DataError:
+			mem.Flip(br*s.p.M+d.LR, bc*s.p.M+d.LC)
+		case LeadCheckError:
+			s.lead[u] ^= 1 << uint(d.Diag)
+		case CounterCheckError:
+			s.ctr[u] ^= 1 << uint(d.Diag)
+		}
+	}
+	return ds
+}
+
+func (s *interleavedScheme) RebuildBlock(mem *bitmat.Mat, br, bc int) {
+	u := br*s.side + bc
+	s.lead[u], s.ctr[u] = 0, 0
+	sub, lbr, lbc := s.unitHome(br, bc)
+	m := s.p.M
+	for lr := 0; lr < m; lr++ {
+		r := lbr*m + lr
+		c0 := s.physCol(sub, r, lbc*m)
+		for lj := 0; lj < m; lj++ {
+			if mem.Get(r, c0+lj*s.k) {
+				s.lead[u] ^= 1 << uint(s.p.LeadIdx(lr, lj))
+				s.ctr[u] ^= 1 << uint(s.p.CounterIdx(lr, lj))
+			}
+		}
+	}
+}
+
+// RebuildRowWords: like the plain diagonal code, no unit fits inside one
+// row — there is nothing row-scoped to re-encode.
+func (s *interleavedScheme) RebuildRowWords(*bitmat.Mat, int, int) bool { return false }
+
+// ReferenceCheck re-derives the unit's diagnosis bit-serially from the
+// striping definition: every physical cell of the home block's column
+// group is tested for membership ((r+c) mod k) and folded into vector
+// syndromes one at a time, then decoded by the shared Decode rule.
+func (s *interleavedScheme) ReferenceCheck(mem *bitmat.Mat, br, bc int) []Diagnosis {
+	sub, lbr, lbc := s.unitHome(br, bc)
+	m := s.p.M
+	u := br*s.side + bc
+	lead := bitmat.NewVec(m)
+	ctr := bitmat.NewVec(m)
+	for d := 0; d < m; d++ {
+		lead.Set(d, s.lead[u]&(1<<uint(d)) != 0)
+		ctr.Set(d, s.ctr[u]&(1<<uint(d)) != 0)
+	}
+	for r := lbr * m; r < (lbr+1)*m; r++ {
+		for c := lbc * m * s.k; c < (lbc+1)*m*s.k; c++ {
+			if (r+c)%s.k != sub || !mem.Get(r, c) {
+				continue
+			}
+			lr, lj := r%m, (c/s.k)%m
+			lead.Flip(s.p.LeadIdx(lr, lj))
+			ctr.Flip(s.p.CounterIdx(lr, lj))
+		}
+	}
+	d := Decode(s.p, lead, ctr)
+	if d.Kind == NoError {
+		return nil
+	}
+	if d.Kind == DataError {
+		// Decode's intersection is logical; translate to the home frame.
+		r := lbr*m + d.LR
+		c := s.physCol(sub, r, lbc*m+d.LC)
+		d.LC = c - bc*m
+	}
+	return []Diagnosis{d}
+}
+
+// CoversCell: the unit spans its whole column group, and consumers reach
+// it through UnitOf — every diagnosis pertains to every covered cell.
+func (s *interleavedScheme) CoversCell(Diagnosis, int, int) bool { return true }
+
+// UnitOf: the covering unit is homed at block (r/M, (c/k/M)·k + (r+c)%k).
+func (s *interleavedScheme) UnitOf(r, c int) (ubr, ubc, sub int) {
+	u, _, _ := s.unitAt(r, c)
+	return u / s.side, u % s.side, 0
+}
+
+// HomeColumns: a unit covers k·M contiguous physical columns, so the
+// covering units of any block-column range are homed across its enclosing
+// column groups.
+func (s *interleavedScheme) HomeColumns(firstBC, lastBC int) (int, int) {
+	return (firstBC / s.k) * s.k, (lastBC/s.k)*s.k + s.k - 1
+}
+
+// OverheadBits: identical storage to the plain diagonal code — the same
+// 2·m parity bits per unit, (n/m)² units.
+func (s *interleavedScheme) OverheadBits() int { return s.p.TotalCheckBits() }
+
+// LineUpdateReads: striping preserves the one-changed-cell-per-diagonal
+// property, so only the old/new copy of each written cell is read.
+func (s *interleavedScheme) LineUpdateReads(lines int) int { return 2 * lines }

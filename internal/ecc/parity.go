@@ -149,6 +149,14 @@ func (s *parityScheme) ReferenceCheck(mem *bitmat.Mat, br, bc int) []Diagnosis {
 // CoversCell: like Hamming, the code unit is one word row.
 func (s *parityScheme) CoversCell(d Diagnosis, lr, _ int) bool { return d.LR == lr }
 
+// UnitOf: the parity word lives in the cell's own block, word row sub.
+func (s *parityScheme) UnitOf(r, c int) (ubr, ubc, sub int) {
+	return r / s.p.M, c / s.p.M, r % s.p.M
+}
+
+// HomeColumns: words are block-column-local.
+func (s *parityScheme) HomeColumns(firstBC, lastBC int) (int, int) { return firstBC, lastBC }
+
 // OverheadBits: one bit per M-bit word.
 func (s *parityScheme) OverheadBits() int { return s.p.N * (s.p.N / s.p.M) }
 

@@ -43,7 +43,13 @@ const (
 	SchemeDiagonal = "diagonal"
 	SchemeHamming  = "hamming"
 	SchemeParity   = "parity"
+	SchemeDEC      = "dec"
 )
+
+// interleavedPrefix is the name family of the striped diagonal codes:
+// "diagonal-x<K>" runs K independent diagonal codes interleaved across
+// the crossbar columns.
+const interleavedPrefix = "diagonal-x"
 
 // Scheme is one protection-code instance bound to an N×N crossbar divided
 // into M×M blocks (Params). Implementations are not safe for concurrent
@@ -101,6 +107,21 @@ type Scheme interface {
 	// code's unit is the whole block (always true); word schemes cover
 	// only their own word row.
 	CoversCell(d Diagnosis, lr, lc int) bool
+	// UnitOf maps global data cell (r,c) to the home block (ubr,ubc)
+	// under which the covering code unit's diagnoses are reported, plus
+	// the sub-unit index within that block (the word row for word-based
+	// codes, 0 for whole-block codes). For every existing scheme the home
+	// block is the cell's own physical block; the interleaved diagonal
+	// codes report a striped unit under one home block of its column
+	// group, so consumers joining findings to cells must go through this
+	// hook rather than dividing by M.
+	UnitOf(r, c int) (ubr, ubc, sub int)
+	// HomeColumns returns the smallest home block-column range
+	// [first,last] such that checking (or rebuilding) the units homed
+	// there covers every cell of physical block-columns [firstBC,lastBC].
+	// Identity for column-local schemes; the interleaved codes widen to
+	// the enclosing column-group boundary.
+	HomeColumns(firstBC, lastBC int) (first, last int)
 
 	// OverheadBits returns the total check-bit storage the scheme needs
 	// for its geometry.
@@ -115,13 +136,19 @@ type Scheme interface {
 	LineUpdateReads(lines int) int
 }
 
-// SchemeSpec describes one registered scheme: geometry validation and a
-// state factory. New builds the check-bit state for memory image mem; a
-// nil mem means an all-zero crossbar.
+// SchemeSpec describes one registered scheme: geometry validation, a
+// state factory, and the code's declared error budget. New builds the
+// check-bit state for memory image mem; a nil mem means an all-zero
+// crossbar. Corrects/Detects are per code unit between scrubs: the
+// scheme guarantees correction of any ≤Corrects-bit error and detection
+// (never miscorrection) of any ≤Detects-bit error — the contract the
+// registry-generic fuzz harness and the comparison matrix consume.
 type SchemeSpec struct {
 	Name     string
 	Validate func(p Params) error
 	New      func(p Params, mem *bitmat.Mat) Scheme
+	Corrects int
+	Detects  int
 }
 
 // schemes is the registry. Keyed by name; listed sorted for stable errors.
@@ -130,17 +157,43 @@ var schemes = map[string]SchemeSpec{
 		Name:     SchemeDiagonal,
 		Validate: func(p Params) error { return p.Validate() },
 		New:      newDiagonalScheme,
+		Corrects: 1, Detects: 2,
 	},
 	SchemeHamming: {
 		Name:     SchemeHamming,
 		Validate: validateWordGeometry,
 		New:      newHammingScheme,
+		Corrects: 1, Detects: 2,
 	},
 	SchemeParity: {
 		Name:     SchemeParity,
 		Validate: validateParityGeometry,
 		New:      newParityScheme,
+		Corrects: 0, Detects: 1,
 	},
+	SchemeDEC: {
+		Name:     SchemeDEC,
+		Validate: validateDECGeometry,
+		New:      newDECScheme,
+		Corrects: 2, Detects: 3,
+	},
+	interleavedPrefix + "2": interleavedSpec(2),
+	interleavedPrefix + "4": interleavedSpec(4),
+}
+
+// interleavedSpec builds the registry entry for a k-way interleaved
+// diagonal code. The concretely registered widths (x2, x4) appear in
+// SchemeNames; SchemeByName additionally synthesizes any other
+// "diagonal-x<K>" on demand.
+func interleavedSpec(k int) SchemeSpec {
+	return SchemeSpec{
+		Name:     fmt.Sprintf("%s%d", interleavedPrefix, k),
+		Validate: func(p Params) error { return validateInterleavedGeometry(p, k) },
+		New: func(p Params, mem *bitmat.Mat) Scheme {
+			return newInterleavedScheme(p, mem, k)
+		},
+		Corrects: 1, Detects: 2,
+	}
 }
 
 // SchemeNames lists the registered schemes, sorted, for CLI usage text.
@@ -153,13 +206,42 @@ func SchemeNames() []string {
 	return names
 }
 
-// SchemeByName resolves a registered scheme. Unknown names list what is
-// available, so a CLI typo tells the user their options.
+// SchemeByName resolves a registered scheme. Beyond the registry map,
+// any "diagonal-x<K>" with K ≥ 2 resolves to a synthesized k-way
+// interleaved spec, so unusual interleave widths need no registration.
+// Unknown names list what is available, so a CLI typo tells the user
+// their options.
 func SchemeByName(name string) (SchemeSpec, error) {
 	if s, ok := schemes[name]; ok {
 		return s, nil
 	}
+	if k, ok := parseInterleavedName(name); ok {
+		return interleavedSpec(k), nil
+	}
 	return SchemeSpec{}, fmt.Errorf("ecc: unknown scheme %q (known schemes: %v)", name, SchemeNames())
+}
+
+// IsDiagonalFamily reports whether name is the diagonal code or one of
+// its interleaved variants — the schemes whose checks are computed by the
+// in-array CMEM pipelines rather than a controller-side word decoder.
+func IsDiagonalFamily(name string) bool {
+	if name == SchemeDiagonal {
+		return true
+	}
+	_, ok := parseInterleavedName(name)
+	return ok
+}
+
+// parseInterleavedName extracts K from "diagonal-x<K>", K ≥ 2.
+func parseInterleavedName(name string) (k int, ok bool) {
+	if len(name) <= len(interleavedPrefix) || name[:len(interleavedPrefix)] != interleavedPrefix {
+		return 0, false
+	}
+	k, err := strconv.Atoi(name[len(interleavedPrefix):])
+	if err != nil || k < 2 {
+		return 0, false
+	}
+	return k, true
 }
 
 // ParseSchemeFlag resolves a CLI -ecc flag value into (scheme, enabled).
@@ -296,6 +378,14 @@ func (s *diagonalScheme) ReferenceCheck(mem *bitmat.Mat, br, bc int) []Diagnosis
 // CoversCell: the diagonal code's unit is the whole block — every
 // diagnosis of a block pertains to every cell of it.
 func (s *diagonalScheme) CoversCell(Diagnosis, int, int) bool { return true }
+
+// UnitOf: the code unit is the cell's own block.
+func (s *diagonalScheme) UnitOf(r, c int) (ubr, ubc, sub int) {
+	return r / s.cb.p.M, c / s.cb.p.M, 0
+}
+
+// HomeColumns: block-column-local — the covering units are home.
+func (s *diagonalScheme) HomeColumns(firstBC, lastBC int) (int, int) { return firstBC, lastBC }
 
 func (s *diagonalScheme) OverheadBits() int { return s.cb.p.TotalCheckBits() }
 

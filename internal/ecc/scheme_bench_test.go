@@ -12,10 +12,12 @@ import (
 	"repro/internal/bitmat"
 )
 
-// benchScheme builds a scheme over a random 90×90 image.
+// benchScheme builds a scheme over a random 60×60 image — a geometry
+// every registered scheme accepts (60 is divisible by the x2/x4
+// interleave widths and m=15 fits the DEC word decoder).
 func benchScheme(b *testing.B, name string) (Scheme, *bitmat.Mat, Params) {
 	b.Helper()
-	p := Params{N: 90, M: 15}
+	p := Params{N: 60, M: 15}
 	mem := randomMemory(1, p)
 	spec, err := SchemeByName(name)
 	if err != nil {
@@ -75,10 +77,13 @@ func BenchmarkSchemeCorrectSingle(b *testing.B) {
 	for _, name := range SchemeNames() {
 		b.Run("scheme="+name, func(b *testing.B) {
 			s, mem, _ := benchScheme(b, name)
+			// The covering unit's home block — block (1,2) itself for
+			// column-local schemes, the stripe's home for interleaved.
+			ubr, ubc, _ := s.UnitOf(17, 31)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				mem.Flip(17, 31)
-				s.CorrectBlock(mem, 1, 2)
+				s.CorrectBlock(mem, ubr, ubc)
 				if name == SchemeParity {
 					mem.Flip(17, 31) // detect-only: undo by hand
 				}

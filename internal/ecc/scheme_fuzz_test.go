@@ -6,6 +6,135 @@ import (
 	"repro/internal/bitmat"
 )
 
+// FuzzSchemeContract drives every registered scheme through the budget
+// contract its SchemeSpec declares, on geometries that exercise striped
+// stripes and word-unaligned rows alike: any ≤Corrects-bit error within
+// one code unit is repaired exactly; any error beyond Corrects but within
+// Detects is flagged uncorrectable and nothing — data or stored check
+// bits — is mutated (never miscorrect, no check-bit laundering); and the
+// delta-update paths stay equivalent to a from-scratch rebuild. The unit
+// membership itself comes from UnitOf, so the harness needs no per-scheme
+// knowledge and automatically covers future registry entries.
+func FuzzSchemeContract(f *testing.F) {
+	f.Add(int64(1), []byte{0x00, 0x01, 0x02})
+	f.Add(int64(2), []byte{0x10, 0x20, 0x01, 0x33, 0x05, 0x02})
+	f.Add(int64(3), []byte{0x3B, 0x3B, 0x00, 0x07, 0x2C, 0x01, 0x15, 0x16, 0x02})
+	f.Add(int64(7), []byte{0xFF, 0xFE, 0xFD, 0x01, 0x02, 0x03})
+	f.Fuzz(func(t *testing.T, seed int64, script []byte) {
+		// All geometries keep n % m == 0; beyond that they stress
+		// different corners: 45 rejects the even interleave widths, 66
+		// has words straddling uint64 boundaries (m=11), 30/3 is the
+		// minimal odd block.
+		geoms := []Params{{N: 60, M: 15}, {N: 45, M: 15}, {N: 66, M: 11}, {N: 30, M: 3}}
+		p := geoms[int(uint64(seed)%uint64(len(geoms)))]
+		for _, name := range SchemeNames() {
+			spec, err := SchemeByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if spec.Validate(p) != nil {
+				continue // geometry gates are their own tests
+			}
+			mem := randomMemory(seed, p)
+			s := spec.New(p, mem)
+			want := mem.Clone()
+			for i := 0; i+2 < len(script) && i < 30; i += 3 {
+				r0, c0 := int(script[i])%p.N, int(script[i+1])%p.N
+				ubr, ubc, usub := s.UnitOf(r0, c0)
+				var cells [][2]int
+				for r := 0; r < p.N; r++ {
+					for c := 0; c < p.N; c++ {
+						if br, bc, sub := s.UnitOf(r, c); br == ubr && bc == ubc && sub == usub {
+							cells = append(cells, [2]int{r, c})
+						}
+					}
+				}
+				budget := spec.Detects
+				if budget < 1 {
+					budget = 1
+				}
+				if budget > len(cells) {
+					budget = len(cells)
+				}
+				nf := 1 + int(script[i+2])%budget
+				// Deterministically pick nf distinct cells of the unit.
+				picked := make(map[int]bool, nf)
+				var flips [][2]int
+				h := uint64(seed) ^ uint64(script[i+2])<<8 ^ uint64(i)<<17
+				for len(flips) < nf {
+					h = h*6364136223846793005 + 1442695040888963407
+					idx := int((h >> 33) % uint64(len(cells)))
+					if picked[idx] {
+						continue
+					}
+					picked[idx] = true
+					flips = append(flips, cells[idx])
+				}
+				for _, fc := range flips {
+					mem.Flip(fc[0], fc[1])
+				}
+				if nf <= spec.Corrects {
+					ds := s.CorrectBlock(mem, ubr, ubc)
+					if len(ds) != nf {
+						t.Fatalf("%s %v: %d diagnoses for %d in-budget flips: %v", name, p, len(ds), nf, ds)
+					}
+					for _, d := range ds {
+						if d.Kind != DataError {
+							t.Fatalf("%s %v: in-budget flip diagnosed %v", name, p, d.Kind)
+						}
+					}
+					if !mem.Equal(want) {
+						t.Fatalf("%s %v: %d-bit unit error not repaired exactly", name, p, nf)
+					}
+					if ds := s.CheckBlock(mem, ubr, ubc); len(ds) != 0 {
+						t.Fatalf("%s %v: unit dirty after repair: %v", name, p, ds)
+					}
+				} else {
+					dirty := mem.Clone()
+					ds := s.CorrectBlock(mem, ubr, ubc)
+					unc := false
+					for _, d := range ds {
+						if d.Kind == Uncorrectable {
+							unc = true
+						}
+					}
+					if !unc {
+						t.Fatalf("%s %v: %d flips (budget %d) not flagged uncorrectable: %v",
+							name, p, nf, spec.Corrects, ds)
+					}
+					if !mem.Equal(dirty) {
+						t.Fatalf("%s %v: uncorrectable unit was mutated — miscorrection", name, p)
+					}
+					for _, fc := range flips {
+						mem.Flip(fc[0], fc[1])
+					}
+					if !mem.Equal(want) {
+						t.Fatalf("%s %v: undo bookkeeping bug", name, p)
+					}
+					if ds := s.CheckBlock(mem, ubr, ubc); len(ds) != 0 {
+						t.Fatalf("%s %v: stored bits laundered on uncorrectable unit: %v", name, p, ds)
+					}
+				}
+			}
+			// Closing invariant: a delta row write leaves the stored state
+			// identical to a from-scratch rebuild.
+			r := int(uint64(seed)>>8) % p.N
+			old := mem.Row(r).Clone()
+			cur := old.Clone()
+			cols := bitmat.NewVec(p.N)
+			for j := 0; j < p.N; j += 3 {
+				cols.Set(j, true)
+				cur.Set(j, (uint32(j)*2654435761)>>16&1 != 0)
+			}
+			s.UpdateRowWrite(r, old, cur, cols)
+			mem.SetRow(r, cur)
+			if !s.Equal(spec.New(p, mem)) {
+				t.Fatalf("%s %v: delta update diverged from rebuild", name, p)
+			}
+		}
+	})
+}
+
 // FuzzSchemeEquivalence is the scheme layer's anchor: the diagonal code
 // driven through the generic Scheme interface must match the legacy
 // CheckBits delta-update and syndrome paths bit for bit under arbitrary

@@ -21,10 +21,10 @@ func buildScheme(t *testing.T, name string, p Params, mem *bitmat.Mat) Scheme {
 	return spec.New(p, mem)
 }
 
-// TestSchemeRegistry: the registry lists all three backends and unknown
+// TestSchemeRegistry: the registry lists all six backends and unknown
 // names fail with the known-scheme list in the message.
 func TestSchemeRegistry(t *testing.T) {
-	want := []string{"diagonal", "hamming", "parity"}
+	want := []string{"dec", "diagonal", "diagonal-x2", "diagonal-x4", "hamming", "parity"}
 	got := SchemeNames()
 	if len(got) != len(want) {
 		t.Fatalf("SchemeNames() = %v, want %v", got, want)
@@ -49,6 +49,31 @@ func TestSchemeRegistry(t *testing.T) {
 			t.Fatalf("error %q does not list scheme %q", err, name)
 		}
 	}
+
+	// Unregistered interleave widths synthesize a spec on the fly…
+	spec, err := SchemeByName("diagonal-x3")
+	if err != nil || spec.Name != "diagonal-x3" || spec.Corrects != 1 {
+		t.Fatalf("SchemeByName(diagonal-x3) = %+v, %v", spec, err)
+	}
+	// …but malformed widths do not.
+	for _, bad := range []string{"diagonal-x", "diagonal-x1", "diagonal-x0", "diagonal-xk"} {
+		if _, err := SchemeByName(bad); err == nil {
+			t.Fatalf("malformed interleave name %q accepted", bad)
+		}
+	}
+
+	// Every registered spec declares its correction/detection budget.
+	budgets := map[string][2]int{
+		"dec": {2, 3}, "diagonal": {1, 2}, "diagonal-x2": {1, 2},
+		"diagonal-x4": {1, 2}, "hamming": {1, 2}, "parity": {0, 1},
+	}
+	for name, b := range budgets {
+		spec, err := SchemeByName(name)
+		if err != nil || spec.Corrects != b[0] || spec.Detects != b[1] {
+			t.Fatalf("%s budget = (%d,%d), %v; want (%d,%d)",
+				name, spec.Corrects, spec.Detects, err, b[0], b[1])
+		}
+	}
 }
 
 // TestParseSchemeFlag: the CLI flag keeps its boolean spellings and
@@ -68,6 +93,10 @@ func TestParseSchemeFlag(t *testing.T) {
 		{"diagonal", SchemeDiagonal, true, false},
 		{"hamming", SchemeHamming, true, false},
 		{"parity", SchemeParity, true, false},
+		{"dec", SchemeDEC, true, false},
+		{"diagonal-x4", "diagonal-x4", true, false},
+		{"diagonal-x8", "diagonal-x8", true, false},
+		{"diagonal-x1", "", false, true},
 		{"false", "", false, false},
 		{"f", "", false, false},
 		{"0", "", false, false},
@@ -87,10 +116,11 @@ func TestParseSchemeFlag(t *testing.T) {
 
 // TestSchemeOverheadOrdering: the storage-overhead comparison of the E10
 // table — parity is the cheapest, the diagonal code undercuts horizontal
-// Hamming SEC-DED (the paper's headline overhead claim), and the concrete
-// counts match the closed forms.
+// Hamming SEC-DED (the paper's headline overhead claim), interleaving is
+// storage-free (the same check bits, re-striped), DEC pays for its
+// double-correction, and the concrete counts match the closed forms.
 func TestSchemeOverheadOrdering(t *testing.T) {
-	p := Params{N: 45, M: 15}
+	p := Params{N: 60, M: 15}
 	overhead := map[string]int{}
 	for _, name := range SchemeNames() {
 		overhead[name] = buildScheme(t, name, p, nil).OverheadBits()
@@ -98,14 +128,26 @@ func TestSchemeOverheadOrdering(t *testing.T) {
 	if overhead["diagonal"] != p.TotalCheckBits() {
 		t.Fatalf("diagonal overhead %d, want %d", overhead["diagonal"], p.TotalCheckBits())
 	}
+	// Interleaving re-stripes the same per-unit bits: storage is identical.
+	for _, name := range []string{"diagonal-x2", "diagonal-x4"} {
+		if overhead[name] != overhead["diagonal"] {
+			t.Fatalf("%s overhead %d, want diagonal's %d", name, overhead[name], overhead["diagonal"])
+		}
+	}
 	// Hamming: 5 SEC bits + 1 overall parity per 15-bit word.
-	if want := 45 * 3 * 6; overhead["hamming"] != want {
+	if want := 60 * 4 * 6; overhead["hamming"] != want {
 		t.Fatalf("hamming overhead %d, want %d", overhead["hamming"], want)
 	}
-	if want := 45 * 3; overhead["parity"] != want {
+	// DEC: 10 BCH bits + 1 overall parity per 15-bit word.
+	if want := 60 * 4 * 11; overhead["dec"] != want {
+		t.Fatalf("dec overhead %d, want %d", overhead["dec"], want)
+	}
+	if want := 60 * 4; overhead["parity"] != want {
 		t.Fatalf("parity overhead %d, want %d", overhead["parity"], want)
 	}
-	if !(overhead["parity"] < overhead["diagonal"] && overhead["diagonal"] < overhead["hamming"]) {
+	if !(overhead["parity"] < overhead["diagonal"] &&
+		overhead["diagonal"] < overhead["hamming"] &&
+		overhead["hamming"] < overhead["dec"]) {
 		t.Fatalf("overhead ordering violated: %v", overhead)
 	}
 }
@@ -114,18 +156,19 @@ func TestSchemeOverheadOrdering(t *testing.T) {
 // the diagonal placement was invented for — delta codes pay Θ(1) per
 // written cell while Hamming re-encodes every crossed word.
 func TestSchemeLineUpdateReads(t *testing.T) {
-	p := Params{N: 45, M: 15}
-	diag := buildScheme(t, SchemeDiagonal, p, nil)
-	ham := buildScheme(t, SchemeHamming, p, nil)
-	par := buildScheme(t, SchemeParity, p, nil)
-	if got := diag.LineUpdateReads(45); got != 90 {
-		t.Fatalf("diagonal LineUpdateReads(45) = %d, want 90", got)
+	p := Params{N: 60, M: 15}
+	want := map[string]int{
+		"diagonal":    2 * 60, // Θ(1) per written cell: old/new copy only
+		"diagonal-x2": 2 * 60, // striping preserves the delta property
+		"diagonal-x4": 2 * 60,
+		"parity":      2 * 60,
+		"hamming":     60 * 15, // re-encode every crossed word
+		"dec":         60 * 15,
 	}
-	if got := par.LineUpdateReads(45); got != 90 {
-		t.Fatalf("parity LineUpdateReads(45) = %d, want 90", got)
-	}
-	if got := ham.LineUpdateReads(45); got != 45*15 {
-		t.Fatalf("hamming LineUpdateReads(45) = %d, want %d", got, 45*15)
+	for name, w := range want {
+		if got := buildScheme(t, name, p, nil).LineUpdateReads(60); got != w {
+			t.Fatalf("%s LineUpdateReads(60) = %d, want %d", name, got, w)
+		}
 	}
 }
 
@@ -133,7 +176,7 @@ func TestSchemeLineUpdateReads(t *testing.T) {
 // flipped data bit anywhere is located and repaired exactly, leaving the
 // state consistent; for parity it is detected.
 func TestSchemeSingleErrorRoundTrip(t *testing.T) {
-	p := Params{N: 45, M: 15}
+	p := Params{N: 60, M: 15}
 	for _, name := range SchemeNames() {
 		mem := randomMemory(7, p)
 		s := buildScheme(t, name, p, mem)
@@ -142,7 +185,10 @@ func TestSchemeSingleErrorRoundTrip(t *testing.T) {
 		for trial := 0; trial < 50; trial++ {
 			r, c := rng.Intn(p.N), rng.Intn(p.N)
 			mem.Flip(r, c)
-			br, bc := r/p.M, c/p.M
+			// The covering unit's findings live under its *home* block —
+			// the cell's own block for column-local schemes, the sub-code's
+			// home for interleaved stripes.
+			br, bc, _ := s.UnitOf(r, c)
 			ds := s.CorrectBlock(mem, br, bc)
 			if len(ds) != 1 {
 				t.Fatalf("%s: %d diagnoses for one flip", name, len(ds))
@@ -250,7 +296,7 @@ func TestHammingCheckBitErrors(t *testing.T) {
 // the state identical to a from-scratch rebuild — the continuous-parity
 // contract the machine's write paths rely on.
 func TestSchemeDeltaUpdatesMatchRebuild(t *testing.T) {
-	p := Params{N: 45, M: 15}
+	p := Params{N: 60, M: 15}
 	for _, name := range SchemeNames() {
 		mem := randomMemory(5, p)
 		s := buildScheme(t, name, p, mem)
@@ -307,7 +353,7 @@ func TestSchemeDeltaUpdatesMatchRebuild(t *testing.T) {
 // TestSchemeCloneIndependence: Clone is a deep copy — mutating the
 // original never leaks into the clone.
 func TestSchemeCloneIndependence(t *testing.T) {
-	p := Params{N: 45, M: 15}
+	p := Params{N: 60, M: 15}
 	for _, name := range SchemeNames() {
 		mem := randomMemory(21, p)
 		s := buildScheme(t, name, p, mem)
@@ -326,7 +372,7 @@ func TestSchemeCloneIndependence(t *testing.T) {
 // bit-serial reference decoder and the production CheckBlock path agree
 // on every block — the invariant the campaign's cross-check enforces.
 func TestSchemeReferenceCheckAgrees(t *testing.T) {
-	p := Params{N: 45, M: 15}
+	p := Params{N: 60, M: 15}
 	for _, name := range SchemeNames() {
 		rng := rand.New(rand.NewSource(31))
 		for trial := 0; trial < 30; trial++ {
@@ -353,22 +399,34 @@ func TestSchemeReferenceCheckAgrees(t *testing.T) {
 	}
 }
 
-// TestSchemeRebuildBlock: corrupt one block's stored bits arbitrarily;
-// RebuildBlock restores consistency for that block without touching the
-// rest.
+// TestSchemeRebuildBlock: corrupt one block's data underneath the scheme;
+// the home blocks of the affected units flag the damage, and rebuilding
+// exactly those home blocks restores consistency without touching the
+// rest. (For column-local schemes the home block is block (1,2) itself;
+// interleaved stripes spread the flips over several homes in the group.)
 func TestSchemeRebuildBlock(t *testing.T) {
-	p := Params{N: 45, M: 15}
+	p := Params{N: 60, M: 15}
 	for _, name := range SchemeNames() {
 		mem := randomMemory(17, p)
 		s := buildScheme(t, name, p, mem)
 		// Desynchronize block (1,2) by mutating data underneath the scheme.
+		homes := make(map[[2]int]bool)
 		for i := 0; i < 5; i++ {
-			mem.Flip(1*p.M+i, 2*p.M+(i*3)%p.M)
+			r, c := 1*p.M+i, 2*p.M+(i*3)%p.M
+			mem.Flip(r, c)
+			ubr, ubc, _ := s.UnitOf(r, c)
+			homes[[2]int{ubr, ubc}] = true
 		}
-		if ds := s.CheckBlock(mem, 1, 2); len(ds) == 0 {
+		flagged := 0
+		for h := range homes {
+			flagged += len(s.CheckBlock(mem, h[0], h[1]))
+		}
+		if flagged == 0 {
 			t.Fatalf("%s: five flips went unnoticed", name)
 		}
-		s.RebuildBlock(mem, 1, 2)
+		for h := range homes {
+			s.RebuildBlock(mem, h[0], h[1])
+		}
 		if !s.Equal(buildScheme(t, name, p, mem)) {
 			t.Fatalf("%s: RebuildBlock did not restore consistency", name)
 		}

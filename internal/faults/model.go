@@ -13,6 +13,8 @@ package faults
 import (
 	"fmt"
 	"math/rand"
+	"strconv"
+	"strings"
 
 	"repro/internal/xbar"
 )
@@ -263,7 +265,12 @@ type LineCluster struct {
 }
 
 // Name implements Model.
-func (m LineCluster) Name() string { return "lines" }
+func (m LineCluster) Name() string {
+	if m.Span > 0 {
+		return fmt.Sprintf("lines:%d", m.Span)
+	}
+	return "lines"
+}
 
 // Apply implements Model.
 func (m LineCluster) Apply(x *xbar.Crossbar, _ *StuckSet, rng *rand.Rand, hours float64) []Fault {
@@ -309,11 +316,15 @@ func (m Skewed) Apply(x *xbar.Crossbar, stuck *StuckSet, rng *rand.Rand, hours f
 	return m.Inner.Apply(x, stuck, rng, hours*m.Factor)
 }
 
-// ModelNames lists the named fault models for CLI usage text.
+// ModelNames lists the named fault models for CLI usage text. "lines"
+// additionally accepts a span suffix ("lines:<span>", resolved by
+// ModelByName) bounding each line event to that many consecutive cells.
 func ModelNames() []string { return []string{"transient", "stuck0", "stuck1", "lines"} }
 
 // ModelByName resolves a named fault model at rate ser (FIT/bit for point
-// models, FIT/line for "lines").
+// models, FIT/line for "lines"). "lines:<span>" yields a LineCluster whose
+// events touch at most span consecutive cells — the clustered-burst regime
+// an interleaved code decomposes into per-sub-code singles.
 func ModelByName(name string, ser float64) (Model, error) {
 	if ser < 0 {
 		return nil, fmt.Errorf("faults: negative SER %g", ser)
@@ -327,6 +338,13 @@ func ModelByName(name string, ser float64) (Model, error) {
 		return StuckAt{SER: ser, Value: true}, nil
 	case "lines":
 		return LineCluster{SER: ser}, nil
+	}
+	if spanStr, ok := strings.CutPrefix(name, "lines:"); ok {
+		span, err := strconv.Atoi(spanStr)
+		if err != nil || span < 1 {
+			return nil, fmt.Errorf("faults: bad line span in model %q (want lines:<span> with span ≥ 1)", name)
+		}
+		return LineCluster{SER: ser, Span: span}, nil
 	}
 	return nil, fmt.Errorf("faults: unknown fault model %q (have %v)", name, ModelNames())
 }

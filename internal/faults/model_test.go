@@ -18,8 +18,19 @@ func TestModelByName(t *testing.T) {
 			t.Fatalf("%q resolved to %q", name, m.Name())
 		}
 	}
-	if _, err := ModelByName("nope", 1); err == nil {
-		t.Fatal("unknown model accepted")
+	// The span-bounded line model round-trips through its Name.
+	m, err := ModelByName("lines:4", 1e5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lc, ok := m.(LineCluster)
+	if !ok || lc.Span != 4 || m.Name() != "lines:4" {
+		t.Fatalf("lines:4 resolved to %#v (name %q)", m, m.Name())
+	}
+	for _, bad := range []string{"nope", "lines:", "lines:0", "lines:-2", "lines:x"} {
+		if _, err := ModelByName(bad, 1); err == nil {
+			t.Fatalf("bad model %q accepted", bad)
+		}
 	}
 	if _, err := ModelByName("transient", -1); err == nil {
 		t.Fatal("negative SER accepted")

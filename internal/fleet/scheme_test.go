@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/campaign"
 	"repro/internal/ecc"
+	"repro/internal/mmpu"
 )
 
 // TestSchemeDeterministicAcrossWorkers: the Hamming-backed campaign
@@ -69,6 +70,46 @@ func TestSchemeCampaignOutcomes(t *testing.T) {
 				t.Fatalf("parity never detected: %+v", tl)
 			}
 		}
+	}
+}
+
+// TestNewSchemeDeterministicAcrossWorkers: the DEC and interleaved
+// campaigns yield identical results at 1, 8, and 32 workers on a
+// geometry every scheme accepts (60 is divisible by the interleave
+// widths) — the merge contract extended to the new families.
+func TestNewSchemeDeterministicAcrossWorkers(t *testing.T) {
+	for _, scheme := range []string{ecc.SchemeDEC, "diagonal-x4"} {
+		w := Campaign{Rounds: 3, Model: "transient", SER: 1e5}
+		cfg := newSchemeCfg(scheme, 1)
+		ref, err := Run(cfg, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref.Campaign.Injected == 0 {
+			t.Fatalf("%s: vacuous campaign: %+v", scheme, ref.Campaign)
+		}
+		if ref.Campaign.Counts[campaign.Miscorrected] != 0 ||
+			ref.Campaign.Counts[campaign.SilentCorruption] != 0 {
+			t.Fatalf("%s: non-conformant fleet campaign: %+v", scheme, ref.Campaign)
+		}
+		for _, workers := range []int{8, 32} {
+			got, err := Run(newSchemeCfg(scheme, workers), w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(ref, got) {
+				t.Fatalf("%s workers=%d diverged:\n  1: %+v\n  %d: %+v", scheme, workers, ref, workers, got)
+			}
+		}
+	}
+}
+
+// newSchemeCfg sizes a fleet of 60×60 crossbars for the schemes the
+// 45×45 default geometry rejects.
+func newSchemeCfg(scheme string, workers int) Config {
+	return Config{
+		Org: mmpu.Custom(60, 4, 2), M: 15, K: 2, ECCEnabled: true,
+		Scheme: scheme, Workers: workers, Seed: 42,
 	}
 }
 

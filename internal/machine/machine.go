@@ -73,16 +73,25 @@ func (cfg Config) ComputeCost(mp *synth.Mapping) int64 {
 	m := cfg.M
 	blocks := cfg.N / m
 	inputBlocks := (mp.Netlist.NumInputs() + m - 1) / m
-	cost += int64(inputBlocks * blocks * cmem.CheckLineMEMCycles(m))
 	upd := int64(cmem.CriticalUpdateMEMCycles)
-	if cfg.SchemeName() != ecc.SchemeDiagonal {
-		if spec, err := ecc.SchemeByName(cfg.SchemeName()); err == nil {
-			upd = int64(spec.New(ecc.Params{N: cfg.N, M: m}, nil).LineUpdateReads(1))
-		}
-	}
-	cost += int64(mp.CriticalOps()) * upd
 	firstBC := mp.Netlist.NumInputs() / m
 	lastBC := (mp.RowSize - 1) / m
+	inputSpan := inputBlocks
+	if cfg.SchemeName() != ecc.SchemeDiagonal {
+		if spec, err := ecc.SchemeByName(cfg.SchemeName()); err == nil {
+			sch := spec.New(ecc.Params{N: cfg.N, M: m}, nil)
+			upd = int64(sch.LineUpdateReads(1))
+			// Striped codes check/reconcile whole column groups, so the
+			// charged spans widen to the scheme's home-column envelope.
+			if inputBlocks > 0 {
+				f, l := sch.HomeColumns(0, inputBlocks-1)
+				inputSpan = l - f + 1
+			}
+			firstBC, lastBC = sch.HomeColumns(firstBC, lastBC)
+		}
+	}
+	cost += int64(inputSpan * blocks * cmem.CheckLineMEMCycles(m))
+	cost += int64(mp.CriticalOps()) * upd
 	cost += int64((lastBC - firstBC + 1) * blocks * cmem.CheckLineMEMCycles(m))
 	return cost
 }
@@ -524,20 +533,31 @@ func (m *Machine) ExecuteSIMD(mp *synth.Mapping, rows *bitmat.Vec) error {
 	}
 	if m.Protected() {
 		inputBlocks := (mp.Netlist.NumInputs() + m.cfg.M - 1) / m.cfg.M
-		for bc := 0; bc < inputBlocks; bc++ {
-			m.inputChecks++
-			m.tel.InputChecks.Inc()
-			if m.sch != nil {
+		if m.sch != nil && inputBlocks > 0 {
+			// Generic scheme path: check (and correct) every code unit
+			// covering the input columns. Units are addressed by home
+			// block; striped codes home the covering units across the
+			// whole enclosing column group, so the sweep must go through
+			// HomeColumns — checking only the input block-columns would
+			// miss units whose home lies beyond them.
+			first, last := m.sch.HomeColumns(0, inputBlocks-1)
+			for bc := first; bc <= last; bc++ {
+				m.inputChecks++
+				m.tel.InputChecks.Inc()
 				for br := 0; br < m.cfg.N/m.cfg.M; br++ {
 					for _, d := range m.sch.CorrectBlock(m.mem.Mat(), br, bc) {
 						m.tallyDiag(d)
 					}
 				}
-				continue
 			}
-			diags := m.cm.CheckLine(m.mem, shifter.RowParallel, bc, bc%m.cfg.K)
-			for _, d := range diags {
-				m.tallyDiag(d)
+		} else if m.cm != nil {
+			for bc := 0; bc < inputBlocks; bc++ {
+				m.inputChecks++
+				m.tel.InputChecks.Inc()
+				diags := m.cm.CheckLine(m.mem, shifter.RowParallel, bc, bc%m.cfg.K)
+				for _, d := range diags {
+					m.tallyDiag(d)
+				}
 			}
 		}
 	}
@@ -572,6 +592,13 @@ func (m *Machine) reconcileWorkingRegion(mp *synth.Mapping) {
 	firstBC := mp.Netlist.NumInputs() / m.cfg.M
 	lastBC := (mp.RowSize - 1) / m.cfg.M
 	if m.sch != nil {
+		// Every unit whose coverage intersects the working columns is
+		// stale and must be rebuilt; HomeColumns names exactly those
+		// units' home blocks. For striped codes this widens the sweep to
+		// the enclosing column group — a unit straddling the region
+		// boundary has no narrower sound rebuild (the scheme docs note
+		// that scratch regions are best allocated group-aligned).
+		firstBC, lastBC = m.sch.HomeColumns(firstBC, lastBC)
 		for bc := firstBC; bc <= lastBC; bc++ {
 			for br := 0; br < m.cfg.N/m.cfg.M; br++ {
 				m.sch.RebuildBlock(m.mem.Mat(), br, bc)

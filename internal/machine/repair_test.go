@@ -321,17 +321,20 @@ func TestVerifyClearsStaleSyndrome(t *testing.T) {
 // scheme backends: write-verify and sparing are code-agnostic, and the
 // covering-unit rebuild must leave each scheme's own check state coherent.
 func TestRepairGenericSchemes(t *testing.T) {
-	for _, scheme := range []string{"hamming", "parity"} {
+	for _, scheme := range []string{"hamming", "parity", "dec", "diagonal-x4"} {
 		t.Run(scheme, func(t *testing.T) {
 			cfg := repairCfg(repair.VerifySpare, 4)
 			cfg.Scheme = scheme
+			if scheme == "diagonal-x4" {
+				cfg.N = 60 // the default 45 is not divisible by the interleave width
+			}
 			m := MustNew(cfg)
 			s := faults.NewStuckSet()
 			s.Add(7, 9, true)
 			m.MEM().Set(7, 9, true)
 			m.AttachDefects(s)
 
-			zeros := bitmat.NewVec(testCfg.N)
+			zeros := bitmat.NewVec(cfg.N)
 			if err := m.LoadRow(7, zeros); err != nil {
 				t.Fatalf("laundering write should retire within budget: %v", err)
 			}
@@ -347,28 +350,34 @@ func TestRepairGenericSchemes(t *testing.T) {
 		})
 	}
 
-	// The stale-metadata sweep through the generic CheckBlock path: only
-	// hamming can correct (and therefore miscorrect), so only it needs the
-	// write-time re-sync when the host writes the stuck value.
-	cfg := repairCfg(repair.Verify, 0)
-	cfg.Scheme = "hamming"
-	m := MustNew(cfg)
-	s := faults.NewStuckSet()
-	s.Add(12, 30, true)
-	m.MEM().Set(12, 30, true)
-	m.AttachDefects(s)
-	m.Scrub() // corrects the defect against the all-zero image
-	s.Reassert(m.MEM())
-	row := bitmat.NewVec(testCfg.N)
-	row.Set(30, true) // host writes the stuck value
-	if err := m.LoadRow(12, row); err != nil {
-		t.Fatalf("writing the stuck value should verify clean: %v", err)
-	}
-	if !m.CheckConsistent() {
-		t.Fatal("hamming metadata sweep left a stale word syndrome")
-	}
-	if c, u := m.Scrub(); c != 0 || u != 0 {
-		t.Fatalf("scrub corrected=%d uncorrectable=%d after a verified write, want 0/0", c, u)
+	// The stale-metadata sweep through the generic CheckBlock path: the
+	// correcting word schemes (hamming, dec) and the striped diagonal all
+	// need the write-time re-sync when the host writes the stuck value —
+	// a corrector with stale metadata is a miscorrector.
+	for _, scheme := range []string{"hamming", "dec", "diagonal-x4"} {
+		cfg := repairCfg(repair.Verify, 0)
+		cfg.Scheme = scheme
+		if scheme == "diagonal-x4" {
+			cfg.N = 60
+		}
+		m := MustNew(cfg)
+		s := faults.NewStuckSet()
+		s.Add(12, 30, true)
+		m.MEM().Set(12, 30, true)
+		m.AttachDefects(s)
+		m.Scrub() // corrects the defect against the all-zero image
+		s.Reassert(m.MEM())
+		row := bitmat.NewVec(cfg.N)
+		row.Set(30, true) // host writes the stuck value
+		if err := m.LoadRow(12, row); err != nil {
+			t.Fatalf("%s: writing the stuck value should verify clean: %v", scheme, err)
+		}
+		if !m.CheckConsistent() {
+			t.Fatalf("%s metadata sweep left a stale syndrome", scheme)
+		}
+		if c, u := m.Scrub(); c != 0 || u != 0 {
+			t.Fatalf("%s: scrub corrected=%d uncorrectable=%d after a verified write, want 0/0", scheme, c, u)
+		}
 	}
 }
 

@@ -15,9 +15,15 @@ import (
 
 // testMemRepair builds a protected memory with the self-healing layer on.
 func testMemRepair(t testing.TB, n, m, banks, perBank, spares int) *pmem.Memory {
+	return testMemRepairScheme(t, "", n, m, banks, perBank, spares)
+}
+
+// testMemRepairScheme is testMemRepair with an explicit protection scheme
+// ("" selects the default diagonal code).
+func testMemRepairScheme(t testing.TB, scheme string, n, m, banks, perBank, spares int) *pmem.Memory {
 	t.Helper()
 	mem, err := pmem.New(pmem.Config{
-		Org: mmpu.Custom(n, banks, perBank), M: m, K: 2, ECCEnabled: true,
+		Org: mmpu.Custom(n, banks, perBank), M: m, K: 2, ECCEnabled: true, Scheme: scheme,
 		Repair: repair.Config{Policy: repair.VerifySpare, Spares: spares},
 	})
 	if err != nil {
@@ -97,12 +103,27 @@ func TestReplayRepairUnknownModelRejected(t *testing.T) {
 // spare budget holds. Run under -race this also proves the repair table's
 // lock discipline against concurrent bank workers.
 func TestServeRepairRetirementUnderTraffic(t *testing.T) {
+	runServeRetirement(t, testMemRepair(t, 45, 15, 8, 1, 64))
+}
+
+// TestServeRepairRetirementNewSchemes runs the identical live-server race
+// scenario over the DEC and interleaved backends (60×60: a geometry the
+// interleave widths accept) — online retirement and the repair table's
+// lock discipline must be scheme-independent.
+func TestServeRepairRetirementNewSchemes(t *testing.T) {
+	for _, scheme := range []string{"dec", "diagonal-x4"} {
+		t.Run(scheme, func(t *testing.T) {
+			runServeRetirement(t, testMemRepairScheme(t, scheme, 60, 15, 8, 1, 64))
+		})
+	}
+}
+
+func runServeRetirement(t *testing.T, mem *pmem.Memory) {
 	const (
 		clients = 8
 		iters   = 150
 		width   = 41 // word-unaligned, crosses row boundaries
 	)
-	mem := testMemRepair(t, 45, 15, 8, 1, 64)
 	org := mem.Config().Org
 	model, err := faults.ModelByName("stuck1", 3e5)
 	if err != nil {

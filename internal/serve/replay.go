@@ -5,7 +5,9 @@ import (
 	"math/rand"
 	"sync"
 
+	"repro/internal/ecc"
 	"repro/internal/faults"
+	"repro/internal/machine"
 	"repro/internal/mmpu"
 	"repro/internal/pmem"
 	"repro/internal/telemetry"
@@ -31,8 +33,10 @@ const (
 
 // reqCost charges one served request. verify adds the write-verify
 // read-back tax: one tick per committed row segment (a coalesced write
-// shares its row's single commit and single read-back).
-func reqCost(info execInfo, verify bool) int64 {
+// shares its row's single commit and single read-back). wSur is the
+// scheme's per-segment write surcharge (writeSurcharge): coalesced writes
+// share their row's single check-bit update, so only full commits pay it.
+func reqCost(info execInfo, verify bool, wSur int64) int64 {
 	if info.coalesced {
 		if info.write {
 			return costCoalWrite
@@ -41,7 +45,7 @@ func reqCost(info execInfo, verify bool) int64 {
 	}
 	base := int64(costRead)
 	if info.write {
-		base = costWrite
+		base = costWrite + wSur
 		if verify {
 			base += costVerify
 		}
@@ -51,6 +55,32 @@ func reqCost(info execInfo, verify bool) int64 {
 		segs = 1
 	}
 	return base * segs
+}
+
+// writeSurcharge prices the protection scheme's line-update discipline
+// relative to the Θ(1) diagonal delta already folded into costWrite: a
+// scheme that must re-read the whole M-bit word to re-encode its check
+// bits (LineUpdateReads = M per written line, e.g. hamming or dec) pays
+// the reads beyond the delta pair at the open-row rate. Exactly zero for
+// the diagonal family and parity (2-read delta), so default replays stay
+// byte-identical to the historical cost model.
+func writeSurcharge(cfg pmem.Config) int64 {
+	if !cfg.ECCEnabled || cfg.M <= 0 {
+		return 0
+	}
+	spec, err := ecc.SchemeByName((machine.Config{Scheme: cfg.Scheme}).SchemeName())
+	if err != nil {
+		return 0
+	}
+	p := ecc.Params{N: cfg.Org.CrossbarN, M: cfg.M}
+	if spec.Validate(p) != nil {
+		return 0
+	}
+	extra := int64(spec.New(p, nil).LineUpdateReads(1)) - 2
+	if extra <= 0 {
+		return 0
+	}
+	return extra * costCoalRead
 }
 
 // scrubCost charges one crossbar scrub.
@@ -294,6 +324,7 @@ func replayWorker(cfg ReplayConfig, model faults.Model, org mmpu.Organization, b
 	ex := executor{mem: cfg.Mem, org: org}
 	sCost := scrubCost(cfg.Mem.Config())
 	verify := cfg.Mem.Config().Repair.Enabled()
+	wSur := writeSurcharge(cfg.Mem.Config())
 	cost := computeCostFor(cfg.Mem.Config())
 	bankSlot := make(map[int]int, len(banks)) // bank → index in banks
 	var xbs [][2]int                          // scrub rotation over the worker's crossbars
@@ -397,7 +428,7 @@ func replayWorker(cfg ReplayConfig, model faults.Model, org mmpu.Organization, b
 				charge = cost(btq[k].Req.Plan)
 				st.ComputeTicks += charge
 			} else {
-				charge = reqCost(info, verify)
+				charge = reqCost(info, verify, wSur)
 			}
 			clock += charge
 			tq := btq[k]

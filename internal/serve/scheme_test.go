@@ -14,16 +14,49 @@ import (
 	"repro/internal/pmem"
 )
 
-// schemeMem builds a protected memory over a named scheme.
+// schemeMem builds a protected memory over a named scheme. The 60×60
+// geometry is accepted by every registered scheme, interleaved widths
+// included.
 func schemeMem(t *testing.T, scheme string) *pmem.Memory {
 	t.Helper()
 	mem, err := pmem.New(pmem.Config{
-		Org: mmpu.Custom(90, 8, 2), M: 15, K: 2, ECCEnabled: true, Scheme: scheme,
+		Org: mmpu.Custom(60, 8, 2), M: 15, K: 2, ECCEnabled: true, Scheme: scheme,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	return mem
+}
+
+// TestWriteSurcharge pins the serving clock's scheme pricing: delta
+// schemes (the diagonal family, parity) ride the historical costWrite
+// unchanged — surcharge exactly zero, so default replays and their golden
+// reports stay byte-identical — while word-recode schemes pay their
+// M−2 extra update reads at the open-row rate.
+func TestWriteSurcharge(t *testing.T) {
+	for _, tc := range []struct {
+		scheme string
+		want   int64
+	}{
+		{"", 0}, // default = diagonal
+		{ecc.SchemeDiagonal, 0},
+		{ecc.SchemeParity, 0},
+		{"diagonal-x2", 0},
+		{"diagonal-x4", 0},
+		{ecc.SchemeHamming, 13}, // (M−2)·costCoalRead at M=15
+		{ecc.SchemeDEC, 13},
+	} {
+		got := writeSurcharge(pmem.Config{
+			Org: mmpu.Custom(60, 2, 1), M: 15, K: 2, ECCEnabled: true, Scheme: tc.scheme,
+		})
+		if got != tc.want {
+			t.Errorf("writeSurcharge(%q) = %d, want %d", tc.scheme, got, tc.want)
+		}
+	}
+	// ECC off: no check bits to maintain, no surcharge.
+	if got := writeSurcharge(pmem.Config{Org: mmpu.Custom(60, 2, 1), M: 15}); got != 0 {
+		t.Errorf("writeSurcharge(ecc off) = %d, want 0", got)
+	}
 }
 
 // TestReplaySchemesDeterministicUnderFaults: the same seed reproduces the
@@ -47,7 +80,10 @@ func TestReplaySchemesDeterministicUnderFaults(t *testing.T) {
 		}
 		return res
 	}
-	for _, scheme := range []string{ecc.SchemeDiagonal, ecc.SchemeHamming, ecc.SchemeParity} {
+	for _, scheme := range []string{
+		ecc.SchemeDiagonal, ecc.SchemeHamming, ecc.SchemeParity,
+		ecc.SchemeDEC, "diagonal-x2", "diagonal-x4",
+	} {
 		a, b := run(scheme), run(scheme)
 		if !reflect.DeepEqual(a, b) {
 			t.Fatalf("%s: same seed diverged", scheme)
