@@ -1,0 +1,24 @@
+package repro
+
+import "testing"
+
+// calibrationSink keeps the calibration loop observable.
+var calibrationSink uint64
+
+// BenchmarkHostCalibration is a fixed, pure-ALU workload that no code
+// change in this repository can affect: a data-dependent LCG spin with
+// no memory traffic. Its ns/op measures only how fast the host is
+// running right now, which lets benchdiff -normalize cancel uniform
+// host slowdowns (noisy CI runners, shared VMs) out of a snapshot
+// comparison. Do not change this loop — its stability across commits is
+// the point.
+func BenchmarkHostCalibration(b *testing.B) {
+	x := uint64(0x9E3779B97F4A7C15)
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 4096; j++ {
+			x = x*6364136223846793005 + 1442695040888963407
+			x ^= x >> 29
+		}
+	}
+	calibrationSink = x
+}

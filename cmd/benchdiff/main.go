@@ -1,0 +1,278 @@
+// Command benchdiff compares two benchjson perf snapshots and gates on
+// regressions: it prints a per-benchmark delta table (ns/op, B/op,
+// allocs/op) and exits nonzero when any gated benchmark — by default the
+// fleet E7, crossbar-gate, and protection-scheme suites — slowed down by
+// more than the threshold. It is the repo's perf-regression tripwire:
+//
+//	go run ./cmd/benchdiff BENCH_old.json BENCH_new.json
+//
+// Snapshots taken on different CPUs are not comparable; benchdiff
+// refuses them (exit 2) unless -force acknowledges the apples-to-
+// oranges risk. Benchmarks present in only one snapshot are reported
+// but never gate — a new benchmark has no baseline to regress from.
+//
+// On hosts whose speed drifts between runs (shared VMs, throttling CI
+// runners), -normalize NAME rescales the new snapshot by the ratio the
+// named calibration benchmark moved: a code-independent workload like
+// BenchmarkHostCalibration slows down exactly as much as the host did,
+// so uniform host slowdowns cancel and only code-caused deltas remain.
+// Passing more than one NEW snapshot gates on each benchmark's fastest
+// sample across them (normalized per snapshot) — transient contention
+// rarely hits the same benchmark in every independent measurement, so a
+// delta that survives the minimum is code, not noise.
+//
+// Exit codes: 0 clean, 1 regression past threshold (or unreadable
+// input), 2 cross-host refusal / usage error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+)
+
+// result mirrors the benchjson per-benchmark record; unknown fields in
+// the snapshot are ignored so the two tools can evolve independently.
+type result struct {
+	Name       string  `json:"name"`
+	Pkg        string  `json:"pkg"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	BytesPerOp float64 `json:"bytes_per_op"`
+	AllocsOp   float64 `json:"allocs_per_op"`
+}
+
+// snapshot mirrors the benchjson file schema.
+type snapshot struct {
+	Date      string   `json:"date"`
+	GoVersion string   `json:"go_version"`
+	CPU       string   `json:"cpu"`
+	BenchTime string   `json:"benchtime"`
+	Results   []result `json:"results"`
+}
+
+// row is one line of the delta table.
+type row struct {
+	name     string
+	old, new float64 // ns/op
+	delta    float64 // percent, +slower
+	gated    bool
+	only     string // "old" or "new" when present in one snapshot
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	threshold := fs.Float64("threshold", 10, "ns/op regression percentage that fails gated benchmarks")
+	gate := fs.String("gate", `^Benchmark(Fleet|XbarGates|Scheme)`, "regex selecting the benchmarks that gate")
+	force := fs.Bool("force", false, "compare snapshots even when their cpu fields differ")
+	normalize := fs.String("normalize", "", "calibration benchmark name; rescales the new snapshot by its old/new ratio to cancel host speed drift")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() < 2 {
+		fmt.Fprintln(stderr, "usage: benchdiff [flags] OLD.json NEW.json [NEW2.json ...]")
+		return 2
+	}
+	gateRe, err := regexp.Compile(*gate)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchdiff: bad -gate: %v\n", err)
+		return 2
+	}
+
+	old, err := load(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintf(stderr, "benchdiff: %v\n", err)
+		return 1
+	}
+	var news []snapshot
+	for _, arg := range fs.Args()[1:] {
+		s, err := load(arg)
+		if err != nil {
+			fmt.Fprintf(stderr, "benchdiff: %v\n", err)
+			return 1
+		}
+		news = append(news, s)
+	}
+
+	// ns/op measured on different silicon is noise, not signal. A
+	// snapshot without a cpu field (parse miss) is treated as unknown
+	// and only comparable to another unknown.
+	for _, s := range news {
+		if old.CPU != s.CPU {
+			if !*force {
+				fmt.Fprintf(stderr, "benchdiff: snapshots are from different hosts (cpu %q vs %q); pass -force to compare anyway\n",
+					old.CPU, s.CPU)
+				return 2
+			}
+			fmt.Fprintf(stderr, "benchdiff: warning: comparing across hosts (cpu %q vs %q)\n", old.CPU, s.CPU)
+		}
+	}
+
+	if *normalize != "" {
+		for i := range news {
+			scale, err := calibrate(old, news[i], *normalize)
+			if err != nil {
+				fmt.Fprintf(stderr, "benchdiff: %v\n", err)
+				return 2
+			}
+			fmt.Fprintf(stderr, "benchdiff: normalizing by %s: new snapshot %d scaled x%.3f\n", *normalize, i+1, scale)
+			for j := range news[i].Results {
+				news[i].Results[j].NsPerOp *= scale
+			}
+		}
+	}
+	cur := best(news)
+
+	rows, failed := diff(old, cur, gateRe, *threshold)
+	print(stdout, old, cur, rows, *threshold)
+	if len(failed) > 0 {
+		fmt.Fprintf(stderr, "benchdiff: %d gated benchmark(s) regressed more than %.0f%%:\n", len(failed), *threshold)
+		for _, r := range failed {
+			fmt.Fprintf(stderr, "  %-52s %10.1f -> %10.1f ns/op  (%+.1f%%)\n", r.name, r.old, r.new, r.delta)
+		}
+		return 1
+	}
+	fmt.Fprintf(stdout, "benchdiff: ok, no gated benchmark regressed more than %.0f%%\n", *threshold)
+	return 0
+}
+
+// load reads a benchjson snapshot.
+func load(path string) (snapshot, error) {
+	var s snapshot
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return s, err
+	}
+	if err := json.Unmarshal(raw, &s); err != nil {
+		return s, fmt.Errorf("%s: %v", path, err)
+	}
+	if len(s.Results) == 0 {
+		return s, fmt.Errorf("%s: no benchmark results", path)
+	}
+	return s, nil
+}
+
+// best folds repeated measurements into one snapshot holding each
+// benchmark's fastest ns/op: the minimum across independent runs is the
+// estimator least contaminated by transient host contention. Metadata
+// comes from the first measurement; a benchmark counts as present if
+// any run measured it.
+func best(news []snapshot) snapshot {
+	cur := news[0]
+	if len(news) == 1 {
+		return cur
+	}
+	at := make(map[string]int, len(cur.Results))
+	for i, r := range cur.Results {
+		at[key(r)] = i
+	}
+	for _, s := range news[1:] {
+		for _, r := range s.Results {
+			if i, ok := at[key(r)]; ok {
+				if r.NsPerOp < cur.Results[i].NsPerOp {
+					cur.Results[i] = r
+				}
+				continue
+			}
+			at[key(r)] = len(cur.Results)
+			cur.Results = append(cur.Results, r)
+		}
+	}
+	return cur
+}
+
+// calibrate returns the old/new ns/op ratio of the named calibration
+// benchmark. Scaling every new measurement by it maps "the host ran 40%
+// slower this run" to a ratio near 1 after normalization.
+func calibrate(old, cur snapshot, name string) (float64, error) {
+	find := func(s snapshot, which string) (float64, error) {
+		for _, r := range s.Results {
+			if r.Name == name {
+				if r.NsPerOp <= 0 {
+					return 0, fmt.Errorf("calibration benchmark %s has no ns/op in the %s snapshot", name, which)
+				}
+				return r.NsPerOp, nil
+			}
+		}
+		return 0, fmt.Errorf("calibration benchmark %s missing from the %s snapshot", name, which)
+	}
+	o, err := find(old, "old")
+	if err != nil {
+		return 0, err
+	}
+	n, err := find(cur, "new")
+	if err != nil {
+		return 0, err
+	}
+	return o / n, nil
+}
+
+// key joins package and name: the same benchmark name may exist in two
+// packages, and a rename must not silently match across packages.
+func key(r result) string {
+	return r.Pkg + "." + r.Name
+}
+
+// diff joins the two snapshots by benchmark and computes ns/op deltas;
+// failed holds the gated rows past the threshold.
+func diff(old, cur snapshot, gate *regexp.Regexp, threshold float64) (rows, failed []row) {
+	prev := make(map[string]result, len(old.Results))
+	for _, r := range old.Results {
+		prev[key(r)] = r
+	}
+	seen := make(map[string]bool, len(cur.Results))
+	for _, r := range cur.Results {
+		seen[key(r)] = true
+		o, ok := prev[key(r)]
+		if !ok {
+			rows = append(rows, row{name: r.Name, new: r.NsPerOp, only: "new"})
+			continue
+		}
+		d := row{name: r.Name, old: o.NsPerOp, new: r.NsPerOp, gated: gate.MatchString(r.Name)}
+		if o.NsPerOp > 0 {
+			d.delta = (r.NsPerOp - o.NsPerOp) / o.NsPerOp * 100
+		}
+		if d.gated && d.delta > threshold {
+			failed = append(failed, d)
+		}
+		rows = append(rows, d)
+	}
+	for _, r := range old.Results {
+		if !seen[key(r)] {
+			rows = append(rows, row{name: r.Name, old: r.NsPerOp, only: "old"})
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].name < rows[j].name })
+	return rows, failed
+}
+
+// print renders the delta table.
+func print(w io.Writer, old, cur snapshot, rows []row, threshold float64) {
+	fmt.Fprintf(w, "benchdiff: %s (%s) vs %s (%s), gate threshold %.0f%% ns/op\n",
+		old.Date, old.BenchTime, cur.Date, cur.BenchTime, threshold)
+	fmt.Fprintf(w, "%-52s %12s %12s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	for _, r := range rows {
+		switch r.only {
+		case "new":
+			fmt.Fprintf(w, "%-52s %12s %12.1f %9s\n", r.name, "-", r.new, "new")
+		case "old":
+			fmt.Fprintf(w, "%-52s %12.1f %12s %9s\n", r.name, r.old, "-", "gone")
+		default:
+			mark := ""
+			if r.gated && r.delta > threshold {
+				mark = "  FAIL"
+			} else if r.gated {
+				mark = "  gate"
+			}
+			fmt.Fprintf(w, "%-52s %12.1f %12.1f %+8.1f%%%s\n", r.name, r.old, r.new, r.delta, mark)
+		}
+	}
+}

@@ -1,0 +1,289 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// write marshals a snapshot into dir and returns its path.
+func write(t *testing.T, dir, name string, s snapshot) string {
+	t.Helper()
+	raw, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// base is a plausible snapshot with gated and ungated benchmarks.
+func base() snapshot {
+	return snapshot{
+		Date: "2026-08-01", CPU: "TestCPU @ 2.70GHz", BenchTime: "50ms",
+		Results: []result{
+			{Name: "BenchmarkFleetScenarios/uniform", Pkg: "repro/internal/serve", NsPerOp: 1000},
+			{Name: "BenchmarkXbarGates/NORCols", Pkg: "repro/internal/xbar", NsPerOp: 200},
+			{Name: "BenchmarkSchemeScrub/scheme=diagonal", Pkg: "repro/internal/ecc", NsPerOp: 5000},
+			{Name: "BenchmarkAblationRefresh", Pkg: "repro", NsPerOp: 300},
+		},
+	}
+}
+
+func runDiff(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestIdenticalSnapshotsPass(t *testing.T) {
+	dir := t.TempDir()
+	old := write(t, dir, "old.json", base())
+	cur := write(t, dir, "new.json", base())
+	code, stdout, stderr := runDiff(t, old, cur)
+	if code != 0 {
+		t.Fatalf("exit %d on identical snapshots; stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "no gated benchmark regressed") {
+		t.Fatalf("missing ok line:\n%s", stdout)
+	}
+}
+
+func TestGatedRegressionFails(t *testing.T) {
+	dir := t.TempDir()
+	old := write(t, dir, "old.json", base())
+	s := base()
+	s.Results[2].NsPerOp = 5600 // SchemeScrub +12%: past the 10% gate
+	cur := write(t, dir, "new.json", s)
+	code, stdout, stderr := runDiff(t, old, cur)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1 for a 12%% gated regression; stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stderr, "BenchmarkSchemeScrub/scheme=diagonal") {
+		t.Fatalf("failing benchmark not named:\n%s", stderr)
+	}
+	if !strings.Contains(stdout, "FAIL") {
+		t.Fatalf("delta table does not flag the failure:\n%s", stdout)
+	}
+}
+
+func TestRegressionWithinThresholdPasses(t *testing.T) {
+	dir := t.TempDir()
+	old := write(t, dir, "old.json", base())
+	s := base()
+	s.Results[0].NsPerOp = 1090 // +9%: under the gate
+	cur := write(t, dir, "new.json", s)
+	if code, _, stderr := runDiff(t, old, cur); code != 0 {
+		t.Fatalf("exit %d on a 9%% drift; stderr: %s", code, stderr)
+	}
+}
+
+func TestUngatedRegressionPasses(t *testing.T) {
+	dir := t.TempDir()
+	old := write(t, dir, "old.json", base())
+	s := base()
+	s.Results[3].NsPerOp = 900 // AblationRefresh 3x slower, but not gated
+	cur := write(t, dir, "new.json", s)
+	if code, _, stderr := runDiff(t, old, cur); code != 0 {
+		t.Fatalf("exit %d on an ungated regression; stderr: %s", code, stderr)
+	}
+}
+
+func TestImprovementPasses(t *testing.T) {
+	dir := t.TempDir()
+	old := write(t, dir, "old.json", base())
+	s := base()
+	for i := range s.Results {
+		s.Results[i].NsPerOp *= 0.5
+	}
+	cur := write(t, dir, "new.json", s)
+	if code, _, stderr := runDiff(t, old, cur); code != 0 {
+		t.Fatalf("exit %d when everything got faster; stderr: %s", code, stderr)
+	}
+}
+
+func TestCrossHostRefusedWithoutForce(t *testing.T) {
+	dir := t.TempDir()
+	old := write(t, dir, "old.json", base())
+	s := base()
+	s.CPU = "OtherCPU @ 3.00GHz"
+	cur := write(t, dir, "new.json", s)
+
+	code, _, stderr := runDiff(t, old, cur)
+	if code != 2 {
+		t.Fatalf("exit %d, want 2 for cross-host snapshots; stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stderr, "different hosts") {
+		t.Fatalf("refusal not explained:\n%s", stderr)
+	}
+
+	// -force downgrades the refusal to a warning and compares anyway.
+	code, _, stderr = runDiff(t, "-force", old, cur)
+	if code != 0 {
+		t.Fatalf("exit %d with -force; stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stderr, "warning") {
+		t.Fatalf("forced comparison should warn:\n%s", stderr)
+	}
+}
+
+func TestNewAndGoneBenchmarksNeverGate(t *testing.T) {
+	dir := t.TempDir()
+	old := write(t, dir, "old.json", base())
+	s := base()
+	// Drop a gated benchmark and add a new one: reported, never gating.
+	s.Results = append(s.Results[:1], result{
+		Name: "BenchmarkFleetBrandNew", Pkg: "repro/internal/serve", NsPerOp: 1e9,
+	})
+	cur := write(t, dir, "new.json", s)
+	code, stdout, stderr := runDiff(t, old, cur)
+	if code != 0 {
+		t.Fatalf("exit %d when benchmarks appear/disappear; stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "new") || !strings.Contains(stdout, "gone") {
+		t.Fatalf("appear/disappear rows missing:\n%s", stdout)
+	}
+}
+
+func TestSameNameDifferentPackageDoesNotJoin(t *testing.T) {
+	dir := t.TempDir()
+	old := write(t, dir, "old.json", base())
+	s := base()
+	s.Results[1].Pkg = "repro/internal/elsewhere"
+	s.Results[1].NsPerOp = 20000 // 100x, but in another package: no baseline
+	cur := write(t, dir, "new.json", s)
+	if code, _, stderr := runDiff(t, old, cur); code != 0 {
+		t.Fatalf("exit %d for a cross-package name collision; stderr: %s", code, stderr)
+	}
+}
+
+// calibrated is base() plus the host-calibration benchmark.
+func calibrated() snapshot {
+	s := base()
+	s.Results = append(s.Results, result{
+		Name: "BenchmarkHostCalibration", Pkg: "repro", NsPerOp: 4000,
+	})
+	return s
+}
+
+func TestNormalizeCancelsUniformHostSlowdown(t *testing.T) {
+	dir := t.TempDir()
+	old := write(t, dir, "old.json", calibrated())
+	s := calibrated()
+	for i := range s.Results {
+		s.Results[i].NsPerOp *= 1.4 // the whole host ran 40% slower
+	}
+	cur := write(t, dir, "new.json", s)
+
+	// Unnormalized, every gated benchmark looks 40% regressed.
+	if code, _, _ := runDiff(t, old, cur); code != 1 {
+		t.Fatal("uniform slowdown should fail the unnormalized gate")
+	}
+	code, _, stderr := runDiff(t, "-normalize", "BenchmarkHostCalibration", old, cur)
+	if code != 0 {
+		t.Fatalf("exit %d: normalization did not cancel the slowdown; stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stderr, "scaled x0.714") {
+		t.Fatalf("scale factor not reported:\n%s", stderr)
+	}
+}
+
+func TestNormalizeKeepsRealRegressionVisible(t *testing.T) {
+	dir := t.TempDir()
+	old := write(t, dir, "old.json", calibrated())
+	s := calibrated()
+	for i := range s.Results {
+		s.Results[i].NsPerOp *= 1.4
+	}
+	s.Results[2].NsPerOp *= 1.25 // SchemeScrub regressed 25% on top of it
+	cur := write(t, dir, "new.json", s)
+	code, _, stderr := runDiff(t, "-normalize", "BenchmarkHostCalibration", old, cur)
+	if code != 1 {
+		t.Fatalf("exit %d: a real regression survived normalization; stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stderr, "BenchmarkSchemeScrub/scheme=diagonal") {
+		t.Fatalf("regressed benchmark not named:\n%s", stderr)
+	}
+}
+
+func TestNormalizeMissingCalibrationRefused(t *testing.T) {
+	dir := t.TempDir()
+	old := write(t, dir, "old.json", base()) // no calibration benchmark
+	cur := write(t, dir, "new.json", base())
+	code, _, stderr := runDiff(t, "-normalize", "BenchmarkHostCalibration", old, cur)
+	if code != 2 {
+		t.Fatalf("exit %d, want 2 when the calibration benchmark is missing; stderr: %s", code, stderr)
+	}
+}
+
+func TestMultipleNewSnapshotsGateOnFastest(t *testing.T) {
+	dir := t.TempDir()
+	old := write(t, dir, "old.json", base())
+	slow := base()
+	for i := range slow.Results {
+		slow.Results[i].NsPerOp *= 1.3 // one measurement hit contention
+	}
+	a := write(t, dir, "a.json", slow)
+	b := write(t, dir, "b.json", base()) // the re-measurement is clean
+
+	// Alone, the noisy measurement fails; paired with a clean one, each
+	// benchmark's fastest sample wins and the gate passes.
+	if code, _, _ := runDiff(t, old, a); code != 1 {
+		t.Fatal("noisy measurement alone should fail")
+	}
+	if code, _, stderr := runDiff(t, old, a, b); code != 0 {
+		t.Fatalf("fastest-of-two still fails; stderr: %s", stderr)
+	}
+
+	// A regression present in every measurement is code, not noise.
+	reg := base()
+	reg.Results[0].NsPerOp *= 1.2
+	reg2 := base()
+	reg2.Results[0].NsPerOp *= 1.25
+	c := write(t, dir, "c.json", reg)
+	d := write(t, dir, "d.json", reg2)
+	code, _, stderr := runDiff(t, old, c, d)
+	if code != 1 {
+		t.Fatalf("exit %d: persistent regression escaped the fastest-of-two gate; stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stderr, "BenchmarkFleetScenarios/uniform") {
+		t.Fatalf("regressed benchmark not named:\n%s", stderr)
+	}
+}
+
+func TestUsageAndBadInput(t *testing.T) {
+	if code, _, _ := runDiff(t); code != 2 {
+		t.Fatal("missing args must exit 2")
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	good := write(t, dir, "good.json", base())
+	if code, _, _ := runDiff(t, bad, good); code != 1 {
+		t.Fatal("unreadable old snapshot must exit 1")
+	}
+	empty := write(t, dir, "empty.json", snapshot{Date: "x"})
+	if code, _, _ := runDiff(t, good, empty); code != 1 {
+		t.Fatal("empty snapshot must exit 1")
+	}
+}
+
+func TestRealSnapshotAgainstItself(t *testing.T) {
+	// The repo's own checked-in snapshots must parse and self-compare.
+	path := "../../BENCH_2026-08-07.json"
+	if _, err := os.Stat(path); err != nil {
+		t.Skip("snapshot not present")
+	}
+	if code, _, stderr := runDiff(t, path, path); code != 0 {
+		t.Fatalf("exit %d comparing a real snapshot to itself; stderr: %s", code, stderr)
+	}
+}

@@ -7,7 +7,12 @@
 //
 // Usage:
 //
-//	go run ./cmd/benchjson [-bench regex] [-benchtime 3x] [-pkg ./...] [-out FILE]
+//	go run ./cmd/benchjson [-bench regex] [-benchtime 3x] [-count N] [-pkg ./...] [-out FILE]
+//
+// With -count N each benchmark runs N times and the snapshot records the
+// fastest sample — the minimum is the standard noise-robust estimator,
+// which matters when a snapshot feeds the benchdiff regression gate on a
+// shared or single-core host.
 package main
 
 import (
@@ -80,6 +85,7 @@ var (
 func main() {
 	bench := flag.String("bench", ".", "benchmark regex passed to go test -bench")
 	benchtime := flag.String("benchtime", "3x", "value passed to go test -benchtime")
+	count := flag.Int("count", 1, "samples per benchmark; the snapshot keeps each benchmark's fastest")
 	pkgs := flag.String("pkg", "./...", "package pattern to benchmark")
 	out := flag.String("out", "", "output file (default BENCH_<date>.json)")
 	flag.Parse()
@@ -91,7 +97,8 @@ func main() {
 	}
 
 	cmd := exec.Command("go", "test", "-run", "^$",
-		"-bench", *bench, "-benchmem", "-benchtime", *benchtime, *pkgs)
+		"-bench", *bench, "-benchmem", "-benchtime", *benchtime,
+		"-count", strconv.Itoa(*count), *pkgs)
 	raw, err := cmd.CombinedOutput()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: go test failed: %v\n%s", err, raw)
@@ -126,9 +133,13 @@ func main() {
 	fmt.Printf("benchjson: wrote %d results to %s\n", len(snap.Results), path)
 }
 
-// parse extracts benchmark results from `go test -bench` output.
+// parse extracts benchmark results from `go test -bench` output. With
+// -count > 1 each benchmark appears once per sample; the fastest sample
+// wins, keeping the snapshot one-row-per-benchmark and minimizing
+// scheduling noise.
 func parse(out string) (cpu string, results []Result) {
 	pkg := ""
+	index := map[string]int{}
 	for _, line := range strings.Split(out, "\n") {
 		line = strings.TrimRight(line, "\r")
 		if s, ok := strings.CutPrefix(line, "pkg: "); ok {
@@ -174,6 +185,13 @@ func parse(out string) (cpu string, results []Result) {
 				r.Metrics[unit] = val
 			}
 		}
+		if at, seen := index[r.Pkg+"."+r.Name]; seen {
+			if r.NsPerOp < results[at].NsPerOp {
+				results[at] = r
+			}
+			continue
+		}
+		index[r.Pkg+"."+r.Name] = len(results)
 		results = append(results, r)
 	}
 	return cpu, results

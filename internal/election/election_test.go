@@ -1,0 +1,198 @@
+package election
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// cluster simulates synchronous all-to-all rounds over a set of states,
+// with per-node liveness control.
+type cluster struct {
+	nodes map[int64]*State
+	live  map[int64]bool
+}
+
+func newCluster(k int, ids ...int64) *cluster {
+	c := &cluster{nodes: make(map[int64]*State), live: make(map[int64]bool)}
+	for _, id := range ids {
+		c.nodes[id] = New(id, k)
+		c.live[id] = true
+	}
+	return c
+}
+
+// round runs one synchronous round: every live node ticks, then every
+// live node observes every other live node's broadcast.
+func (c *cluster) round() {
+	msgs := make([]Message, 0, len(c.nodes))
+	for id, s := range c.nodes {
+		if c.live[id] {
+			msgs = append(msgs, s.Tick())
+		}
+	}
+	for id, s := range c.nodes {
+		if !c.live[id] {
+			continue
+		}
+		for _, m := range msgs {
+			if m.From != id {
+				s.Observe(m)
+			}
+		}
+	}
+}
+
+// agreedLeader returns the common leader of all live nodes, or -1 while
+// they disagree.
+func (c *cluster) agreedLeader() int64 {
+	leader := int64(-1)
+	for id, s := range c.nodes {
+		if !c.live[id] {
+			continue
+		}
+		if leader == -1 {
+			leader = s.Leader()
+		} else if s.Leader() != leader {
+			return -1
+		}
+	}
+	return leader
+}
+
+func (c *cluster) settle(t *testing.T, rounds int, want int64) {
+	t.Helper()
+	for i := 0; i < rounds; i++ {
+		c.round()
+		if c.agreedLeader() == want {
+			return
+		}
+	}
+	for id, s := range c.nodes {
+		if c.live[id] {
+			t.Logf("node %d: %v", id, s)
+		}
+	}
+	t.Fatalf("no agreement on leader %d within %d rounds", want, rounds)
+}
+
+func TestElectsMinimumID(t *testing.T) {
+	c := newCluster(8, 3, 0, 7, 1, 5)
+	// All-to-all: the minimum propagates in one round, agreement in two.
+	c.settle(t, 3, 0)
+	if !c.nodes[0].IsLeader() {
+		t.Fatal("node 0 does not believe it leads")
+	}
+	for _, id := range []int64{1, 3, 5, 7} {
+		if c.nodes[id].IsLeader() {
+			t.Fatalf("node %d believes it leads", id)
+		}
+	}
+}
+
+func TestLeaderCrashRecoversWithinBound(t *testing.T) {
+	const k = 8
+	c := newCluster(k, 0, 1, 2, 3)
+	c.settle(t, 3, 0)
+	c.live[0] = false
+	// The dead leader's pair must drain within K rounds and the next
+	// minimum takes over one round later.
+	c.settle(t, k+2, 1)
+}
+
+func TestCrashedLeaderRejoinRetakesLeadership(t *testing.T) {
+	const k = 8
+	c := newCluster(k, 0, 1, 2)
+	c.settle(t, 3, 0)
+	c.live[0] = false
+	c.settle(t, k+2, 1)
+	// Rejoin with fresh (booted) state: the smaller ID wins again.
+	c.nodes[0] = New(0, k)
+	c.live[0] = true
+	c.settle(t, 3, 0)
+}
+
+func TestStabilizesFromArbitraryState(t *testing.T) {
+	// Corrupt every node with adversarial pairs — minima smaller than any
+	// live ID, forged TTLs far beyond K — and require convergence to the
+	// true minimum within the K+1 bound plus the clamp margin.
+	const k = 8
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		c := newCluster(k, 2, 4, 6, 9)
+		for _, s := range c.nodes {
+			s.best = Pair{Min: rng.Int63n(20) - 10, Leader: rng.Int63n(20) - 10}
+			s.ttl = int(rng.Int63n(1 << 20)) // forged lease
+		}
+		limit := 2*k + 2
+		ok := false
+		for i := 0; i < limit; i++ {
+			c.round()
+			if c.agreedLeader() == 2 {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			for id, s := range c.nodes {
+				t.Logf("node %d: %v", id, s)
+			}
+			t.Fatalf("trial %d: no convergence to 2 within %d rounds", trial, limit)
+		}
+	}
+}
+
+func TestForgedTTLClamped(t *testing.T) {
+	s := New(5, 4)
+	s.Observe(Message{From: 1, Pair: Pair{Min: 1, Leader: 1}, TTL: 1 << 30})
+	if s.Leader() != 1 {
+		t.Fatal("did not adopt smaller pair")
+	}
+	// Without refresh the adopted pair must expire in at most K rounds.
+	for i := 0; i < 4; i++ {
+		s.Tick()
+	}
+	if s.Leader() != 5 {
+		t.Fatalf("forged lease survived K rounds: %v", s)
+	}
+}
+
+func TestExpiredMessagesIgnored(t *testing.T) {
+	s := New(5, 8)
+	s.Observe(Message{From: 1, Pair: Pair{Min: 1, Leader: 1}, TTL: 0})
+	if s.Leader() != 5 {
+		t.Fatal("adopted a dead message")
+	}
+}
+
+func TestRelayShortensLease(t *testing.T) {
+	// A pair relayed through a chain must carry a strictly shrinking TTL:
+	// origin broadcasts K, each relay hop hands on at most one less.
+	a, b := New(7, 8), New(9, 8)
+	b.Observe(Message{From: 7, Pair: Pair{Min: 7, Leader: 7}, TTL: 8})
+	m := b.Tick()
+	if m.Pair != (Pair{Min: 7, Leader: 7}) {
+		t.Fatalf("relay broadcasts %+v", m)
+	}
+	if m.TTL >= 8 {
+		t.Fatalf("relayed TTL %d not shortened", m.TTL)
+	}
+	_ = a
+}
+
+func TestPairOrdering(t *testing.T) {
+	cases := []struct {
+		p, q Pair
+		less bool
+	}{
+		{Pair{0, 0}, Pair{1, 1}, true},
+		{Pair{1, 1}, Pair{0, 0}, false},
+		{Pair{1, 0}, Pair{1, 1}, true},
+		{Pair{1, 1}, Pair{1, 1}, false},
+		{Pair{-3, 5}, Pair{0, 0}, true},
+	}
+	for _, c := range cases {
+		if got := c.p.Less(c.q); got != c.less {
+			t.Fatalf("Less(%+v, %+v) = %v", c.p, c.q, got)
+		}
+	}
+}

@@ -182,3 +182,97 @@ func (o Organization) ShardBanks(shards int) [][]int {
 func Custom(n, banks, perBank int) Organization {
 	return Organization{CrossbarN: n, Banks: banks, PerBank: perBank}
 }
+
+// NodeMap assigns the organization's banks to fleet nodes in balanced
+// contiguous ranges — the network-level analogue of ShardBanks. Routing is
+// a pure function of (organization, node count): every client and every
+// node derives the identical map from the shared geometry flags, so the
+// fleet needs no routing metadata service. Contiguity is the invariant
+// the address translation leans on: node i owns banks [Range(i)), and a
+// global flat bit translates to the node-local address space by
+// subtracting the range start's bit offset.
+type NodeMap struct {
+	org    Organization
+	starts []int // starts[i] = first bank of node i; len = nodes+1
+}
+
+// ShardNodes splits the banks across `nodes` fleet nodes using the same
+// balanced-contiguous split ShardBanks uses for worker pools, so the two
+// layers of sharding (banks→nodes across the network, banks→workers
+// within a node) compose without overlap.
+func (o Organization) ShardNodes(nodes int) NodeMap {
+	if nodes <= 0 {
+		nodes = 1
+	}
+	if nodes > o.Banks {
+		nodes = o.Banks
+	}
+	m := NodeMap{org: o, starts: make([]int, nodes+1)}
+	base, extra := o.Banks/nodes, o.Banks%nodes
+	next := 0
+	for i := 0; i < nodes; i++ {
+		m.starts[i] = next
+		next += base
+		if i < extra {
+			next++
+		}
+	}
+	m.starts[nodes] = next
+	return m
+}
+
+// Nodes returns the node count.
+func (m NodeMap) Nodes() int { return len(m.starts) - 1 }
+
+// Org returns the global organization the map shards.
+func (m NodeMap) Org() Organization { return m.org }
+
+// Range returns the contiguous bank range [lo, hi) node i owns.
+func (m NodeMap) Range(node int) (lo, hi int) {
+	return m.starts[node], m.starts[node+1]
+}
+
+// NodeOf returns the node owning the given bank.
+func (m NodeMap) NodeOf(bank int) int {
+	// Linear scan: node counts are small (a handful of processes), and the
+	// starts slice is cache-resident.
+	for i := 1; i < len(m.starts); i++ {
+		if bank < m.starts[i] {
+			return i - 1
+		}
+	}
+	return len(m.starts) - 2
+}
+
+// NodeOfBit returns the node owning the given global flat bit index.
+func (m NodeMap) NodeOfBit(bit int64) (int, error) {
+	bank, err := m.org.BankOf(bit)
+	if err != nil {
+		return 0, err
+	}
+	return m.NodeOf(bank), nil
+}
+
+// LocalOrg returns the organization of one node's shard: the same
+// crossbar geometry over only the banks the node owns. The shard drops
+// the capacity target — it is a slice of the global memory, not a full
+// one.
+func (m NodeMap) LocalOrg(node int) Organization {
+	lo, hi := m.Range(node)
+	return Organization{CrossbarN: m.org.CrossbarN, Banks: hi - lo, PerBank: m.org.PerBank}
+}
+
+// ToLocal translates a global flat bit index into node-local address
+// space. The caller must route to the correct node first (NodeOfBit);
+// spans that start in the node's range may still leak past its end — the
+// node's own bounds checks reject those.
+func (m NodeMap) ToLocal(node int, bit int64) int64 {
+	lo, _ := m.Range(node)
+	return bit - int64(lo)*m.org.BankBits()
+}
+
+// ToGlobal is the inverse of ToLocal.
+func (m NodeMap) ToGlobal(node int, local int64) int64 {
+	lo, _ := m.Range(node)
+	return local + int64(lo)*m.org.BankBits()
+}

@@ -271,3 +271,109 @@ func TestBankBits(t *testing.T) {
 		t.Fatal("banks do not tile the memory")
 	}
 }
+
+func TestShardNodesPartition(t *testing.T) {
+	for _, banks := range []int{1, 2, 3, 7, 16, 33} {
+		org := Custom(60, banks, 2)
+		for _, nodes := range []int{1, 2, 3, 4, 16, 40} {
+			nm := org.ShardNodes(nodes)
+			want := nodes
+			if want > banks {
+				want = banks
+			}
+			if nm.Nodes() != want {
+				t.Fatalf("banks=%d nodes=%d: Nodes()=%d want %d", banks, nodes, nm.Nodes(), want)
+			}
+			// Ranges are contiguous, disjoint, cover all banks, and sizes
+			// differ by at most one (balanced).
+			next, minSz, maxSz := 0, banks, 0
+			for i := 0; i < nm.Nodes(); i++ {
+				lo, hi := nm.Range(i)
+				if lo != next || hi <= lo {
+					t.Fatalf("banks=%d nodes=%d node %d: range [%d,%d) not contiguous from %d", banks, nodes, i, lo, hi, next)
+				}
+				if sz := hi - lo; sz < minSz {
+					minSz = sz
+				} else if sz > maxSz {
+					maxSz = sz
+				}
+				for b := lo; b < hi; b++ {
+					if nm.NodeOf(b) != i {
+						t.Fatalf("NodeOf(%d)=%d want %d", b, nm.NodeOf(b), i)
+					}
+				}
+				next = hi
+			}
+			if next != banks {
+				t.Fatalf("banks=%d nodes=%d: ranges cover %d banks", banks, nodes, next)
+			}
+			if maxSz > 0 && maxSz-minSz > 1 {
+				t.Fatalf("banks=%d nodes=%d: unbalanced split min=%d max=%d", banks, nodes, minSz, maxSz)
+			}
+		}
+	}
+}
+
+func TestShardNodesMatchesShardBanks(t *testing.T) {
+	// The network split must agree with the in-process worker split: the
+	// consistent-routing contract is that both derive from one function.
+	org := Custom(90, 16, 2)
+	for _, nodes := range []int{1, 2, 3, 4, 5, 16} {
+		nm := org.ShardNodes(nodes)
+		shards := org.ShardBanks(nodes)
+		for i := 0; i < nm.Nodes(); i++ {
+			lo, hi := nm.Range(i)
+			if len(shards[i]) != hi-lo {
+				t.Fatalf("nodes=%d node %d: ShardBanks size %d vs range [%d,%d)", nodes, i, len(shards[i]), lo, hi)
+			}
+			for j, b := range shards[i] {
+				if b != lo+j {
+					t.Fatalf("nodes=%d node %d: ShardBanks[%d]=%d want %d", nodes, i, j, b, lo+j)
+				}
+			}
+		}
+	}
+}
+
+func TestNodeMapLocalTranslation(t *testing.T) {
+	org := Custom(60, 6, 2)
+	nm := org.ShardNodes(4) // ranges [0,2) [2,4) [4,5) [5,6)
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 2000; i++ {
+		bit := rng.Int63n(org.DataBits())
+		node, err := nm.NodeOfBit(bit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bank, err := org.BankOf(bit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := nm.NodeOf(bank); got != node {
+			t.Fatalf("NodeOfBit=%d NodeOf(bank)=%d", node, got)
+		}
+		local := nm.ToLocal(node, bit)
+		lorg := nm.LocalOrg(node)
+		if local < 0 || local >= lorg.DataBits() {
+			t.Fatalf("bit %d → node %d local %d outside [0,%d)", bit, node, local, lorg.DataBits())
+		}
+		if back := nm.ToGlobal(node, local); back != bit {
+			t.Fatalf("ToGlobal(ToLocal(%d)) = %d", bit, back)
+		}
+		// The local address resolves to the same crossbar geometry: row and
+		// column are invariant under translation, and the bank shifts by
+		// exactly the range start.
+		ga, err := org.Locate(bit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		la, err := lorg.Locate(local)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lo, _ := nm.Range(node)
+		if la.Bank != ga.Bank-lo || la.Crossbar != ga.Crossbar || la.Row != ga.Row || la.Col != ga.Col {
+			t.Fatalf("bit %d: global %+v local %+v (range start %d)", bit, ga, la, lo)
+		}
+	}
+}

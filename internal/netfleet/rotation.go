@@ -1,0 +1,140 @@
+package netfleet
+
+import (
+	"sync"
+
+	"repro/internal/election"
+)
+
+// gossipMsg is the per-round election broadcast, carrying the sender's
+// (min, leader) pair plus the highest rotation epoch it has seen — the
+// piggyback that re-synchronizes epoch counters across leader failover
+// and node rejoin.
+type gossipMsg struct {
+	election.Message
+	Epoch int64 `json:"epoch"`
+}
+
+// grantMsg assigns one scrub epoch: the leader names the epoch and the
+// global crossbar it owns (Xbar = Epoch mod crossbar count — the mapping
+// is deterministic, so a re-delivered or duplicated grant re-targets the
+// same crossbar and execution stays idempotent).
+type grantMsg struct {
+	From  int64 `json:"from"`
+	Epoch int64 `json:"epoch"`
+	Xbar  int   `json:"xbar"` // global crossbar id (mmpu.CrossbarID order)
+}
+
+// GrantRec is one executed scrub grant, kept for introspection and for
+// the crash/rejoin safety tests: collecting every node's log and
+// asserting epoch uniqueness is the no-double-scrub proof.
+type GrantRec struct {
+	Epoch int64 `json:"epoch"`
+	Xbar  int   `json:"xbar"`
+}
+
+// rotationLog caps the in-memory grant history.
+const rotationLog = 4096
+
+// rotation is the node's scrub-rotation state: the election state machine
+// plus the epoch bookkeeping layered on it.
+//
+// Safety is deliberately local and unconditional: a node executes a grant
+// only when its epoch exceeds everything the node has executed or
+// adopted, whoever sent it. The election provides liveness and fairness —
+// a single stable leader advancing one epoch per round — while transient
+// dual leadership during stabilization can at worst produce duplicate
+// grants that the monotone epoch check drops. A rejoining node adopts the
+// first epoch it hears as its floor before executing anything, so grants
+// from before its crash cannot replay. The one window this leaves open is
+// a simultaneous crash of the granting leader and the grantee before any
+// third node hears the epoch; the re-executed scrub is idempotent
+// (documented in DESIGN.md E15).
+type rotation struct {
+	mu     sync.Mutex
+	st     *election.State
+	solo   bool  // single-node fleet: no gossip will ever arrive
+	epoch  int64 // highest epoch seen fleet-wide (leader: last granted)
+	last   int64 // highest epoch executed or adopted as floor
+	synced bool  // floor adopted from first peer contact
+	stable int   // consecutive rounds of self-leadership
+	log    []GrantRec
+}
+
+func newRotation(id int64, k int, solo bool) *rotation {
+	return &rotation{st: election.New(id, k), solo: solo}
+}
+
+// observe folds one received gossip message in.
+func (r *rotation) observe(g gossipMsg) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.st.Observe(g.Message)
+	if g.Epoch > r.epoch {
+		r.epoch = g.Epoch
+	}
+	if !r.synced {
+		// First contact after boot/rejoin: everything up to the fleet's
+		// current epoch happened without us — never execute below it.
+		if g.Epoch > r.last {
+			r.last = g.Epoch
+		}
+		r.synced = true
+	}
+}
+
+// tick advances one election round. It returns the gossip to broadcast
+// and, when this node is the stable leader, the grant to issue this
+// round. Requiring two consecutive leadership rounds before granting
+// damps the transient dual-leader window while the election stabilizes.
+//
+// In a multi-node fleet a node additionally may not grant until it has
+// synced its epoch floor from at least one gossip message: a rejoining
+// minimum-ID node boots believing itself leader with epoch 0, and
+// without the sync gate it could re-grant (and, on its own shard,
+// re-execute) epochs the fleet already scrubbed before its first gossip
+// arrives. Liveness cost: a node rejoining an otherwise-dead fleet
+// never scrubs — safety over liveness, documented in DESIGN.md E15.
+func (r *rotation) tick(totalXbars int) (gossipMsg, *grantMsg) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m := r.st.Tick()
+	if r.st.IsLeader() {
+		r.stable++
+	} else {
+		r.stable = 0
+	}
+	var g *grantMsg
+	if r.st.IsLeader() && r.stable >= 2 && (r.synced || r.solo) && totalXbars > 0 {
+		r.epoch++
+		g = &grantMsg{From: r.st.ID(), Epoch: r.epoch, Xbar: int(r.epoch % int64(totalXbars))}
+	}
+	return gossipMsg{Message: m, Epoch: r.epoch}, g
+}
+
+// admit decides whether a grant executes: strictly monotone epochs only.
+// The caller performs the scrub after a true return — the decision and
+// the bookkeeping are atomic, so two racing grants can never both pass.
+func (r *rotation) admit(g grantMsg) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g.Epoch <= r.last {
+		return false
+	}
+	r.last = g.Epoch
+	if g.Epoch > r.epoch {
+		r.epoch = g.Epoch
+	}
+	r.log = append(r.log, GrantRec{Epoch: g.Epoch, Xbar: g.Xbar})
+	if len(r.log) > rotationLog {
+		r.log = r.log[len(r.log)-rotationLog:]
+	}
+	return true
+}
+
+// snapshot returns the rotation's introspection state.
+func (r *rotation) snapshot() (leader int64, epoch int64, isLeader bool, log []GrantRec) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.st.Leader(), r.epoch, r.st.IsLeader(), append([]GrantRec(nil), r.log...)
+}
